@@ -1,0 +1,22 @@
+"""Extension ablation (§4.9 DRAM): only non-speculative accesses may
+leave DRAM pages open.
+
+The paper proposes this as the likely-feasible fix for the open-page
+implicit cache but does not evaluate it; this bench measures the cost on
+streaming and pointer-chasing workloads.
+"""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.analysis.figures import dram_policy_ablation
+from repro.config import default_config
+from repro.sim.runner import run_workload
+
+
+def test_dram_policy(benchmark):
+    result = dram_policy_ablation(scale=BENCH_SCALE)
+    emit(result)
+    benchmark.pedantic(
+        lambda: run_workload("lbm", "GhostMinion", scale=0.05,
+                             cfg=default_config()),
+        rounds=3, iterations=1)

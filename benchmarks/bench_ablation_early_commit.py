@@ -1,0 +1,42 @@
+"""Extension ablation (§4.10): the Early Commit variant of GhostMinion.
+
+The paper proposes treating instructions as non-speculative once their
+branches resolve (as InvisiSpec-Spectre/STT-Spectre do) instead of at
+commit; this bench measures what that buys on branchy, memory-bound
+workloads.
+"""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.analysis.figures import FigureResult
+from repro.analysis.report import format_table, geomean
+from repro.defenses.ghostminion import ghostminion
+from repro.sim.runner import run_workload
+
+WORKLOADS = ["mcf", "xalancbmk", "soplex", "gcc", "libquantum", "hmmer"]
+
+
+def test_early_commit_ablation(benchmark):
+    rows = []
+    ratios = []
+    for name in WORKLOADS:
+        base = run_workload(name, ghostminion(), scale=BENCH_SCALE)
+        early = run_workload(name, ghostminion(early_commit=True),
+                             scale=BENCH_SCALE)
+        ratio = early.cycles / base.cycles
+        ratios.append(ratio)
+        rows.append((name, base.cycles, early.cycles, ratio,
+                     int(early.stats.get("gm.early_commits"))))
+    rows.append(("geomean", "-", "-", geomean(ratios), "-"))
+    result = FigureResult(
+        name="Section 4.10 ablation: Early Commit",
+        data={"ratios": dict(zip(WORKLOADS, ratios))},
+        text=format_table(
+            ["workload", "GhostMinion", "GhostMinion-EC", "ratio",
+             "promotions"], rows))
+    emit(result)
+    assert geomean(ratios) < 1.1
+    benchmark.pedantic(
+        lambda: run_workload("gcc", ghostminion(early_commit=True),
+                             scale=0.05),
+        rounds=3, iterations=1)

@@ -1,0 +1,31 @@
+"""Figure 10: proportion of loads that trigger backwards-in-time
+prevention (TimeGuards, timeleaps, leapfrogs) under GhostMinion.
+
+Paper headline: all three are rare (< ~7% of loads; programs that send
+data backwards in time are unusual), with soplex-like workloads showing
+timeleaps and mcf/libquantum/omnetpp-like workloads leapfrogs.
+"""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.analysis.figures import figure10
+from repro.defenses.ghostminion import ghostminion
+from repro.sim.runner import run_workload
+
+
+def test_figure10(benchmark):
+    result = figure10(scale=BENCH_SCALE)
+    emit(result)
+    for name, proportions in result.data.items():
+        for event, value in proportions.items():
+            assert value < 0.5, (name, event)
+    # backwards-in-time flow is rare but present: timeleaps (mcf-like
+    # MSHR hits from logically earlier loads) and leapfrogs (resource
+    # steals) both occur.  TimeGuard *read blocks* essentially never
+    # trigger in these kernels (see EXPERIMENTS.md); the mechanism is
+    # covered by unit and security tests.
+    assert any(p["timeleaps"] > 0 for p in result.data.values())
+    assert any(p["leapfrogs"] > 0 for p in result.data.values())
+    benchmark.pedantic(
+        lambda: run_workload("soplex", ghostminion(), scale=0.05),
+        rounds=3, iterations=1)

@@ -1,0 +1,28 @@
+"""Figure 11: GhostMinion size sweep (4 KiB ... 128 B) plus the
+asynchronous-reload variant.
+
+Paper headline: 2 KiB is the sweet spot (4 KiB negligibly faster, 1 KiB
+negligibly slower); spikes appear below 512 B as lines leave the Minion
+before commit; async reload removes the spikes.
+"""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.analysis.figures import figure11
+
+# A representative subset keeps the 12-config sweep affordable.
+SWEEP_WORKLOADS = ["mcf", "libquantum", "xalancbmk", "leslie3d", "hmmer",
+                   "povray", "milc", "soplex"]
+
+
+def test_figure11(benchmark):
+    result = figure11(scale=BENCH_SCALE, workloads=SWEEP_WORKLOADS)
+    emit(result)
+    geo = result.data["geomean"]
+    async_geo = result.data["async_geomean"]
+    # 4K vs 2K: negligible difference
+    assert abs(geo["4096B"] - geo["2048B"]) < 0.1
+    # tiny Minions hurt; async reload caps the damage
+    assert geo["128B"] >= geo["2048B"] - 0.02
+    assert async_geo["128B async"] <= geo["128B"] + 0.05
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,22 @@
+"""Figure 8: SPECspeed 2017 normalised execution time.
+
+Paper headline: 0.6% geomean overhead for GhostMinion.
+"""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.analysis.figures import figure8
+from repro.sim.runner import run_workload
+
+
+def test_figure8(benchmark):
+    result = figure8(scale=BENCH_SCALE)
+    emit(result)
+    geo = result.data["geomean"]
+    assert geo["GhostMinion"] < 1.15
+    assert geo["GhostMinion"] < geo["InvisiSpec-Future"]
+    mcf17 = result.data["normalised"]["mcf17"]
+    assert mcf17["MuonTrap"] < mcf17["GhostMinion"]
+    benchmark.pedantic(
+        lambda: run_workload("xz", "GhostMinion", scale=0.05),
+        rounds=3, iterations=1)

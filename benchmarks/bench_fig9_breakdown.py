@@ -1,0 +1,27 @@
+"""Figure 9: overhead breakdown of GhostMinion's components
+(DMinion-Timeless / DMinion / IMinion / Coherence / Prefetcher / All).
+
+Paper headline: most overhead comes from the data-side Minion and the
+coherence extension; the instruction side contributes none; TimeGuarding
+itself costs ~0.2% over the Timeless strawman.
+"""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.analysis.figures import figure9
+from repro.defenses.ghostminion import ghostminion_breakdown
+from repro.sim.runner import run_workload
+
+
+def test_figure9(benchmark):
+    result = figure9(scale=BENCH_SCALE)
+    emit(result)
+    table = result.data["normalised"]
+    # the IMinion alone is essentially free (paper: none of the
+    # overhead comes from the instruction side)
+    iminion = [row["GhostMinion[IMinion]"] for row in table.values()]
+    assert sum(iminion) / len(iminion) < 1.05
+    benchmark.pedantic(
+        lambda: run_workload("gcc", ghostminion_breakdown("DMinion"),
+                             scale=0.05),
+        rounds=3, iterations=1)

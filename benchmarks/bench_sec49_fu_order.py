@@ -1,0 +1,23 @@
+"""Section 4.9: strictness-ordered issue for non-pipelined functional
+units (IntDiv/FloatDiv/FloatSqrt).
+
+Paper headline: no non-negligible slowdown on any workload (max 0.08%),
+and a slight geomean speedup from favouring older operations.
+"""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.analysis.figures import section49_fu_order
+from repro.defenses.ghostminion import ghostminion
+from repro.sim.runner import run_workload
+
+
+def test_section49(benchmark):
+    result = section49_fu_order(scale=BENCH_SCALE)
+    emit(result)
+    for name, ratio in result.data["ratios"].items():
+        assert ratio < 1.1, (name, ratio)
+    benchmark.pedantic(
+        lambda: run_workload("povray", ghostminion(strict_fu_order=True),
+                             scale=0.05),
+        rounds=3, iterations=1)

@@ -1,0 +1,25 @@
+"""Section 6.5: power analysis.
+
+Paper anchors (22 nm CACTI): 0.47 mW static per 2 KiB Minion vs 12.8 mW
+for the 64 KiB L1D; 1.5 pJ vs 8.6 pJ per read; dynamic power of the
+Minions in the microwatt range against ~1 W per core.
+"""
+
+import pytest
+from conftest import BENCH_SCALE, emit
+
+from repro.analysis.figures import section65_power
+from repro.analysis.power import SRAMModel
+
+
+def test_section65(benchmark):
+    result = section65_power(scale=BENCH_SCALE)
+    emit(result)
+    model = SRAMModel(2048)
+    assert model.leakage_mw == pytest.approx(0.47, abs=0.01)
+    assert model.read_energy_pj == pytest.approx(1.5, abs=0.05)
+    for report in result.data.values():
+        # negligible vs ~1 W per core (section 6.5's conclusion)
+        assert report.dminion_dynamic_uw < 1e5
+    benchmark.pedantic(lambda: SRAMModel(2048).leakage_mw,
+                       rounds=5, iterations=100)

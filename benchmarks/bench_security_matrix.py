@@ -1,0 +1,58 @@
+"""Security matrix: which defenses stop which transient-execution
+attacks — the paper's qualitative claims, measured.
+
+Expected (see §2.2, §6 and tests/attacks/test_security_matrix.py):
+GhostMinion+strictFU blocks everything; MuonTrap-Flush and InvisiSpec
+fall to backwards-in-time attacks; base MuonTrap does not stop
+same-address-space Spectre.
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import FigureResult
+from repro.analysis.report import format_table
+from repro.attacks import interference, spectre, spectre_rewind
+from repro.defenses.ghostminion import ghostminion
+
+LINEUP = ["Unsafe", "GhostMinion", "MuonTrap", "MuonTrap-Flush",
+          "InvisiSpec-Spectre", "InvisiSpec-Future", "STT-Spectre",
+          "STT-Future"]
+
+
+def build_matrix():
+    gm_strict = ghostminion(strict_fu_order=True)
+    gm_strict.name = "GhostMinion+strictFU"
+    rows = []
+    data = {}
+    for defense in LINEUP + [gm_strict]:
+        name = defense if isinstance(defense, str) else defense.name
+        verdicts = {
+            "spectre": spectre.leaks(defense),
+            "rewind": spectre_rewind.leaks(defense),
+            "interference": interference.leaks(defense),
+        }
+        data[name] = verdicts
+        rows.append((name,) + tuple(
+            "LEAK" if verdicts[a] else "safe"
+            for a in ("spectre", "rewind", "interference")))
+    text = format_table(
+        ["defense", "Spectre v1", "SpectreRewind", "Interference"], rows)
+    return FigureResult(name="Security matrix", data=data, text=text)
+
+
+def test_security_matrix(benchmark):
+    result = build_matrix()
+    emit(result)
+    data = result.data
+    assert data["Unsafe"] == {"spectre": True, "rewind": True,
+                              "interference": True}
+    assert data["GhostMinion+strictFU"] == {
+        "spectre": False, "rewind": False, "interference": False}
+    assert data["GhostMinion"]["spectre"] is False
+    assert data["GhostMinion"]["interference"] is False
+    assert data["MuonTrap"]["spectre"] is True
+    assert data["MuonTrap-Flush"]["rewind"] is True
+    assert data["InvisiSpec-Future"]["interference"] is True
+    assert data["STT-Future"]["rewind"] is False
+    benchmark.pedantic(lambda: spectre.run("Unsafe", 3),
+                       rounds=2, iterations=1)

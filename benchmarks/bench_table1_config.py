@@ -1,0 +1,11 @@
+"""Table 1: the simulated system configuration."""
+
+from conftest import emit
+
+from repro.analysis.figures import table1
+from repro.config import default_config
+
+
+def test_table1(benchmark):
+    emit(table1())
+    benchmark.pedantic(default_config, rounds=5, iterations=10)

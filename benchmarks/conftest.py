@@ -1,0 +1,26 @@
+"""Shared bench configuration.
+
+``REPRO_BENCH_SCALE`` scales the workload iteration counts used by the
+figure benches (default 0.25: every figure regenerates in minutes on a
+laptop; raise it for tighter numbers).
+"""
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+def emit(result):
+    """Print a regenerated figure under a clear banner."""
+    print()
+    print("=" * 72)
+    print(result.name)
+    print("=" * 72)
+    print(result.text)

@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""A miniature figure-6 sweep: a handful of SPEC2006 workloads across
+every defense, printed as a table and ASCII bars.
+
+Run:  python examples/figure_mini.py [scale]
+"""
+
+import sys
+
+from repro import compare_defenses, normalised_times, FIGURE_ORDER
+from repro.analysis import format_table, normalised_series, render_bars
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+    workloads = ["mcf", "libquantum", "xalancbmk", "gamess", "lbm"]
+    print("Running %d workloads x %d defenses (scale %.2f)..."
+          % (len(workloads), len(FIGURE_ORDER) + 1, scale))
+    results = compare_defenses(workloads, ["Unsafe"] + FIGURE_ORDER,
+                               scale=scale)
+    table = normalised_times(results)
+    rows = normalised_series(table, FIGURE_ORDER)
+    print(format_table(["workload"] + FIGURE_ORDER, rows))
+    print("\nmcf, normalised execution time:")
+    print(render_bars(table["mcf"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Visualise transient execution: trace the pipeline through a Spectre
+attack and watch the wrong-path instructions appear and get squashed.
+
+Run:  python examples/pipeline_trace.py
+"""
+
+from repro.analysis.trace import PipelineTracer
+from repro.attacks import spectre
+from repro.attacks.common import attack_config
+from repro.defenses import registry
+from repro.sim.simulator import Simulator
+
+
+def main() -> None:
+    program = spectre.build_program(secret=5)
+    sim = Simulator(program, registry["Unsafe"](), cfg=attack_config())
+    tracer = PipelineTracer(sim.cores[0], limit=400)
+    result = sim.run(max_cycles=2_000_000)
+    print("finished:", result.finished, " cycles:", result.cycles)
+
+    summary = tracer.summary()
+    print("\npipeline summary:")
+    for key, value in summary.items():
+        print("  %-22s %s" % (key, value))
+
+    transient = tracer.transient()
+    print("\n%d transient (squashed) instructions were really executed,"
+          % len(transient))
+    print("including the out-of-bounds gadget loads:")
+    for record in transient[:8]:
+        print("  seq %4d  pc %3d  %-6s  fetched@%d" % (
+            record.seq, record.pc, record.op, record.fetch_cycle))
+
+    print("\ntimeline around the first squash:")
+    if tracer.squashes:
+        first_squash = tracer.squashes[0]
+        # find records near that cycle
+        near = [r for r in tracer.records.values()
+                if abs(r.fetch_cycle - first_squash) < 60]
+        if near:
+            start = min(r.seq for r in near)
+            idx = sorted(tracer.records).index(start)
+            print(tracer.render(width=64, start=idx, count=24))
+
+
+if __name__ == "__main__":
+    main()

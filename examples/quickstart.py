@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one workload under GhostMinion vs the unsafe
+baseline and print the headline numbers.
+
+Run:  python examples/quickstart.py [workload] [scale]
+"""
+
+import sys
+
+from repro import run_workload
+from repro.analysis import format_table
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.3
+
+    print("Simulating %r (scale %.2f) ..." % (workload, scale))
+    rows = []
+    baseline_cycles = None
+    for defense in ("Unsafe", "GhostMinion"):
+        result = run_workload(workload, defense, scale=scale)
+        if baseline_cycles is None:
+            baseline_cycles = result.cycles
+        rows.append((
+            defense,
+            result.cycles,
+            result.insts,
+            "%.2f" % result.ipc,
+            "%.3fx" % (result.cycles / baseline_cycles),
+        ))
+    print(format_table(
+        ["defense", "cycles", "insts", "IPC", "normalised time"], rows))
+
+    gm = run_workload(workload, "GhostMinion", scale=scale)
+    stats = gm.stats
+    print("\nGhostMinion activity:")
+    for name in ("dminion.fills", "dminion.read_hits",
+                 "dminion.commit_moves", "dminion.wipes",
+                 "dminion.timeguard_blocks", "gm.timeleap_loads",
+                 "gm.leapfrog_loads"):
+        print("  %-28s %d" % (name, stats.get(name)))
+
+
+if __name__ == "__main__":
+    main()

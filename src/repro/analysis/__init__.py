@@ -1,0 +1,27 @@
+"""Statistics, power modelling, figures, tracing and reports.
+
+``repro.analysis.figures`` and ``repro.analysis.trace`` are imported
+lazily by callers (not re-exported here) because they depend on the
+defense/pipeline layers, which in turn depend on the base stats in this
+package.
+"""
+
+from repro.analysis.stats import Stats
+from repro.analysis.power import SRAMModel, PowerReport, power_report
+from repro.analysis.report import (
+    geomean,
+    format_table,
+    normalised_series,
+    render_bars,
+)
+
+__all__ = [
+    "Stats",
+    "SRAMModel",
+    "PowerReport",
+    "power_report",
+    "geomean",
+    "format_table",
+    "normalised_series",
+    "render_bars",
+]

@@ -1,0 +1,272 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``figure*``/``table*``/``section*`` function runs the relevant
+simulations and returns a :class:`FigureResult` whose ``text`` matches
+the shape of the paper's artefact (workloads x defenses normalised
+execution time, event proportions, size sweeps, ...).  The benches in
+``benchmarks/`` call these and print the text; EXPERIMENTS.md records
+paper-vs-measured values.
+
+``scale`` scales workload iteration counts (1.0 = the suite defaults,
+already ~5 orders of magnitude below the real SPEC runs; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.power import power_report
+from repro.analysis.report import format_table, geomean, normalised_series
+from repro.config import default_config, table1_rows
+from repro.defenses import FIGURE_ORDER, registry
+from repro.defenses.ghostminion import ghostminion, ghostminion_breakdown
+from repro.sim.runner import compare_defenses, normalised_times, run_workload
+from repro.workloads.spec import PARSEC, SPEC2006, SPEC2017
+
+
+@dataclass
+class FigureResult:
+    """One regenerated artefact: machine-readable data plus its text."""
+
+    name: str
+    data: Dict = field(default_factory=dict)
+    text: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return "%s\n%s" % (self.name, self.text)
+
+
+def _suite_figure(name: str, workloads, scale: float,
+                  defenses: Optional[Sequence[str]] = None
+                  ) -> FigureResult:
+    defenses = list(defenses) if defenses else list(FIGURE_ORDER)
+    results = compare_defenses(workloads, ["Unsafe"] + defenses,
+                               scale=scale)
+    table = normalised_times(results)
+    rows = normalised_series(table, defenses)
+    text = format_table(["workload"] + defenses, rows)
+    geo = dict(zip(defenses, rows[-1][1:]))
+    return FigureResult(name=name,
+                        data={"normalised": table, "geomean": geo},
+                        text=text)
+
+
+def table1() -> FigureResult:
+    """Table 1: the simulated system configuration."""
+    rows = table1_rows()
+    return FigureResult(name="Table 1: system setup",
+                        data={"rows": rows},
+                        text=format_table(["component", "configuration"],
+                                          rows))
+
+
+def figure6(scale: float = 1.0,
+            workloads: Optional[Sequence[str]] = None) -> FigureResult:
+    """Fig. 6: SPEC CPU2006 normalised execution time, all defenses."""
+    selected = (SPEC2006 if workloads is None
+                else [s for s in SPEC2006 if s.name in set(workloads)])
+    return _suite_figure("Figure 6: SPEC CPU2006", selected, scale)
+
+
+def figure7(scale: float = 1.0) -> FigureResult:
+    """Fig. 7: 4-thread Parsec normalised execution time."""
+    return _suite_figure("Figure 7: Parsec (4 threads)", PARSEC, scale)
+
+
+def figure8(scale: float = 1.0) -> FigureResult:
+    """Fig. 8: SPECspeed 2017 normalised execution time."""
+    return _suite_figure("Figure 8: SPECspeed 2017", SPEC2017, scale)
+
+
+BREAKDOWN_ORDER = ["DMinion-Timeless", "DMinion", "IMinion", "Coherence",
+                   "Prefetcher", "All"]
+
+
+def figure9(scale: float = 1.0,
+            workloads: Optional[Sequence[str]] = None) -> FigureResult:
+    """Fig. 9: overhead breakdown of GhostMinion's parts."""
+    selected = (SPEC2006 if workloads is None
+                else [s for s in SPEC2006 if s.name in set(workloads)])
+    defenses = [ghostminion_breakdown(which) for which in BREAKDOWN_ORDER]
+    results = compare_defenses(selected, ["Unsafe"] + defenses,
+                               scale=scale)
+    table = normalised_times(results)
+    names = [d.name for d in defenses]
+    rows = normalised_series(table, names)
+    short = [n.replace("GhostMinion[", "").rstrip("]") for n in names]
+    text = format_table(["workload"] + short, rows)
+    return FigureResult(name="Figure 9: overhead breakdown",
+                        data={"normalised": table},
+                        text=text)
+
+
+def figure10(scale: float = 1.0,
+             workloads: Optional[Sequence[str]] = None) -> FigureResult:
+    """Fig. 10: proportion of loads hitting TimeGuards, timeleaps and
+    leapfrogs under the full GhostMinion."""
+    selected = (SPEC2006 if workloads is None
+                else [s for s in SPEC2006 if s.name in set(workloads)])
+    rows = []
+    data = {}
+    for spec in selected:
+        result = run_workload(spec, ghostminion(), scale=scale)
+        loads = max(1.0, result.stats.get("mem.loads_issued"))
+        proportions = {
+            "timeguards": result.stats.get("gm.timeguard_loads") / loads,
+            "timeleaps": result.stats.get("gm.timeleap_loads") / loads,
+            "leapfrogs": result.stats.get("gm.leapfrog_loads") / loads,
+        }
+        data[spec.name] = proportions
+        rows.append((spec.name, proportions["timeguards"],
+                     proportions["timeleaps"], proportions["leapfrogs"]))
+    text = format_table(
+        ["workload", "timeguards", "timeleaps", "leapfrogs"], rows,
+        float_fmt="%.4f")
+    return FigureResult(name="Figure 10: backwards-in-time prevention",
+                        data=data, text=text)
+
+
+SIZE_SWEEP = [4096, 2048, 1024, 512, 256, 128]
+
+
+def figure11(scale: float = 1.0,
+             workloads: Optional[Sequence[str]] = None) -> FigureResult:
+    """Fig. 11: GhostMinion size sensitivity (plus async reload)."""
+    selected = (SPEC2006 if workloads is None
+                else [s for s in SPEC2006 if s.name in set(workloads)])
+    per_size: Dict[str, Dict[str, float]] = {s.name: {} for s in selected}
+    geo_rows: List[tuple] = []
+    for size in SIZE_SWEEP:
+        cfg = default_config()
+        cfg.minion_d.size_bytes = size
+        cfg.minion_i.size_bytes = size
+        ratios = []
+        for spec in selected:
+            base = run_workload(spec, registry["Unsafe"](), scale=scale)
+            gm = run_workload(spec, ghostminion(), scale=scale, cfg=(
+                _with_cores(cfg, spec.threads)))
+            ratio = gm.cycles / base.cycles
+            per_size[spec.name]["%dB" % size] = ratio
+            ratios.append(ratio)
+        geo_rows.append(("%dB" % size, geomean(ratios)))
+    # async-reload geomean at the smallest sizes (the paper's 'geo.
+    # async.' series)
+    async_geo = []
+    for size in SIZE_SWEEP:
+        cfg = default_config()
+        cfg.minion_d.size_bytes = size
+        cfg.minion_i.size_bytes = size
+        ratios = []
+        for spec in selected:
+            base = run_workload(spec, registry["Unsafe"](), scale=scale)
+            gm = run_workload(spec, ghostminion(async_reload=True),
+                              scale=scale,
+                              cfg=_with_cores(cfg, spec.threads))
+            ratios.append(gm.cycles / base.cycles)
+        async_geo.append(("%dB async" % size, geomean(ratios)))
+    headers = ["size"] + [spec.name for spec in selected] + ["geomean"]
+    rows = []
+    for idx, size in enumerate(SIZE_SWEEP):
+        key = "%dB" % size
+        rows.append([key] + [per_size[s.name][key] for s in selected]
+                    + [geo_rows[idx][1]])
+    for key, value in async_geo:
+        rows.append([key] + ["-"] * len(selected) + [value])
+    text = format_table(headers, rows)
+    return FigureResult(name="Figure 11: Minion size sensitivity",
+                        data={"per_size": per_size,
+                              "geomean": dict(geo_rows),
+                              "async_geomean": dict(async_geo)},
+                        text=text)
+
+
+def _with_cores(cfg, threads):
+    new = cfg.copy()
+    new.cores = threads
+    return new
+
+
+def section49_fu_order(scale: float = 1.0,
+                       workloads: Optional[Sequence[str]] = None
+                       ) -> FigureResult:
+    """§4.9: strictness-ordered non-pipelined FU issue vs baseline.
+
+    The paper reports no non-negligible slowdown (max 0.08%) and a small
+    geomean speedup.
+    """
+    names = workloads or ["calculix", "povray", "tonto", "namd",
+                          "gamess", "mcf", "hmmer"]
+    selected = [s for s in SPEC2006 if s.name in set(names)]
+    rows = []
+    ratios = []
+    for spec in selected:
+        base = run_workload(spec, ghostminion(strict_fu_order=False),
+                            scale=scale)
+        strict = run_workload(spec, ghostminion(strict_fu_order=True),
+                              scale=scale)
+        ratio = strict.cycles / base.cycles
+        ratios.append(ratio)
+        rows.append((spec.name, base.cycles, strict.cycles, ratio))
+    rows.append(("geomean", "-", "-", geomean(ratios)))
+    text = format_table(
+        ["workload", "GhostMinion", "+strict FU order", "ratio"], rows)
+    return FigureResult(name="Section 4.9: strict FU issue order",
+                        data={"ratios": dict(zip(
+                            [s.name for s in selected], ratios))},
+                        text=text)
+
+
+def section65_power(scale: float = 1.0,
+                    workloads: Optional[Sequence[str]] = None
+                    ) -> FigureResult:
+    """§6.5: static power / read energy anchors plus measured dynamic
+    power of the Minions."""
+    names = workloads or ["mcf", "libquantum", "gamess", "hmmer"]
+    selected = [s for s in SPEC2006 if s.name in set(names)]
+    rows = []
+    data = {}
+    for spec in selected:
+        result = run_workload(spec, ghostminion(), scale=scale)
+        report = power_report(result.stats, default_config())
+        data[spec.name] = report
+        rows.append((spec.name,
+                     report.minion_static_mw,
+                     report.minion_read_pj,
+                     report.dminion_dynamic_uw,
+                     report.iminion_dynamic_uw))
+    text = format_table(
+        ["workload", "static mW", "read pJ", "DMinion uW", "IMinion uW"],
+        rows)
+    return FigureResult(name="Section 6.5: power analysis", data=data,
+                        text=text)
+
+
+def dram_policy_ablation(scale: float = 1.0,
+                         workloads: Optional[Sequence[str]] = None
+                         ) -> FigureResult:
+    """§4.9 DRAM: cost of only letting non-speculative accesses keep
+    pages open (an extension experiment the paper proposes but does not
+    evaluate)."""
+    names = workloads or ["libquantum", "lbm", "milc", "mcf"]
+    selected = [s for s in SPEC2006 if s.name in set(names)]
+    rows = []
+    for spec in selected:
+        cfg_open = default_config()
+        cfg_nonspec = default_config()
+        cfg_nonspec.dram.nonspec_open_only = True
+        cfg_closed = default_config()
+        cfg_closed.dram.open_page = False
+        base = run_workload(spec, ghostminion(), scale=scale,
+                            cfg=cfg_open)
+        nonspec = run_workload(spec, ghostminion(), scale=scale,
+                               cfg=cfg_nonspec)
+        closed = run_workload(spec, ghostminion(), scale=scale,
+                              cfg=cfg_closed)
+        rows.append((spec.name, 1.0, nonspec.cycles / base.cycles,
+                     closed.cycles / base.cycles))
+    text = format_table(
+        ["workload", "open-page", "nonspec-open-only", "closed-page"],
+        rows)
+    return FigureResult(name="DRAM open-page policy ablation",
+                        data={}, text=text)

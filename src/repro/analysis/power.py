@@ -1,0 +1,123 @@
+"""Analytical SRAM power model calibrated to the paper's CACTI numbers
+(section 6.5, 22 nm):
+
+* static (leakage) power: 0.47 mW per 2 KiB GhostMinion, 12.8 mW for the
+  64 KiB L1 — very close to linear in capacity;
+* read energy: 1.5 pJ per 2 KiB Minion access, 8.6 pJ for the 64 KiB L1 —
+  close to proportional to sqrt(capacity) (wordline/bitline scaling).
+
+The model reproduces those anchor points exactly and interpolates for
+other sizes (the fig. 11 sweep).  Dynamic power multiplies per-access
+energy by simulated access counts over simulated wall-clock time at the
+paper's 2 GHz clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.stats import Stats
+from repro.config import SystemConfig
+
+CLOCK_HZ = 2.0e9
+
+# Calibration anchors (section 6.5).
+_MINION_BYTES = 2048
+_MINION_LEAK_MW = 0.47
+_MINION_READ_PJ = 1.5
+_L1_BYTES = 64 * 1024
+_L1_LEAK_MW = 12.8
+_L1_READ_PJ = 8.6
+
+# leakage: linear fit through the two anchors.
+_LEAK_SLOPE = (_L1_LEAK_MW - _MINION_LEAK_MW) / (_L1_BYTES - _MINION_BYTES)
+_LEAK_OFFSET = _MINION_LEAK_MW - _LEAK_SLOPE * _MINION_BYTES
+# read energy: a * sqrt(bytes) + b through the two anchors.
+_READ_SLOPE = (_L1_READ_PJ - _MINION_READ_PJ) / (
+    math.sqrt(_L1_BYTES) - math.sqrt(_MINION_BYTES))
+_READ_OFFSET = _MINION_READ_PJ - _READ_SLOPE * math.sqrt(_MINION_BYTES)
+
+
+@dataclass
+class SRAMModel:
+    """Leakage power and per-access energy for one SRAM structure."""
+
+    size_bytes: int
+
+    @property
+    def leakage_mw(self) -> float:
+        return _LEAK_SLOPE * self.size_bytes + _LEAK_OFFSET
+
+    @property
+    def read_energy_pj(self) -> float:
+        return _READ_SLOPE * math.sqrt(self.size_bytes) + _READ_OFFSET
+
+    @property
+    def write_energy_pj(self) -> float:
+        # CACTI-style: writes cost marginally more than reads.
+        return 1.2 * self.read_energy_pj
+
+
+@dataclass
+class PowerReport:
+    """Per-structure static power plus GhostMinion dynamic power."""
+
+    minion_static_mw: float
+    l1d_static_mw: float
+    minion_read_pj: float
+    l1d_read_pj: float
+    dminion_dynamic_uw: float
+    iminion_dynamic_uw: float
+    minion_events: Dict[str, float]
+    sim_seconds: float
+
+    def rows(self):
+        return [
+            ("GhostMinion static power", "%.3f mW" % self.minion_static_mw),
+            ("L1D static power", "%.2f mW" % self.l1d_static_mw),
+            ("GhostMinion read energy", "%.2f pJ" % self.minion_read_pj),
+            ("L1D read energy", "%.2f pJ" % self.l1d_read_pj),
+            ("DMinion dynamic power", "%.3f uW" % self.dminion_dynamic_uw),
+            ("IMinion dynamic power", "%.3f uW" % self.iminion_dynamic_uw),
+        ]
+
+
+def _structure_events(stats: Stats, name: str) -> Dict[str, float]:
+    """Access events for one Minion: a read per L1-side access, a write
+    per fill, and a read-out per commit move (section 6.5)."""
+    return {
+        "reads": stats.get(name + ".read_hits")
+        + stats.get(name + ".misses")
+        + stats.get(name + ".timeguard_blocks"),
+        "writes": stats.get(name + ".fills"),
+        "commit_reads": stats.get(name + ".commit_moves"),
+    }
+
+
+def power_report(stats: Stats, cfg: SystemConfig) -> PowerReport:
+    """Build the section 6.5 power analysis from a finished run."""
+    minion = SRAMModel(cfg.minion_d.size_bytes)
+    l1d = SRAMModel(cfg.l1d.size_bytes)
+    cycles = max(1.0, stats.get("sim.cycles"))
+    seconds = cycles / CLOCK_HZ
+
+    def dynamic_uw(events: Dict[str, float]) -> float:
+        energy_pj = (events["reads"] * minion.read_energy_pj
+                     + events["writes"] * minion.write_energy_pj
+                     + events["commit_reads"] * minion.read_energy_pj)
+        return energy_pj * 1e-12 / seconds * 1e6
+
+    d_events = _structure_events(stats, "dminion")
+    i_events = _structure_events(stats, "iminion")
+    return PowerReport(
+        minion_static_mw=minion.leakage_mw,
+        l1d_static_mw=l1d.leakage_mw,
+        minion_read_pj=minion.read_energy_pj,
+        l1d_read_pj=l1d.read_energy_pj,
+        dminion_dynamic_uw=dynamic_uw(d_events),
+        iminion_dynamic_uw=dynamic_uw(i_events),
+        minion_events=d_events,
+        sim_seconds=seconds,
+    )

@@ -1,0 +1,76 @@
+"""Report formatting: geomean, tables and ASCII bar charts.
+
+Every bench regenerates its paper table/figure through these helpers so
+the printed output has a consistent, diffable shape.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; 0 for an empty sequence."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalised_series(table: Dict[str, Dict[str, float]],
+                      defenses: Sequence[str]) -> List[List]:
+    """Flat table rows ``[workload, v1, v2, ...]`` plus a geomean row —
+    directly consumable by :func:`format_table`."""
+    rows: List[List] = []
+    for workload in table:
+        rows.append([workload] + [table[workload].get(d, float("nan"))
+                                  for d in defenses])
+    means = []
+    for idx, _defense in enumerate(defenses):
+        column = [row[1 + idx] for row in rows
+                  if not math.isnan(row[1 + idx])]
+        means.append(geomean(column) if column else float("nan"))
+    rows.append(["geomean"] + means)
+    return rows
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 float_fmt: str = "%.3f") -> str:
+    """Plain-text table with aligned columns."""
+    rendered: List[List[str]] = [list(map(str, headers))]
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(float_fmt % cell)
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+    widths = [max(len(r[col]) for r in rendered)
+              for col in range(len(rendered[0]))]
+    lines = []
+    for idx, row in enumerate(rendered):
+        line = "  ".join(cell.ljust(width)
+                         for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_bars(values: Dict[str, float], width: int = 40,
+                baseline: float = 1.0) -> str:
+    """ASCII bar chart of normalised values (1.0 = baseline)."""
+    if not values:
+        return "(no data)"
+    peak = max(max(values.values()), baseline)
+    lines = []
+    label_width = max(len(name) for name in values)
+    for name, value in values.items():
+        bar = "#" * max(1, int(round(value / peak * width)))
+        lines.append("%s  %s %.3f" % (name.ljust(label_width), bar, value))
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Counter registry shared by every simulated component.
+
+A :class:`Stats` object is a flat ``name -> value`` counter map with
+helpers for incrementing, merging (multi-core runs) and computing derived
+ratios.  Components bump well-known counter names; the full list in use is
+discoverable via :meth:`Stats.as_dict`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable
+
+
+class Stats:
+    """Flat counter map with convenience arithmetic."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = defaultdict(float)
+
+    def bump(self, name: str, amount: float = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counters[name] += amount
+
+    def set(self, name: str, value: float) -> None:
+        self._counters[name] = value
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._counters.get(name, default)
+
+    def __getitem__(self, name: str) -> float:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def merge(self, other: "Stats") -> None:
+        """Accumulate another Stats object into this one."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    def names(self) -> Iterable[str]:
+        return self._counters.keys()
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator`` with a 0 fallback for empty runs."""
+        denom = self.get(denominator)
+        if denom == 0:
+            return 0.0
+        return self.get(numerator) / denom
+
+    def ipc(self) -> float:
+        return self.ratio("commit.insts", "sim.cycles")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        interesting = sorted(self._counters.items())
+        return "Stats(%s)" % ", ".join(
+            "%s=%g" % item for item in interesting[:12])

@@ -1,0 +1,161 @@
+"""Pipeline tracing: per-instruction timelines for debugging and
+teaching.
+
+Attach a :class:`PipelineTracer` to a core before running and it records
+(fetch, issue, complete, commit) cycles per dynamic instruction, plus
+squash events.  ``render()`` draws a gem5-``O3PipeView``-style ASCII
+timeline; ``summary()`` aggregates stage latencies.
+
+Example::
+
+    sim = Simulator(program, ghostminion())
+    tracer = PipelineTracer(sim.cores[0], limit=200)
+    sim.run()
+    print(tracer.render(width=70))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.pipeline.core import Core, DynInst
+
+
+@dataclass
+class InstRecord:
+    """Observed lifetime of one dynamic instruction."""
+
+    seq: int
+    pc: int
+    op: str
+    fetch_cycle: int
+    issue_cycle: Optional[int] = None
+    complete_cycle: Optional[int] = None
+    commit_cycle: Optional[int] = None
+    squashed: bool = False
+    replays: int = 0
+
+    def stage_char_at(self, cycle: int) -> str:
+        if cycle < self.fetch_cycle:
+            return " "
+        if self.commit_cycle is not None and cycle > self.commit_cycle:
+            return " "
+        if self.commit_cycle == cycle:
+            return "C"
+        if self.complete_cycle is not None and cycle >= self.complete_cycle:
+            return "="
+        if self.issue_cycle is not None and cycle >= self.issue_cycle:
+            return "x"
+        return "."
+
+
+class PipelineTracer:
+    """Non-invasive tracer: wraps a core's stage methods."""
+
+    def __init__(self, core: Core, limit: int = 500) -> None:
+        self.core = core
+        self.limit = limit
+        self.records: Dict[int, InstRecord] = {}
+        self.squashes: List[int] = []
+        self._wrap(core)
+
+    # -- instrumentation -------------------------------------------------
+
+    def _wrap(self, core: Core) -> None:
+        orig_fetch = core._fetch
+        orig_try_issue = core._try_issue_one
+        orig_commit = core._commit
+        orig_squash = core._squash_after
+        tracer = self
+
+        def fetch(cycle):
+            before = core.seq_counter
+            orig_fetch(cycle)
+            for di in core.fetch_queue:
+                if di.seq >= before and len(tracer.records) < tracer.limit:
+                    tracer.records.setdefault(di.seq, InstRecord(
+                        di.seq, di.pc, di.instr.op.value, cycle))
+
+        def try_issue(di, cycle):
+            issued = orig_try_issue(di, cycle)
+            record = tracer.records.get(di.seq)
+            if record is not None and issued and di.state != 0:
+                if record.issue_cycle is None:
+                    record.issue_cycle = cycle
+                record.replays = di.replays
+            return issued
+
+        def commit(cycle):
+            head_before = core.rob[0].seq if core.rob else None
+            orig_commit(cycle)
+            if head_before is None:
+                return
+            for seq, record in tracer.records.items():
+                di_done = seq >= head_before and (
+                    not core.rob or core.rob[0].seq > seq)
+                if di_done and record.commit_cycle is None \
+                        and not record.squashed:
+                    record.commit_cycle = cycle
+                    if record.complete_cycle is None:
+                        record.complete_cycle = cycle
+
+        def squash(br, cycle):
+            tracer.squashes.append(cycle)
+            orig_squash(br, cycle)
+            for seq, record in tracer.records.items():
+                if seq > br.seq and record.commit_cycle is None:
+                    record.squashed = True
+            return None
+
+        core._fetch = fetch
+        core._try_issue_one = try_issue
+        core._commit = commit
+        core._squash_after = squash
+
+    # -- reporting ----------------------------------------------------------
+
+    def committed(self) -> List[InstRecord]:
+        return [r for r in self.records.values()
+                if r.commit_cycle is not None]
+
+    def transient(self) -> List[InstRecord]:
+        return [r for r in self.records.values() if r.squashed]
+
+    def render(self, width: int = 64, start: int = 0,
+               count: int = 40) -> str:
+        """ASCII timeline: ``.`` waiting, ``x`` executing, ``=`` done,
+        ``C`` commit; squashed instructions are marked ``~``."""
+        records = sorted(self.records.values(),
+                         key=lambda r: r.seq)[start:start + count]
+        if not records:
+            return "(no instructions traced)"
+        base = records[0].fetch_cycle
+        lines = []
+        for record in records:
+            row = []
+            for offset in range(width):
+                row.append(record.stage_char_at(base + offset))
+            marker = "~" if record.squashed else " "
+            lines.append("%5d %-6s %s|%s|" % (
+                record.seq, record.op[:6], marker, "".join(row)))
+        header = "cycles %d..%d  (. wait, x exec, = done, C commit," \
+                 " ~ squashed)" % (base, base + width)
+        return header + "\n" + "\n".join(lines)
+
+    def summary(self) -> Dict[str, float]:
+        """Mean stage latencies over committed instructions."""
+        committed = [r for r in self.committed()
+                     if r.issue_cycle is not None]
+        if not committed:
+            return {"committed": 0}
+        fetch_to_issue = [r.issue_cycle - r.fetch_cycle for r in committed]
+        issue_to_commit = [r.commit_cycle - r.issue_cycle
+                           for r in committed]
+        return {
+            "committed": len(committed),
+            "squashed": len(self.transient()),
+            "mean_fetch_to_issue": sum(fetch_to_issue) / len(committed),
+            "mean_issue_to_commit": sum(issue_to_commit) / len(committed),
+            "squash_events": len(self.squashes),
+        }

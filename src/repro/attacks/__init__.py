@@ -1,0 +1,27 @@
+"""Transient-execution attacks run on the simulator.
+
+Because the out-of-order core genuinely fetches and executes wrong-path
+code, these are *real* attacks, not simulations of attacks: the Spectre
+gadget really reads out-of-bounds memory transiently, and the attacker
+really recovers the secret from committed-instruction timing under the
+unsafe baseline.
+
+* ``spectre`` — Spectre v1 bounds-check bypass + cache-timing recovery;
+* ``spectre_rewind`` — backwards-in-time divider contention (§2.2);
+* ``interference`` — Speculative-Interference-style MSHR exhaustion
+  delaying a logically earlier load (§2.2, fig. 5's motivation).
+
+Each module exposes ``run(defense, secret, ...) -> AttackResult`` and
+``leaks(defense) -> bool`` (distinguishability over multiple secrets).
+"""
+
+from repro.attacks.common import AttackResult, attack_config
+from repro.attacks import spectre, spectre_rewind, interference
+
+__all__ = [
+    "AttackResult",
+    "attack_config",
+    "spectre",
+    "spectre_rewind",
+    "interference",
+]

@@ -1,0 +1,59 @@
+"""Shared attack scaffolding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.config import SystemConfig, default_config
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run."""
+
+    defense: str
+    secret: int
+    #: per-candidate timing measurements (the attacker's observations)
+    timings: Dict[int, int] = field(default_factory=dict)
+    #: what the attacker infers from the timings
+    recovered: int = -1
+
+    @property
+    def correct(self) -> bool:
+        return self.recovered == self.secret
+
+    def spread(self) -> int:
+        if not self.timings:
+            return 0
+        values = list(self.timings.values())
+        return max(values) - min(values)
+
+
+def attack_config() -> SystemConfig:
+    """A quiet machine for attacks: no prefetcher, closed-page DRAM.
+
+    Both features only add noise to the timing channel (a real attacker
+    would average over repetitions instead); disabling them keeps the
+    attack runs single-shot and deterministic.
+    """
+    cfg = default_config()
+    cfg.l2_prefetcher = False
+    cfg.dram.open_page = False
+    return cfg
+
+
+def distinguishable(timings_by_secret: List[Dict[int, int]]) -> bool:
+    """Did different secrets produce different observations?
+
+    The attacker's criterion: if the timing vector varies with the
+    secret, the channel leaks.
+    """
+    reference = None
+    for timings in timings_by_secret:
+        vector = tuple(sorted(timings.items()))
+        if reference is None:
+            reference = vector
+        elif vector != reference:
+            return True
+    return False

@@ -1,0 +1,145 @@
+"""Speculative-Interference-style MSHR exhaustion (section 2.2, fig. 5).
+
+A transient gadget issues loads whose addresses depend on a transiently
+read secret: if the secret bit is set they target six distinct cold
+lines (exhausting the four L1D MSHRs); if clear they all alias one line
+(a single MSHR).  A load that is *older in program order* -- the
+attacker's measured load -- has an address that arrives slightly later,
+so on an unprotected machine it finds the MSHRs full and its committed
+timing reveals the secret.
+
+As in :mod:`repro.attacks.spectre_rewind`, the sequence runs twice: the
+first iteration executes the gadget architecturally (warming its
+instruction lines and training the guard branch); the second is the
+measured transient pass, with fresh data lines per iteration so every
+measured access is a real miss.
+
+GhostMinion's leapfrogging (section 4.5) lets the older load steal the
+youngest-timestamp MSHR (the victim transient load replays), making the
+measured load's timing independent of the transient activity.  STT also
+blocks this instance: the gadget loads' addresses are tainted.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.attacks.common import (
+    AttackResult,
+    attack_config,
+    distinguishable,
+)
+from repro.defenses import registry
+from repro.defenses.base import Defense
+from repro.pipeline.isa import Op
+from repro.pipeline.program import Program, ProgramBuilder
+from repro.sim.simulator import Simulator
+
+SECRET_ADDR = 0x10_0008
+COND_BASE = 0x20_0000       # one fresh guard line per iteration
+TARGET_BASE = 0x30_0000     # measured load: fresh line per iteration
+GADGET_BASE = 0x50_0000     # transient loads: fresh region per iteration
+RESULT_BASE = 0x80_0000
+DRAIN_BASE = 0x70_0000     # serial drain chain between iterations
+ITER_STRIDE = 1 << 12       # per-iteration offset for cold data
+NUM_GADGET_LOADS = 6        # > 4 L1D MSHRs
+DELAY_CHAIN = 14            # measured address arrives after the gadget
+ITERATIONS = 2
+
+
+def build_program(secret_bit: int) -> Program:
+    if secret_bit not in (0, 1):
+        raise ValueError("secret_bit must be 0 or 1")
+    b = ProgramBuilder("speculative_interference")
+    b.data(SECRET_ADDR - 8, 1)
+    b.data(SECRET_ADDR, secret_bit)
+    for iteration in range(ITERATIONS):
+        chain = DRAIN_BASE + iteration * 4096
+        b.data(chain, chain + 64)
+        b.data(chain + 64, chain + 128)
+        b.data(chain + 128, 0)
+    b.data(COND_BASE + 0 * 64, 0)       # iter 0: gadget runs for real
+    b.data(COND_BASE + 1 * 64, 1)       # iter 1: taken -> mispredicted
+
+    t0, t1, addr, val = 1, 2, 3, 4
+    warm, cond, s, q, tmp = 5, 6, 7, 8, 9
+    it, c2, off, delta = 20, 21, 22, 23
+
+    b.li(it, 0)
+    b.label("iter")
+    b.alu(Op.SHL, off, it, imm=12)             # per-iteration data offset
+    # Drain: three serial cold loads separate the iterations so no
+    # iteration-0 memory traffic (architectural gadget execution) is
+    # still in flight during the measured pass.
+    dr = 24
+    b.alu(Op.ADD, dr, off, imm=DRAIN_BASE)
+    b.load(dr, dr)
+    b.load(dr, dr)
+    b.load(dr, dr)
+    b.alu(Op.AND, tmp, dr, imm=0)
+    b.alu(Op.ADD, tmp, tmp, imm=SECRET_ADDR - 8)
+    b.load(warm, tmp)                          # warm the secret line
+    b.emit(Op.RDCYC, rd=t0, rs1=warm)
+    # measured load, older than the gadget; address ready a few cycles
+    # after the warm line arrives
+    b.mov(addr, warm)
+    for _ in range(DELAY_CHAIN):
+        b.alu(Op.ADD, addr, addr, imm=1)
+    b.alu(Op.SUB, addr, addr, imm=DELAY_CHAIN + 1)
+    b.alu(Op.ADD, addr, addr, imm=TARGET_BASE)
+    b.alu(Op.ADD, addr, addr, off)
+    b.load(val, addr)                          # <-- the measured load
+    b.emit(Op.RDCYC, rd=t1, rs1=val)
+    b.alu(Op.SUB, delta, t1, t0)
+    # guard: fresh cold line per iteration, serialised behind warm
+    b.alu(Op.AND, cond, warm, imm=0)
+    b.alu(Op.SHL, tmp, it, imm=6)
+    b.alu(Op.ADD, cond, cond, tmp)
+    b.alu(Op.ADD, cond, cond, imm=COND_BASE)
+    b.load(cond, cond)
+    b.bnez(cond, "done")
+    # ---- gadget (architectural in iter 0, transient in iter 1):
+    # stride = (s & 1) * 64: bit set -> six distinct lines; bit clear ->
+    # six loads of one line (one MSHR).
+    # serialise the secret read behind the warm load so the gadget
+    # executes concurrently with the measured load, not before it
+    b.alu(Op.AND, q, warm, imm=0)
+    b.alu(Op.ADD, q, q, imm=SECRET_ADDR)
+    b.load(s, q)                               # hits the warmed line
+    b.alu(Op.AND, q, s, imm=1)
+    b.alu(Op.SHL, q, q, imm=6)                 # q = 0 or 64
+    b.li(tmp, GADGET_BASE)
+    b.alu(Op.ADD, tmp, tmp, off)
+    for i in range(10, 10 + NUM_GADGET_LOADS):
+        b.load(i, tmp)
+        b.alu(Op.ADD, tmp, tmp, q)
+    b.label("done")
+    b.alu(Op.SHL, tmp, it, imm=3)
+    b.alu(Op.ADD, tmp, tmp, imm=RESULT_BASE)
+    b.store(tmp, delta)
+    b.alu(Op.ADD, it, it, imm=1)
+    b.alu(Op.CMPLT, c2, it, None, imm=ITERATIONS)
+    b.bnez(c2, "iter")
+    b.halt()
+    return b.build()
+
+
+def run(defense: Union[str, Defense], secret_bit: int) -> AttackResult:
+    if isinstance(defense, str):
+        defense = registry[defense]()
+    program = build_program(secret_bit)
+    sim = Simulator(program, defense, cfg=attack_config())
+    result = sim.run(max_cycles=1_000_000)
+    if not result.finished:
+        raise RuntimeError("attack program did not halt")
+    # The attacker's observation is the warmed, second iteration.
+    delta = sim.memory[RESULT_BASE + (ITERATIONS - 1) * 8]
+    return AttackResult(defense=defense.name, secret=secret_bit,
+                        timings={0: delta}, recovered=-1)
+
+
+def leaks(defense: Union[str, Defense]) -> bool:
+    """True iff the measured load's committed timing depends on the
+    transient gadget (and hence the secret)."""
+    results = [run(defense, bit) for bit in (0, 1)]
+    return distinguishable([r.timings for r in results])

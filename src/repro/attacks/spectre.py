@@ -1,0 +1,149 @@
+"""Spectre v1: bounds-check bypass + flush-and-time recovery (§2.1).
+
+Victim gadget (all in one sandboxed address space)::
+
+    if x < array1_size:          # attacker controls x
+        y = array1[x]            # transient out-of-bounds read
+        z = probe[y * STRIDE]    # secret-indexed transmission
+
+The attacker trains the bounds check in-bounds, then calls with a
+malicious ``x`` that makes ``array1[x]`` alias the secret.  The bounds
+load is made slow (a fresh uncached line per call) so the transient
+window is wide.  Recovery times a committed load of each probe line with
+RDCYC: under the unsafe baseline the secret's line is a hit, under
+GhostMinion the Minion was wiped before any committed instruction could
+observe it.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.attacks.common import (
+    AttackResult,
+    attack_config,
+    distinguishable,
+)
+from repro.defenses import registry
+from repro.defenses.base import Defense
+from repro.pipeline.isa import Op
+from repro.pipeline.program import Program, ProgramBuilder
+from repro.sim.simulator import Simulator
+
+ARRAY1_BASE = 0x10_0000
+SIZE_BASE = 0x20_0000       # one fresh line per victim call
+PROBE_BASE = 0x40_0000
+RESULT_BASE = 0x80_0000
+PROBE_STRIDE = 4 * 64       # 4 lines apart: defeats spatial locality
+NUM_CANDIDATES = 8          # secret is a 3-bit value in [1, 8)
+ARRAY1_SIZE = 4             # bound; the secret shares array1's line
+TRAIN_CALLS = 12
+
+
+def build_program(secret: int) -> Program:
+    """The full attacker+victim program for one secret value."""
+    if not 1 <= secret < NUM_CANDIDATES:
+        raise ValueError("secret must be in [1, %d)" % NUM_CANDIDATES)
+    b = ProgramBuilder("spectre_v1")
+    # victim data: in-bounds entries all index probe slot 0 (a decoy).
+    for i in range(ARRAY1_SIZE):
+        b.data(ARRAY1_BASE + i * 8, 0)
+    # The secret lives just past the array bound, on the *same* cache
+    # line as the in-bounds data (as in the original PoC), so the
+    # transient out-of-bounds read is an L1 hit inside the window.
+    secret_offset = ARRAY1_SIZE
+    b.data(ARRAY1_BASE + secret_offset * 8, secret)
+    # a fresh bounds-size line per call keeps the check slow.
+    for call in range(TRAIN_CALLS + 1):
+        b.data(SIZE_BASE + call * 64, ARRAY1_SIZE)
+
+    x, size_addr, size, cond = 1, 2, 3, 4
+    y, z, tmp = 5, 6, 7
+    call_idx, train_ctr = 8, 9
+    t0, t1, probe_ptr, res_ptr, cand = 10, 11, 12, 13, 14
+
+    b.li(call_idx, 0)
+
+    # --- victim: gadget(x) --------------------------------------------
+    b.jmp("main")
+    b.label("gadget")
+    b.alu(Op.SHL, size_addr, call_idx, imm=6)
+    b.alu(Op.ADD, size_addr, size_addr, imm=SIZE_BASE)
+    b.load(size, size_addr)              # slow: always a fresh line
+    b.alu(Op.CMPLT, cond, x, size)
+    b.beqz(cond, "gadget_out")           # out-of-bounds: skip
+    b.alu(Op.SHL, tmp, x, imm=3)
+    b.alu(Op.ADD, tmp, tmp, imm=ARRAY1_BASE)
+    b.load(y, tmp)                       # y = array1[x]
+    b.li(tmp, PROBE_STRIDE)
+    b.alu(Op.MUL, tmp, y, tmp)
+    b.alu(Op.ADD, tmp, tmp, imm=PROBE_BASE)
+    b.load(z, tmp)                       # probe[y]: the transmission
+    b.label("gadget_out")
+    b.alu(Op.ADD, call_idx, call_idx, imm=1)
+    b.ret()
+
+    # --- attacker main --------------------------------------------------
+    b.label("main")
+    # train the bounds check in-bounds
+    b.li(x, 0)
+    b.li(train_ctr, TRAIN_CALLS)
+    b.label("train")
+    b.call("gadget")
+    b.alu(Op.AND, x, x, imm=3)           # x cycles 0..3 (all in bounds)
+    b.alu(Op.ADD, x, x, imm=1)
+    b.alu(Op.SUB, train_ctr, train_ctr, imm=1)
+    b.bnez(train_ctr, "train")
+    # malicious call: x aliases the secret
+    b.li(x, secret_offset)
+    b.call("gadget")
+    # recovery: time a committed load of each candidate probe line.
+    # Each measurement is serialised on the previous one (the classic
+    # dependency-chain idiom) so the out-of-order core cannot overlap
+    # probe loads and smear the timings.
+    ser = 15
+    b.li(cand, 1)
+    b.li(res_ptr, RESULT_BASE)
+    b.li(ser, 0)
+    b.label("measure")
+    b.li(tmp, PROBE_STRIDE)
+    b.alu(Op.MUL, probe_ptr, cand, tmp)
+    b.alu(Op.ADD, probe_ptr, probe_ptr, imm=PROBE_BASE)
+    b.alu(Op.ADD, probe_ptr, probe_ptr, ser)  # ser == 0, orders the load
+    b.emit(Op.RDCYC, rd=t0, rs1=ser)
+    b.load(z, probe_ptr)
+    b.emit(Op.RDCYC, rd=t1, rs1=z)       # ordered after the load
+    b.alu(Op.SUB, tmp, t1, t0)
+    b.store(res_ptr, tmp)
+    b.alu(Op.AND, ser, tmp, imm=0)       # ser = 0, depends on the timing
+    b.alu(Op.ADD, res_ptr, res_ptr, imm=8)
+    b.alu(Op.ADD, cand, cand, imm=1)
+    b.alu(Op.CMPLT, cond, cand, None, imm=NUM_CANDIDATES)
+    b.bnez(cond, "measure")
+    b.halt()
+    return b.build()
+
+
+def run(defense: Union[str, Defense], secret: int) -> AttackResult:
+    """Run the attack once; the attacker guesses the fastest candidate."""
+    if isinstance(defense, str):
+        defense = registry[defense]()
+    program = build_program(secret)
+    sim = Simulator(program, defense, cfg=attack_config())
+    result = sim.run(max_cycles=2_000_000)
+    if not result.finished:
+        raise RuntimeError("attack program did not halt")
+    timings = {}
+    for cand in range(1, NUM_CANDIDATES):
+        timings[cand] = sim.memory[RESULT_BASE + (cand - 1) * 8]
+    recovered = min(timings, key=lambda c: (timings[c], c))
+    return AttackResult(defense=defense.name, secret=secret,
+                        timings=timings, recovered=recovered)
+
+
+def leaks(defense: Union[str, Defense], secrets=(2, 5, 7)) -> bool:
+    """Does the channel leak?  True iff the attacker recovers every
+    secret correctly AND the timings distinguish secrets."""
+    results = [run(defense, s) for s in secrets]
+    return (all(r.correct for r in results)
+            and distinguishable([r.timings for r in results]))

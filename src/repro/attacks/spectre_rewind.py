@@ -1,0 +1,158 @@
+"""SpectreRewind: backwards-in-time divider contention (section 2.2).
+
+A transient gadget, gated on a secret bit, occupies the (non-pipelined)
+integer dividers.  A divide that is *older in program order* -- the
+attacker's measured instruction -- has operands that arrive slightly
+later, so it executes concurrently with the transient gadget and
+contends for the same units.  Its committed completion time reveals the
+secret bit, even though nothing the transient code touched survives the
+squash.
+
+The program runs the sequence twice.  The first iteration executes the
+gadget *architecturally* (its guard condition really falls through):
+this warms the instruction lines and trains the guard branch not-taken,
+exactly like a real attacker's warm-up pass.  In the second iteration
+the guard is actually taken but predicted not-taken, so the gadget runs
+transiently while the older measured divide is still in flight.
+
+Program order within an iteration (older first)::
+
+    warm  = load sibling(secret)       # caches the secret's line
+    t0    = rdcyc(warm)
+    d     = warm + ... (delay chain)
+    d     = DIV d, k                   # <- measured, committed divide
+    t1    = rdcyc(d); delta = t1 - t0
+    cond  = load cond[iter]            # fresh line: resolves late
+    bnez cond, done                    # iter 2: WRONG path follows
+      s = load secret                  # transient (hits warm line)
+      q = s & 1;  beqz q, skip
+      DIV / DIV                        # occupy both units iff q == 1
+    done: store delta
+
+Strictness-ordered FU issue (section 4.9, ``Defense.strict_fu_order``)
+blocks the younger transient divides from issuing before the older
+measured divide has issued, closing the channel.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.attacks.common import (
+    AttackResult,
+    attack_config,
+    distinguishable,
+)
+from repro.defenses import registry
+from repro.defenses.base import Defense
+from repro.pipeline.isa import Op
+from repro.pipeline.program import Program, ProgramBuilder
+from repro.sim.simulator import Simulator
+
+SECRET_ADDR = 0x10_0008     # same line as a legitimately accessed word
+COND_BASE = 0x20_0000       # one fresh line per iteration
+RESULT_BASE = 0x80_0000
+DRAIN_BASE = 0x70_0000     # serial drain chain between iterations
+DELAY_CHAIN = 8             # ALU hops before the measured divide is ready
+ITERATIONS = 2
+
+
+def build_program(secret_bit: int) -> Program:
+    if secret_bit not in (0, 1):
+        raise ValueError("secret_bit must be 0 or 1")
+    b = ProgramBuilder("spectre_rewind")
+    b.data(SECRET_ADDR - 8, 1)          # legitimate word on the line
+    b.data(SECRET_ADDR, secret_bit)
+    for iteration in range(ITERATIONS):
+        chain = DRAIN_BASE + iteration * 4096
+        b.data(chain, chain + 64)
+        b.data(chain + 64, chain + 128)
+        b.data(chain + 128, 0)
+    b.data(COND_BASE + 0 * 64, 0)       # iter 0: really falls through
+    b.data(COND_BASE + 1 * 64, 1)       # iter 1: taken -> mispredicted
+
+    t0, t1, d_att, k = 1, 2, 3, 4
+    warm, cond, s, q = 5, 6, 7, 8
+    g1, g2, tmp = 9, 10, 11
+    it, c2 = 20, 21
+
+    b.li(k, 7)
+    b.li(it, 0)
+    b.label("iter")
+    # Drain: three serial cold loads separate the iterations so no
+    # iteration-0 memory traffic (architectural gadget execution) is
+    # still in flight during the measured pass.
+    dr = 22
+    b.alu(Op.SHL, dr, it, imm=12)
+    b.alu(Op.ADD, dr, dr, imm=DRAIN_BASE)
+    b.load(dr, dr)
+    b.load(dr, dr)
+    b.load(dr, dr)
+    b.alu(Op.AND, tmp, dr, imm=0)
+    b.alu(Op.ADD, tmp, tmp, imm=SECRET_ADDR - 8)
+    b.load(warm, tmp)
+    b.emit(Op.RDCYC, rd=t0, rs1=warm)
+    # Measured divide: operands ready a few cycles after the warm load,
+    # i.e. while the transient gadget below is executing.
+    b.mov(d_att, warm)
+    for _ in range(DELAY_CHAIN):
+        b.alu(Op.ADD, d_att, d_att, imm=3)
+    b.alu(Op.DIV, d_att, d_att, k)       # <-- the contended divide
+    b.emit(Op.RDCYC, rd=t1, rs1=d_att)
+    b.alu(Op.SUB, tmp, t1, t0)
+    # Guard: a fresh cold line each iteration, serialised behind the
+    # warm load so the window opens after the secret line is present.
+    b.alu(Op.AND, cond, warm, imm=0)
+    b.alu(Op.SHL, g1, it, imm=6)
+    b.alu(Op.ADD, cond, cond, g1)
+    b.alu(Op.ADD, cond, cond, imm=COND_BASE)
+    b.load(cond, cond)
+    b.bnez(cond, "done")
+    # ---- gadget: architectural in iter 0, transient in iter 1 ---------
+    # The secret read is serialised behind the warm load so the gadget
+    # executes concurrently with the measured divide, not before it.
+    b.alu(Op.AND, q, warm, imm=0)
+    b.alu(Op.ADD, q, q, imm=SECRET_ADDR)
+    b.load(s, q)                        # hits the warmed line
+    b.alu(Op.AND, q, s, imm=1)
+    b.beqz(q, "no_contend")
+    # One extra dependency hop: when q == 0 the (mispredicted) inner
+    # branch resolves one cycle *before* the divides become ready, so
+    # they are squashed pre-issue; when q == 1 they issue and occupy
+    # both non-pipelined units.
+    b.alu(Op.OR, q, q, q)
+    b.alu(Op.ADD, g2, s, q)
+    b.alu(Op.DIV, g1, g2, k)            # two independent divides occupy
+    b.alu(Op.DIV, g2, k, g2)            # both non-pipelined units
+    b.label("no_contend")
+    b.nop()
+    b.label("done")
+    b.alu(Op.SHL, g1, it, imm=3)
+    b.alu(Op.ADD, g1, g1, imm=RESULT_BASE)
+    b.store(g1, tmp)
+    b.alu(Op.ADD, it, it, imm=1)
+    b.alu(Op.CMPLT, c2, it, None, imm=ITERATIONS)
+    b.bnez(c2, "iter")
+    b.halt()
+    return b.build()
+
+
+def run(defense: Union[str, Defense], secret_bit: int) -> AttackResult:
+    if isinstance(defense, str):
+        defense = registry[defense]()
+    program = build_program(secret_bit)
+    sim = Simulator(program, defense, cfg=attack_config())
+    result = sim.run(max_cycles=1_000_000)
+    if not result.finished:
+        raise RuntimeError("attack program did not halt")
+    # The attacker's observation is the warmed, second iteration.
+    delta = sim.memory[RESULT_BASE + (ITERATIONS - 1) * 8]
+    return AttackResult(defense=defense.name, secret=secret_bit,
+                        timings={0: delta}, recovered=-1)
+
+
+def leaks(defense: Union[str, Defense]) -> bool:
+    """True iff the measured divide's committed timing depends on the
+    secret."""
+    results = [run(defense, bit) for bit in (0, 1)]
+    return distinguishable([r.timings for r in results])

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run WORKLOAD [--defense NAME] [--scale S]``
+    Simulate one workload and print cycles/IPC/key stats.
+``compare WORKLOAD [...] [--scale S]``
+    Normalised execution time of every defense on the given workloads.
+``figure {table1,6,7,8,9,10,11,sec49,sec65} [--scale S]``
+    Regenerate one paper artefact.
+``attack {spectre,rewind,interference} [--defense NAME]``
+    Run a transient-execution attack and report the verdict.
+``list``
+    Show available workloads and defenses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import figures
+from repro.analysis.report import format_table, normalised_series
+from repro.defenses import FIGURE_ORDER, registry
+from repro.sim.runner import compare_defenses, normalised_times, run_workload
+from repro.workloads.spec import PARSEC, SPEC2006, SPEC2017
+
+FIGURES = {
+    "table1": lambda scale: figures.table1(),
+    "6": figures.figure6,
+    "7": figures.figure7,
+    "8": figures.figure8,
+    "9": figures.figure9,
+    "10": figures.figure10,
+    "11": figures.figure11,
+    "sec49": figures.section49_fu_order,
+    "sec65": figures.section65_power,
+    "dram": figures.dram_policy_ablation,
+}
+
+INTERESTING_STATS = [
+    "commit.insts", "commit.loads", "bp.mispredicts", "squash.events",
+    "l1d.hits", "l1d.misses", "l2.hits", "l2.misses", "dram.accesses",
+    "dminion.fills", "dminion.read_hits", "dminion.commit_moves",
+    "dminion.wipes", "gm.timeguard_loads", "gm.timeleap_loads",
+    "gm.leapfrog_loads",
+]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GhostMinion (MICRO 2021) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one workload")
+    run_p.add_argument("workload")
+    run_p.add_argument("--defense", default="GhostMinion")
+    run_p.add_argument("--scale", type=float, default=0.25)
+
+    cmp_p = sub.add_parser("compare",
+                           help="all defenses on the given workloads")
+    cmp_p.add_argument("workloads", nargs="+")
+    cmp_p.add_argument("--scale", type=float, default=0.25)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper artefact")
+    fig_p.add_argument("which", choices=sorted(FIGURES))
+    fig_p.add_argument("--scale", type=float, default=0.25)
+
+    atk_p = sub.add_parser("attack", help="run a transient attack")
+    atk_p.add_argument("which",
+                       choices=["spectre", "rewind", "interference"])
+    atk_p.add_argument("--defense", default="Unsafe")
+    atk_p.add_argument("--secret", type=int, default=5)
+
+    sub.add_parser("list", help="available workloads and defenses")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    result = run_workload(args.workload, args.defense, scale=args.scale)
+    print("workload:   %s" % args.workload)
+    print("defense:    %s" % args.defense)
+    print("finished:   %s" % result.finished)
+    print("cycles:     %d" % result.cycles)
+    print("insts:      %d" % result.insts)
+    print("IPC:        %.3f" % result.ipc)
+    rows = [(name, int(result.stats.get(name)))
+            for name in INTERESTING_STATS if name in result.stats]
+    if rows:
+        print()
+        print(format_table(["stat", "value"], rows))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    results = compare_defenses(args.workloads, ["Unsafe"] + FIGURE_ORDER,
+                               scale=args.scale)
+    table = normalised_times(results)
+    rows = normalised_series(table, FIGURE_ORDER)
+    print(format_table(["workload"] + FIGURE_ORDER, rows))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    result = FIGURES[args.which](args.scale)
+    print(result.name)
+    print("=" * len(result.name))
+    print(result.text)
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from repro.attacks import interference, spectre, spectre_rewind
+    module = {"spectre": spectre, "rewind": spectre_rewind,
+              "interference": interference}[args.which]
+    if args.which == "spectre":
+        outcome = module.run(args.defense, args.secret)
+        print("secret:    %d" % outcome.secret)
+        print("recovered: %d (%s)" % (
+            outcome.recovered,
+            "correct" if outcome.correct else "wrong"))
+        print("timings:   %s" % dict(sorted(outcome.timings.items())))
+    else:
+        for bit in (0, 1):
+            outcome = module.run(args.defense, bit)
+            print("secret bit %d -> measured delta %d cycles"
+                  % (bit, outcome.timings[0]))
+    verdict = module.leaks(args.defense)
+    print("verdict:   %s"
+          % ("LEAKS under %s" % args.defense if verdict
+             else "safe under %s" % args.defense))
+    return 1 if verdict and args.defense != "Unsafe" else 0
+
+
+def _cmd_list(_args) -> int:
+    print("defenses:")
+    for name in ["Unsafe"] + FIGURE_ORDER:
+        print("  %s" % name)
+    for title, suite in (("SPEC CPU2006", SPEC2006),
+                         ("SPECspeed 2017", SPEC2017),
+                         ("Parsec (4 threads)", PARSEC)):
+        print("%s:" % title)
+        print("  " + ", ".join(spec.name for spec in suite))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "figure": _cmd_figure,
+        "attack": _cmd_attack,
+        "list": _cmd_list,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

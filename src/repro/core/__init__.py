@@ -1,0 +1,30 @@
+"""The paper's primary contribution: Strictness Ordering and GhostMinion.
+
+``strictness``
+    Executable formal model of Strictness Order (definition 1) and
+    Temporal Order (definition 2).
+``timestamp``
+    The 2x-ROB sliding-window timestamp arithmetic of section 4.4.
+``ghostminion``
+    The TimeGuarded Minion cache structure (figs. 3 and 4).
+"""
+
+from repro.core.ghostminion import Minion, MinionLine, FillOutcome
+from repro.core.strictness import (
+    InstDesc,
+    strictly_observes,
+    temporally_succeeds,
+    may_influence_timing,
+)
+from repro.core.timestamp import TimestampWindow
+
+__all__ = [
+    "Minion",
+    "MinionLine",
+    "FillOutcome",
+    "InstDesc",
+    "strictly_observes",
+    "temporally_succeeds",
+    "may_influence_timing",
+    "TimestampWindow",
+]

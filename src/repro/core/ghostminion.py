@@ -1,0 +1,225 @@
+"""The GhostMinion: a TimeGuarded speculative cache compartment (§4).
+
+A Minion sits next to an L1 and is accessed in parallel with it.  It
+buffers the lines brought in by speculative loads and enforces Temporal
+Order with *TimeGuarding*:
+
+* **read rule** (fig. 4a): a load may only see a line whose timestamp is
+  at-or-before its own — younger lines are invisible, so concurrent
+  misspeculation cannot transmit backwards in time;
+* **fill rule** (fig. 4b): a fill may only take a free slot or overwrite a
+  line at an equal-or-greater timestamp; when a set offers neither, the
+  fill *fails* and the data is returned to the CPU uncached;
+* **free-slotting** (fig. 3): at commit, the line is moved to the L1 and
+  evicted from the Minion, leaving a free slot for speculative fills;
+* **wipe** (§4.2): on misspeculation, all lines *above* the squash
+  timestamp are cleared in a single cycle (not the whole structure —
+  footnote 2).
+
+Timestamps here are monotone integers; ``repro.core.timestamp`` provides
+(and tests) the 2x-ROB wrap-around hardware encoding, and an optional
+cross-check asserts both agree (DESIGN.md note 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.stats import Stats
+from repro.core.timestamp import TimestampWindow
+
+
+class MinionLine:
+    """One Minion slot: a tag plus the TimeGuard timestamp."""
+
+    __slots__ = ("line", "ts", "version", "src_level")
+
+    def __init__(self, line: int, ts: int, version: int = 0,
+                 src_level: int = 3) -> None:
+        self.line = line
+        self.ts = ts
+        self.version = version      # coherence version at fill time
+        self.src_level = src_level  # level data came from (prefetch notify)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "MinionLine(%#x, ts=%d)" % (self.line, self.ts)
+
+
+@dataclass
+class FillOutcome:
+    """Result of attempting a TimeGuarded fill."""
+
+    filled: bool
+    evicted: Optional[int] = None   # line number displaced, if any
+    took_free_slot: bool = False
+
+
+class Minion:
+    """Set-associative TimeGuarded speculative buffer."""
+
+    def __init__(self, num_sets: int, assoc: int, name: str = "minion",
+                 stats: Optional[Stats] = None, timeless: bool = False,
+                 rob_entries: int = 0) -> None:
+        if num_sets < 1 or assoc < 1:
+            raise ValueError("minion must have at least one set and way")
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.name = name
+        self.stats = stats if stats is not None else Stats()
+        # DMinion-Timeless (fig. 9): no timestamp concept — wiped fully on
+        # squash, but reads/fills ignore Temporal Order.
+        self.timeless = timeless
+        # Optional hardware-encoding cross-check (DESIGN.md note 2).
+        self._window = (TimestampWindow(rob_entries)
+                        if rob_entries > 0 else None)
+        self._sets: List[Dict[int, MinionLine]] = [
+            {} for _ in range(num_sets)]
+
+    # -- geometry -------------------------------------------------------
+
+    def set_index(self, line: int) -> int:
+        return line % self.num_sets
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def lines(self) -> Iterator[MinionLine]:
+        for minion_set in self._sets:
+            for entry in minion_set.values():
+                yield entry
+
+    def get(self, line: int) -> Optional[MinionLine]:
+        return self._sets[self.set_index(line)].get(line)
+
+    def _check_window(self, ts_a: int, ts_b: int, monotone: bool) -> None:
+        """Assert the wrap-around encoding agrees with the monotone one."""
+        if self._window is None:
+            return
+        if not self._window.in_flight_together(ts_a, ts_b):
+            return  # hardware never compares timestamps this far apart
+        enc = self._window.precedes_or_equal(
+            self._window.encode(ts_a), self._window.encode(ts_b))
+        if enc != monotone:  # pragma: no cover - invariant guard
+            raise AssertionError(
+                "window/monotone disagreement: %d vs %d" % (ts_a, ts_b))
+
+    # -- TimeGuarded read (fig. 4a) --------------------------------------
+
+    def read(self, line: int, ts: int) -> str:
+        """Attempt a read at timestamp ``ts``.
+
+        Returns ``'hit'``, ``'timeguard'`` (line present but younger than
+        the reader, so invisible), or ``'miss'``.
+        """
+        entry = self.get(line)
+        if entry is None:
+            self.stats.bump(self.name + ".misses")
+            return "miss"
+        if not self.timeless and entry.ts > ts:
+            self._check_window(entry.ts, ts, False)
+            self.stats.bump(self.name + ".timeguard_blocks")
+            return "timeguard"
+        if not self.timeless:
+            self._check_window(entry.ts, ts, True)
+        self.stats.bump(self.name + ".read_hits")
+        return "hit"
+
+    # -- TimeGuarded fill (figs. 3, 4b) ----------------------------------
+
+    def fill(self, line: int, ts: int, version: int = 0,
+             src_level: int = 3) -> FillOutcome:
+        """Attempt a fill at timestamp ``ts``.
+
+        Policy (footnote 4): take a free slot if one exists; otherwise
+        evict the *highest*-timestamped line that is at-or-above ``ts``;
+        otherwise fail — only the highest-timestamped instruction may
+        learn the Minion is full.
+        """
+        minion_set = self._sets[self.set_index(line)]
+        existing = minion_set.get(line)
+        if existing is not None:
+            # Same line already present.  Overwrite rule still applies:
+            # an older fill may lower the timestamp; a younger fill must
+            # not disturb an older line (it simply isn't cached again).
+            if self.timeless or existing.ts >= ts:
+                existing.ts = min(existing.ts, ts)
+                existing.version = version
+                existing.src_level = min(existing.src_level, src_level)
+                self.stats.bump(self.name + ".fills")
+                return FillOutcome(filled=True)
+            self.stats.bump(self.name + ".fill_fails")
+            return FillOutcome(filled=False)
+        if len(minion_set) < self.assoc:
+            minion_set[line] = MinionLine(line, ts, version, src_level)
+            self.stats.bump(self.name + ".fills")
+            return FillOutcome(filled=True, took_free_slot=True)
+        if self.timeless:
+            # No timestamp concept: evict an arbitrary (oldest-inserted)
+            # victim, as a plain speculative buffer would.
+            victim = next(iter(minion_set.values())).line
+        else:
+            candidates = [e for e in minion_set.values() if e.ts >= ts]
+            if not candidates:
+                self.stats.bump(self.name + ".fill_fails")
+                return FillOutcome(filled=False)
+            victim = max(candidates, key=lambda e: e.ts).line
+            self._check_window(ts, minion_set[victim].ts, True)
+        del minion_set[victim]
+        minion_set[line] = MinionLine(line, ts, version, src_level)
+        self.stats.bump(self.name + ".fills")
+        self.stats.bump(self.name + ".fill_evictions")
+        return FillOutcome(filled=True, evicted=victim)
+
+    # -- commit (fig. 3) --------------------------------------------------
+
+    def take_for_commit(self, line: int, ts: int) -> Optional[MinionLine]:
+        """On commit of a load: if the Minion holds a line the committing
+        instruction may validly read, remove and return it (the caller
+        writes it to the L1, leaving a free slot here)."""
+        entry = self.get(line)
+        if entry is None:
+            return None
+        if not self.timeless and entry.ts > ts:
+            # Present, but brought in by a logically younger instruction:
+            # invisible to this commit.
+            return None
+        del self._sets[self.set_index(line)][line]
+        self.stats.bump(self.name + ".commit_moves")
+        return entry
+
+    # -- squash (§4.2) ----------------------------------------------------
+
+    def wipe_above(self, ts: int) -> int:
+        """Single-cycle wipe of every line *above* the squash timestamp.
+
+        Unlike MuonTrap, lines at-or-below survive (footnote 2): the
+        discovered misspeculation may itself be speculative.
+        Timeless Minions wipe everything.
+        """
+        wiped = 0
+        for minion_set in self._sets:
+            if self.timeless:
+                wiped += len(minion_set)
+                minion_set.clear()
+                continue
+            doomed = [line for line, e in minion_set.items() if e.ts > ts]
+            for line in doomed:
+                del minion_set[line]
+            wiped += len(doomed)
+        self.stats.bump(self.name + ".wipes")
+        self.stats.bump(self.name + ".wiped_lines", wiped)
+        return wiped
+
+    def invalidate(self, line: int) -> bool:
+        """Coherence invalidation of a single line."""
+        minion_set = self._sets[self.set_index(line)]
+        if line in minion_set:
+            del minion_set[line]
+            self.stats.bump(self.name + ".invalidations")
+            return True
+        return False
+
+    def contents(self) -> List[Tuple[int, int]]:
+        """Sorted (line, ts) pairs — handy for tests."""
+        return sorted((e.line, e.ts) for e in self.lines())

@@ -1,0 +1,113 @@
+"""Executable model of Strictness Order and Temporal Order (section 3).
+
+The paper defines two relations over executed instructions:
+
+Definition 1 (Strictness Ordering)
+    ``x S=> y`` (y can strictly observe x; x may impact y's timing) iff
+    ``commit(y) -> commit(x)``.
+
+Definition 2 (Temporal Ordering)
+    ``x T=> y`` iff ``commit(x) or seq(x, y)``.
+
+This module encodes both over lightweight instruction descriptors so the
+properties claimed in section 3 can be *checked*, not just asserted:
+
+* Strictness Order is a preorder (reflexive, transitive).
+* Within a single thread it is total.
+* Temporal Order implies Strictness Order for pipelines that restart at
+  the last correct instruction (the paper's overapproximation theorem).
+* The security theorem: a transient instruction can never strictly
+  transmit to a committed one.
+
+The cycle simulator uses the same predicates to police its own timing
+decisions in debug mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class InstDesc:
+    """Minimal description of an executed instruction for the relations.
+
+    ``thread``
+        Hardware thread the instruction executed on.
+    ``seq``
+        Program-order position within its thread (the order the frontend
+        issued it, which for a restart-at-last-correct-instruction pipeline
+        is also speculation order).
+    ``commits``
+        Whether the instruction is guaranteed to reach the end of the
+        pipeline without being squashed (or already has).
+    """
+
+    thread: int
+    seq: int
+    commits: bool
+
+
+def seq_before(x: InstDesc, y: InstDesc) -> bool:
+    """``seq(x, y)``: x occurs before y in the same thread's sequence."""
+    return x.thread == y.thread and x.seq < y.seq
+
+
+def strictly_observes(x: InstDesc, y: InstDesc) -> bool:
+    """``x S=> y`` (definition 1): x may impact the execution time of y.
+
+    Holds iff ``commit(y) -> commit(x)``, i.e. either y never commits, or
+    x (also) commits.
+    """
+    return (not y.commits) or x.commits
+
+
+def temporally_succeeds(x: InstDesc, y: InstDesc) -> bool:
+    """``x T=> y`` (definition 2): x may impact the execution time of y.
+
+    Holds iff x commits, or x precedes y in the same thread's sequence.
+    """
+    return x.commits or seq_before(x, y)
+
+
+def may_influence_timing(x: InstDesc, y: InstDesc,
+                         temporal: bool = False) -> bool:
+    """Unified query used by the simulator's debug assertions."""
+    if temporal:
+        return temporally_succeeds(x, y)
+    return strictly_observes(x, y)
+
+
+def consistent_commit_sets(insts: Iterable[InstDesc]) -> bool:
+    """Check the pipeline invariant the theorems rely on: within a thread,
+    committed instructions form a prefix-closed set under program order
+    (an instruction commits only if every earlier one in its thread does).
+
+    Descriptor sets produced by a restart-at-last-correct-instruction
+    pipeline always satisfy this; test generators use it as a filter.
+    """
+    insts = list(insts)
+    for x in insts:
+        for y in insts:
+            if seq_before(x, y) and y.commits and not x.commits:
+                return False
+    return True
+
+
+def temporal_implies_strict(x: InstDesc, y: InstDesc) -> bool:
+    """The overapproximation theorem instance for a pair: if the commit
+    sets are consistent, ``x T=> y`` implies ``x S=> y``.
+
+    Returns True when the implication holds for this pair (vacuously when
+    ``x T=> y`` does not hold).
+    """
+    if not consistent_commit_sets([x, y]):
+        raise ValueError("pair violates the pipeline commit invariant")
+    return (not temporally_succeeds(x, y)) or strictly_observes(x, y)
+
+
+def transmission_allowed(x: InstDesc, y: InstDesc) -> bool:
+    """Alias with the paper's reading: may information (including timing
+    side channels) flow from x to y?"""
+    return strictly_observes(x, y)

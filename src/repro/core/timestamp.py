@@ -1,0 +1,73 @@
+"""Sliding-window timestamp arithmetic (section 4.4, footnote 5).
+
+The paper sizes the TimeGuard timestamp space at twice the number of
+reorder-buffer entries: since at most ``N`` instructions are in flight at
+once and timestamps are allocated in order, an instruction at timestamp
+``t`` can only coexist with instructions in ``t .. (t + N) mod 2N``.  A
+wrapped comparison over that window is therefore exact.
+
+The cycle-level simulator internally carries monotone global sequence
+numbers (which never wrap and are trivially comparable); this module
+implements the *hardware* encoding and is used to cross-check that the
+windowed comparison always agrees with the monotone one whenever both
+instructions are legally in flight together (tests/core/test_timestamp.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TimestampWindow:
+    """Wrap-around timestamp space of size ``2 * rob_entries``.
+
+    ``encode`` maps a monotone sequence number into the window;
+    ``precedes_or_equal`` answers "is x at-or-before y" for two encoded
+    timestamps that are guaranteed to be within ``rob_entries`` of each
+    other (the hardware invariant).
+    """
+
+    rob_entries: int
+
+    def __post_init__(self) -> None:
+        if self.rob_entries < 1:
+            raise ValueError("ROB must have at least one entry")
+        self.modulus = 2 * self.rob_entries
+
+    def encode(self, seq: int) -> int:
+        """Hardware encoding of a monotone sequence number."""
+        if seq < 0:
+            raise ValueError("sequence numbers are non-negative")
+        return seq % self.modulus
+
+    def distance(self, ts_from: int, ts_to: int) -> int:
+        """Forward distance from ``ts_from`` to ``ts_to`` in the window."""
+        return (ts_to - ts_from) % self.modulus
+
+    def precedes_or_equal(self, ts_x: int, ts_y: int) -> bool:
+        """True iff x was allocated at-or-before y.
+
+        Exact provided ``|seq_x - seq_y| <= rob_entries``, which the ROB
+        guarantees for concurrently live instructions.
+        """
+        return self.distance(ts_x, ts_y) <= self.rob_entries
+
+    def may_read(self, inst_ts: int, line_ts: int) -> bool:
+        """TimeGuard read rule (fig. 4a): line visible iff its timestamp
+        is at-or-before the reading instruction's."""
+        return self.precedes_or_equal(line_ts, inst_ts)
+
+    def may_overwrite(self, inst_ts: int, line_ts: int) -> bool:
+        """TimeGuard fill rule (fig. 4b): a fill may only overwrite data
+        at a greater-than-or-equal timestamp."""
+        return self.precedes_or_equal(inst_ts, line_ts)
+
+    def in_flight_together(self, seq_x: int, seq_y: int) -> bool:
+        """Whether two monotone sequence numbers could legally coexist in
+        a ROB of this size (used by the cross-check tests).
+
+        A ROB of N entries holds sequence numbers spanning at most N-1,
+        so coexistence requires strict distance below N.
+        """
+        return abs(seq_x - seq_y) < self.rob_entries

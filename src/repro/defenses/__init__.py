@@ -1,0 +1,56 @@
+"""Spectre defenses evaluated in the paper (figs. 6-9).
+
+Each defense is a :class:`repro.defenses.base.Defense`: a hierarchy
+factory plus the core-side policy flags (taint tracking, load validation,
+FU issue order, predictor training point).  ``registry`` maps the names
+used in the figures to constructors.
+"""
+
+from repro.defenses.base import Defense
+from repro.defenses.unsafe import unsafe
+from repro.defenses.ghostminion import (
+    ghostminion,
+    ghostminion_breakdown,
+    GhostMinionHierarchy,
+)
+from repro.defenses.muontrap import muontrap, MuonTrapHierarchy
+from repro.defenses.invisispec import invisispec, InvisiSpecHierarchy
+from repro.defenses.stt import stt
+
+#: name -> zero-argument defense constructor, one per figure bar.
+registry = {
+    "Unsafe": unsafe,
+    "GhostMinion": ghostminion,
+    "MuonTrap": lambda: muontrap(flush=False),
+    "MuonTrap-Flush": lambda: muontrap(flush=True),
+    "InvisiSpec-Spectre": lambda: invisispec(future=False),
+    "InvisiSpec-Future": lambda: invisispec(future=True),
+    "STT-Spectre": lambda: stt(future=False),
+    "STT-Future": lambda: stt(future=True),
+}
+
+#: The bar order of figs. 6-8 (Unsafe is the normalisation baseline).
+FIGURE_ORDER = [
+    "GhostMinion",
+    "MuonTrap",
+    "MuonTrap-Flush",
+    "InvisiSpec-Spectre",
+    "InvisiSpec-Future",
+    "STT-Spectre",
+    "STT-Future",
+]
+
+__all__ = [
+    "Defense",
+    "unsafe",
+    "ghostminion",
+    "ghostminion_breakdown",
+    "muontrap",
+    "invisispec",
+    "stt",
+    "registry",
+    "FIGURE_ORDER",
+    "GhostMinionHierarchy",
+    "MuonTrapHierarchy",
+    "InvisiSpecHierarchy",
+]

@@ -1,0 +1,27 @@
+"""Speculative Taint Tracking baseline (Yu et al., MICRO 2019) — §6.1.
+
+STT is a speculation-*restricting* scheme: data returned by a speculative
+("access") load is tainted, taint propagates through the dataflow, and a
+*transmit* instruction — a load or store whose **address** depends on
+tainted data — may not execute until the taint clears:
+
+* **STT-Spectre**: taint clears when every branch older than the source
+  load has resolved;
+* **STT-Future**: taint clears only when the source load commits (all
+  operations unsafe until commit time, matching the paper's framing).
+
+The memory hierarchy is completely stock (loads fill caches normally —
+they simply cannot *issue* while their address is tainted), so the
+defense is expressed purely through ``Defense.taint_mode``; the taint
+machinery lives in the core (:mod:`repro.pipeline.core`).
+"""
+
+from repro.defenses.base import Defense
+
+
+def stt(future: bool = True) -> Defense:
+    """STT-Future (default) or STT-Spectre."""
+    return Defense(
+        name="STT-Future" if future else "STT-Spectre",
+        taint_mode="future" if future else "spectre",
+    )

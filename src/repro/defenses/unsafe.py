@@ -1,0 +1,8 @@
+"""The unprotected out-of-order baseline all figures normalise against."""
+
+from repro.defenses.base import Defense
+
+
+def unsafe() -> Defense:
+    """Plain speculative machine: leaks via every channel in section 2."""
+    return Defense(name="Unsafe")

@@ -1,0 +1,29 @@
+"""Memory-system substrate: caches, MSHRs, DRAM, prefetcher, coherence.
+
+The hierarchy is cycle-driven but call-based: a load computes its
+completion cycle at access time and registers MSHR occupancy; GhostMinion's
+leapfrogging/timeleaping later *mutate* in-flight requests, which is why
+requests are shared mutable handles (:class:`repro.memory.request.MemRequest`).
+"""
+
+from repro.memory.cache import SetAssocCache, CacheLine
+from repro.memory.coherence import Directory
+from repro.memory.dram import DRAM
+from repro.memory.mshr import MSHRFile, MSHREntry
+from repro.memory.prefetcher import StridePrefetcher
+from repro.memory.request import MemRequest, ReqState
+from repro.memory.tlb import TLBHierarchy, TranslationResult
+
+__all__ = [
+    "SetAssocCache",
+    "CacheLine",
+    "Directory",
+    "DRAM",
+    "MSHRFile",
+    "MSHREntry",
+    "StridePrefetcher",
+    "MemRequest",
+    "ReqState",
+    "TLBHierarchy",
+    "TranslationResult",
+]

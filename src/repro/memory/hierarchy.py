@@ -1,0 +1,470 @@
+"""Per-core memory hierarchy and the shared L2/DRAM system.
+
+:class:`BaseHierarchy` implements the **unsafe baseline**: speculative
+loads fill the L1 and L2 directly, the prefetcher trains on speculative
+accesses, and nothing is cleaned on a squash.  Defenses subclass it and
+override the hook methods (``_probe``, ``_fill_targets``,
+``_leapfrog_victim``, ``commit_load``, ``squash`` ...); see
+``repro.defenses``.
+
+Timing model: a request computes its completion cycle at access time and
+registers MSHR occupancy at each level it misses in.  Completion times are
+*mutable* (see :mod:`repro.memory.request`) so GhostMinion's leapfrogging
+and timeleaping can cancel or postpone in-flight requests.  Fills are
+applied when MSHR entries drain at their completion cycle; every public
+entry point drains first, so the visible cache state is always up to date.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.analysis.stats import Stats
+from repro.config import SystemConfig
+from repro.memory.cache import SetAssocCache
+from repro.memory.coherence import Directory
+from repro.memory.dram import DRAM
+from repro.memory.mshr import MSHREntry, MSHRFile
+from repro.memory.prefetcher import StridePrefetcher
+from repro.memory.request import MemRequest
+from repro.memory.tlb import TLBHierarchy
+
+FillFn = Callable[[int, int, int], None]
+
+
+class SharedMemory:
+    """The shared part of the machine: L2, its MSHRs, DRAM, directory,
+    and the L2 stride prefetcher."""
+
+    def __init__(self, cfg: SystemConfig, stats: Stats) -> None:
+        self.cfg = cfg
+        self.stats = stats
+        self.l2 = SetAssocCache(cfg.l2.num_sets, cfg.l2.assoc, "l2", stats)
+        self.l2_mshrs = MSHRFile(cfg.l2.mshrs, "l2.mshr", stats)
+        self.dram = DRAM(cfg.dram, stats)
+        self.directory = Directory(cfg.cores, stats)
+        self.prefetcher = (StridePrefetcher(cfg.prefetcher_rpt_entries,
+                                            stats=stats)
+                           if cfg.l2_prefetcher else None)
+        self.hierarchies: List["BaseHierarchy"] = []
+        # §4.9 cross-thread contention: macro-level per-core quota on the
+        # shared MSHRs (the simplest "predict utilisation per thread"
+        # allocation the paper suggests).
+        self._mshr_quota = (max(1, cfg.l2.mshrs // max(1, cfg.cores))
+                            if cfg.l2_mshr_partitioning and cfg.cores > 1
+                            else None)
+        self._last_drain = -1
+
+    def _over_quota(self, core: int) -> bool:
+        if self._mshr_quota is None:
+            return False
+        held = sum(1 for e in self.l2_mshrs.entries
+                   if e.core == core and not e.prefetch)
+        return held >= self._mshr_quota
+
+    def register(self, hierarchy: "BaseHierarchy") -> None:
+        self.hierarchies.append(hierarchy)
+
+    # -- completion -----------------------------------------------------
+
+    def drain(self, cycle: int) -> None:
+        if self._last_drain >= cycle:
+            return
+        self._last_drain = cycle
+        for entry in self.l2_mshrs.drain(cycle):
+            self._apply_fills(entry, cycle)
+
+    def _apply_fills(self, entry: MSHREntry, cycle: int) -> None:
+        for fill_fn, fill_ts in entry.fill_actions:
+            ts = entry.ts if fill_ts is None else fill_ts
+            fill_fn(entry.line, cycle, ts)
+
+    def _fill_l2(self, line: int, cycle: int, _ts: int) -> None:
+        self.l2.fill(line, cycle)
+
+    # -- access paths ----------------------------------------------------
+
+    def access(self, line: int, start: int, ts: int, speculative: bool,
+               pc: int, temporal_order: bool, train: bool,
+               fill_l2: bool = True, core: int = 0
+               ) -> Optional[Tuple[int, int, Optional[MSHREntry]]]:
+        """Access the L2 for a line needed at an L1 at cycle ``start``.
+
+        Returns ``(cycle data reaches the L1, hit level, l2 entry)`` or
+        ``None`` when the L2 MSHRs exert backpressure (the L1 must
+        retry).  ``fill_l2=False`` keeps the access invisible to the
+        non-speculative hierarchy (GhostMinion/MuonTrap/InvisiSpec
+        speculative misses bypass the L2 on their way to the L1-side
+        structure).
+        """
+        self.drain(start)
+        lat = self.cfg.l2.latency
+        if train and self.prefetcher is not None:
+            self._train_prefetcher(pc, line, start, speculative)
+        if self.l2.lookup(line, start):
+            return start + lat, 2, None
+        entry = self.l2_mshrs.find(line)
+        if entry is not None:
+            if fill_l2 and not entry.has_fill(self._fill_l2):
+                entry.fill_actions.append((self._fill_l2, None))
+            if entry.prefetch:
+                # Prefetches are non-speculative actions (trained on
+                # committed or architecturally harmless streams), so a
+                # demand may freely observe their progress: promote the
+                # entry without restarting it.
+                entry.prefetch = False
+                entry.ts = ts
+                entry.core = core
+                self.stats.bump("pf.demand_promotions")
+            elif temporal_order and (entry.squashed or (
+                    entry.core == core and entry.ts > ts)):
+                # Timeleap: restart the in-flight request as if issued
+                # by the older load (§4.5).  Squashed-transient entries
+                # sit above the window and always restart.
+                dram_lat = self.dram.access(line, speculative)
+                self.l2_mshrs.timeleap(entry, ts, start + lat + dram_lat)
+                entry.core = core
+                return entry.ready_cycle, 3, entry
+            return max(entry.ready_cycle, start + lat), 3, entry
+        if self._over_quota(core):
+            self.stats.bump("l2.mshr.quota_retry")
+            return None
+        victim = None
+        if self.l2_mshrs.full():
+            if temporal_order:
+                victim = self.l2_mshrs.leapfrog_victim(ts, core)
+            if victim is None:
+                self.stats.bump("l2.mshr.retry_full")
+                return None
+        dram_lat = self.dram.access(line, speculative)
+        ready = start + lat + dram_lat
+        if victim is not None:
+            entry = self.l2_mshrs.steal(victim, line, ts, ready, core=core)
+        else:
+            entry = self.l2_mshrs.allocate(line, ts, ready, core=core)
+        if fill_l2:
+            entry.fill_actions.append((self._fill_l2, None))
+        return ready, 3, entry
+
+    def timeleap_restart(self, line: int, start: int, ts: int,
+                         speculative: bool, core: int = 0) -> int:
+        """Restart an in-flight line for an older requester (§4.5).
+
+        Returns the new cycle at which data reaches the L1.
+        """
+        self.drain(start)
+        lat = self.cfg.l2.latency
+        if self.l2.contains(line):
+            return start + lat
+        entry = self.l2_mshrs.find(line)
+        if entry is not None:
+            dram_lat = self.dram.access(line, speculative)
+            self.l2_mshrs.timeleap(entry, ts, start + lat + dram_lat)
+            entry.core = core
+            return entry.ready_cycle
+        # The L2 portion already completed (and was perhaps evicted);
+        # model a fresh L2-side access without new allocation.
+        dram_lat = self.dram.access(line, speculative)
+        return start + lat + dram_lat
+
+    def refetch(self, line: int, start: int, core_id: int) -> Tuple[int, int]:
+        """Non-speculative eager refetch (validation, async reload,
+        coherence replay).  Fills the L2 immediately and returns
+        ``(cycle data reaches the L1, hit level)``.
+
+        Modelled without MSHR occupancy: these events are rare and the
+        eager fill avoids backpressure deadlocks (DESIGN.md).
+        """
+        self.drain(start)
+        lat = self.cfg.l2.latency
+        if self.prefetcher is not None:
+            self._train_prefetcher(0, line, start, False)
+        if self.l2.lookup(line, start):
+            return start + lat, 2
+        dram_lat = self.dram.access(line, False)
+        self.l2.fill(line, start)
+        return start + lat + dram_lat, 3
+
+    # -- prefetching ------------------------------------------------------
+
+    def _train_prefetcher(self, pc: int, line: int, cycle: int,
+                          speculative: bool) -> None:
+        predictions = self.prefetcher.train(pc, line)
+        for pf_line in predictions:
+            self._issue_prefetch(pf_line, cycle, speculative)
+
+    def train_commit(self, pc: int, line: int, cycle: int) -> None:
+        """GhostMinion prefetcher extension (§4.7): commit-time
+        notification of a committed memory access."""
+        if self.prefetcher is None:
+            return
+        self.drain(cycle)
+        self.stats.bump("pf.commit_notifies")
+        self._train_prefetcher(pc, line, cycle, False)
+
+    def _issue_prefetch(self, line: int, cycle: int,
+                        speculative: bool) -> None:
+        if line < 0:
+            return
+        if self.l2.contains(line) or self.l2_mshrs.find(line) is not None:
+            return
+        if self.l2_mshrs.full():
+            self.stats.bump("pf.dropped_full")
+            return
+        dram_lat = self.dram.access(line, speculative)
+        ready = cycle + self.cfg.l2.latency + dram_lat
+        entry = self.l2_mshrs.allocate(line, 0, ready, prefetch=True)
+        entry.fill_actions.append((self._fill_l2, None))
+        self.stats.bump("pf.issued")
+
+    # -- coherence --------------------------------------------------------
+
+    def store_commit(self, core_id: int, line: int, cycle: int) -> None:
+        """A store commits on ``core_id``: upgrade + remote invalidations."""
+        victims = self.directory.on_store_commit(core_id, line)
+        for hierarchy in self.hierarchies:
+            if hierarchy.core_id in victims:
+                hierarchy.invalidate_line(line)
+        # Write-allocate into the L2 so later reads hit.
+        self.l2.fill(line, cycle, dirty=True)
+
+
+class L1Port:
+    """One L1 cache plus its MSHR file (instruction or data side)."""
+
+    def __init__(self, cache: SetAssocCache, mshrs: MSHRFile,
+                 latency: int, name: str) -> None:
+        self.cache = cache
+        self.mshrs = mshrs
+        self.latency = latency
+        self.name = name
+
+
+class BaseHierarchy:
+    """Unsafe-baseline per-core hierarchy; defenses subclass this."""
+
+    #: Enable Temporal-Order MSHR mechanisms (leapfrog/timeleap).
+    temporal_order = False
+    #: Train the L2 prefetcher on speculative demand accesses.
+    speculative_prefetcher_training = True
+
+    def __init__(self, core_id: int, cfg: SystemConfig,
+                 shared: SharedMemory, stats: Stats) -> None:
+        self.core_id = core_id
+        self.cfg = cfg
+        self.shared = shared
+        self.stats = stats
+        self.dport = L1Port(
+            SetAssocCache(cfg.l1d.num_sets, cfg.l1d.assoc, "l1d", stats),
+            MSHRFile(cfg.l1d.mshrs, "l1d.mshr", stats),
+            cfg.l1d.latency, "d")
+        self.iport = L1Port(
+            SetAssocCache(cfg.l1i.num_sets, cfg.l1i.assoc, "l1i", stats),
+            MSHRFile(cfg.l1i.mshrs, "l1i.mshr", stats),
+            cfg.l1i.latency, "i")
+        # Optional address translation (§4.9); the unsafe baseline fills
+        # the real TLBs speculatively (no Minion).
+        self.dtlb = (TLBHierarchy(cfg.tlb, stats,
+                                  minion=self._tlb_minion_enabled())
+                     if cfg.model_tlb else None)
+        shared.register(self)
+
+    def _tlb_minion_enabled(self) -> bool:
+        """Hook: whether speculative translations are Minion-buffered."""
+        return False
+
+    # ------------------------------------------------------------------
+    # public API used by the core
+    # ------------------------------------------------------------------
+
+    def drain(self, cycle: int) -> None:
+        self.shared.drain(cycle)
+        for port in (self.dport, self.iport):
+            for entry in port.mshrs.drain(cycle):
+                self.shared._apply_fills(entry, cycle)
+
+    def load(self, addr: int, ts: int, cycle: int, speculative: bool = True,
+             pc: int = 0) -> Optional[MemRequest]:
+        """Issue a data load.  Returns a request handle, or ``None`` when
+        MSHR backpressure means the core must retry next cycle."""
+        self.stats.bump("mem.loads_issued")
+        return self._access(self.dport, "load", addr, ts, cycle,
+                            speculative, pc)
+
+    def ifetch(self, addr: int, ts: int, cycle: int
+               ) -> Optional[MemRequest]:
+        """Issue an instruction-line fetch (always speculative)."""
+        self.stats.bump("mem.ifetches_issued")
+        return self._access(self.iport, "ifetch", addr, ts, cycle,
+                            True, addr)
+
+    def ifetch_probe(self, addr: int, ts: int, cycle: int) -> bool:
+        """Presence check for the fetch stage (no side effects besides
+        draining due fills)."""
+        self.drain(cycle)
+        return self._probe_present(self.iport, addr >> 6, ts)
+
+    def store_commit(self, addr: int, ts: int, cycle: int) -> None:
+        """A store retires: functional memory is updated by the core; here
+        we update caches and coherence.  Stores are off the critical path
+        (paper footnote 7) so this never stalls commit."""
+        self.drain(cycle)
+        line = addr >> 6
+        self.stats.bump("mem.stores_committed")
+        self._on_own_store(line, ts, cycle)
+        self.shared.store_commit(self.core_id, line, cycle)
+        victim = self.dport.cache.fill(line, cycle, dirty=True)
+        self._handle_l1_victim(victim, cycle)
+        self.shared.directory.on_fill(self.core_id, line)
+
+    def commit_load(self, req: Optional[MemRequest], ts: int, cycle: int
+                    ) -> int:
+        """A load retires; returns extra commit-stall cycles (0 here)."""
+        return 0
+
+    def commit_ifetch(self, addr: int, ts: int, cycle: int) -> None:
+        """An instruction retires (I-Minion commit move hook)."""
+
+    def squash(self, ts: int, cycle: int) -> None:
+        """Misspeculation detected at timestamp ``ts``: the unsafe
+        baseline cleans nothing."""
+
+    def invalidate_line(self, line: int) -> None:
+        """Inbound coherence invalidation."""
+        self.dport.cache.invalidate(line)
+        self.shared.directory.on_evict(self.core_id, line)
+
+    # ------------------------------------------------------------------
+    # the shared miss path
+    # ------------------------------------------------------------------
+
+    def _access(self, port: L1Port, kind: str, addr: int, ts: int,
+                cycle: int, speculative: bool, pc: int
+                ) -> Optional[MemRequest]:
+        self.drain(cycle)
+        req = MemRequest(kind, addr, ts, self.core_id, cycle, speculative,
+                         pc)
+        xlat_extra = 0
+        if self.dtlb is not None and port is self.dport:
+            xlat_extra = self.dtlb.translate(
+                addr, ts, cycle, speculative).latency
+        ready = self._probe(port, req, cycle)
+        if ready is not None:
+            req.mark_ready(ready + xlat_extra)
+            return req
+        line = req.line
+        entry = port.mshrs.find(line)
+        if entry is not None:
+            if self.temporal_order and not entry.prefetch \
+                    and (entry.squashed or entry.ts > ts):
+                new_ready = self.shared.timeleap_restart(
+                    line, cycle + port.latency, ts, speculative,
+                    core=self.core_id)
+                port.mshrs.timeleap(entry, ts, new_ready)
+                self.stats.bump("gm.timeleap_loads")
+            entry.attach(req)
+            req.mark_ready(entry.ready_cycle)
+            req.hit_level = 3
+            return req
+        victim = None
+        if port.mshrs.full():
+            victim = self._leapfrog_victim(port, req)
+            if victim is None:
+                self.stats.bump(port.cache.name + ".mshr_retry_full")
+                return None
+        train = (self.speculative_prefetcher_training and port is self.dport)
+        result = self._l2_access(req, cycle + port.latency + xlat_extra,
+                                 train)
+        if result is None:
+            return None
+        ready, level, l2_entry = result
+        if victim is not None:
+            entry = port.mshrs.steal(victim, line, ts, ready,
+                                     core=self.core_id)
+            self.stats.bump("gm.leapfrog_loads")
+        else:
+            entry = port.mshrs.allocate(line, ts, ready,
+                                        core=self.core_id)
+        if l2_entry is not None:
+            l2_entry.dependents.append((port.mshrs, entry))
+        entry.attach(req)
+        for fill_fn, fill_ts in self._fill_targets(port, req):
+            entry.fill_actions.append((fill_fn, fill_ts))
+        req.mark_ready(ready)
+        req.hit_level = level
+        return req
+
+    def _l2_access(self, req: MemRequest, start: int, train: bool
+                   ) -> Optional[Tuple[int, int, Optional[MSHREntry]]]:
+        return self.shared.access(req.line, start, req.ts, req.speculative,
+                                  req.pc, self.temporal_order, train,
+                                  fill_l2=self._fills_l2(req),
+                                  core=self.core_id)
+
+    def _fills_l2(self, req: MemRequest) -> bool:
+        """Whether this request's data may be installed in the L2.
+
+        The unsafe baseline installs everything; speculation-hiding
+        defenses keep speculative data out of the non-speculative
+        hierarchy entirely.
+        """
+        return True
+
+    def refetch(self, addr: int, ts: int, cycle: int) -> int:
+        """Non-speculative eager refetch into the L1 (validation, async
+        reload, coherence replay).  Returns the completion cycle."""
+        self.drain(cycle)
+        line = addr >> 6
+        self.stats.bump("mem.refetches")
+        if self.dport.cache.lookup(line, cycle):
+            return cycle + self.dport.latency
+        ready, _level = self.shared.refetch(line, cycle + self.dport.latency,
+                                            self.core_id)
+        victim = self.dport.cache.fill(line, cycle)
+        self._handle_l1_victim(victim, cycle)
+        self.shared.directory.on_fill(self.core_id, line)
+        return ready
+
+    def _handle_l1_victim(self, victim: Optional[int], cycle: int) -> None:
+        if victim is None:
+            return
+        self.shared.l2.fill(victim, cycle)
+        self.shared.directory.on_evict(self.core_id, victim)
+
+    # ------------------------------------------------------------------
+    # defense hooks (unsafe defaults)
+    # ------------------------------------------------------------------
+
+    def _probe(self, port: L1Port, req: MemRequest, cycle: int
+               ) -> Optional[int]:
+        """L1-side lookup; returns the hit-ready cycle or None on miss."""
+        if port.cache.lookup(req.line, cycle):
+            req.hit_level = 1
+            return cycle + port.latency
+        return None
+
+    def _probe_present(self, port: L1Port, line: int, ts: int) -> bool:
+        return port.cache.contains(line)
+
+    def _leapfrog_victim(self, port: L1Port, req: MemRequest
+                         ) -> Optional[MSHREntry]:
+        """Unsafe baseline never leapfrogs: full MSHRs mean retry."""
+        return None
+
+    def _fill_targets(self, port: L1Port, req: MemRequest
+                      ) -> List[Tuple[FillFn, Optional[int]]]:
+        """Unsafe baseline: every load fills the L1 (speculatively)."""
+        if port is self.dport:
+            return [(self._fill_l1d, None)]
+        return [(self._fill_l1i, None)]
+
+    def _fill_l1d(self, line: int, cycle: int, _ts: int) -> None:
+        victim = self.dport.cache.fill(line, cycle)
+        self._handle_l1_victim(victim, cycle)
+        self.shared.directory.on_fill(self.core_id, line)
+
+    def _fill_l1i(self, line: int, cycle: int, _ts: int) -> None:
+        self.iport.cache.fill(line, cycle)
+
+    def _on_own_store(self, line: int, ts: int, cycle: int) -> None:
+        """Hook: a store by this core commits to ``line``."""

@@ -1,0 +1,233 @@
+"""Miss-status-handling registers with Temporal-Order support.
+
+GhostMinion propagates timestamp metadata into the MSHRs at every cache
+level (fig. 2) so that:
+
+* **leapfrogging** (fig. 5): when the file is full and a request with an
+  *older* timestamp arrives, it steals the entry of the youngest-timestamp
+  occupant, whose attached requests must replay;
+* **timeleaping** (section 4.5): when a request finds an in-flight entry
+  for the same line at a *younger* timestamp, the entry is restarted at
+  each level so its timing matches "as if only the older request ran".
+
+Each entry carries a list of *fill actions* — (cache-like object, line,
+timestamp) tuples the hierarchy applies when the entry completes.  On a
+squash, pending fills into a GhostMinion with timestamps above the squash
+point are dropped, which is observationally identical to the hardware's
+wipe-by-timestamp (DESIGN.md note 3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.analysis.stats import Stats
+from repro.memory.request import MemRequest
+
+# Timestamp given to prefetch-allocated entries: any demand request may
+# leapfrog a prefetch, and a prefetch never leapfrogs anything.
+PREFETCH_TS = float("inf")
+
+
+class MSHREntry:
+    """One in-flight miss.
+
+    ``dependents`` links a lower-level (e.g. L2) entry to the upper-level
+    (L1) entries waiting on it, as ``(mshr_file, entry)`` pairs: stealing
+    or timeleaping the lower entry cascades to them (the paper's
+    "cascading leapfrogs ... in multiple different cache levels").
+    """
+
+    __slots__ = ("line", "ts", "ready_cycle", "requests", "fill_actions",
+                 "prefetch", "dependents", "core", "squashed")
+
+    def __init__(self, line: int, ts, ready_cycle: int,
+                 prefetch: bool = False, core: int = 0) -> None:
+        self.line = line
+        self.ts = ts
+        self.ready_cycle = ready_cycle
+        self.requests: List[MemRequest] = []
+        # (fill_fn, ts_or_None) pairs applied on completion; None means
+        # "use the entry's timestamp at completion time".
+        self.fill_actions: List[tuple] = []
+        self.prefetch = prefetch
+        self.dependents: List[tuple] = []
+        # Timestamps are only ordered within a thread (§3): comparisons
+        # are restricted to entries allocated by the same core.
+        self.core = core
+        # A squashed allocator leaves the entry logically *above* the
+        # squash point in the timestamp window: stealable by anyone.
+        self.squashed = False
+
+    def attach(self, req: MemRequest) -> None:
+        self.requests.append(req)
+        if not self.prefetch and req.core_id == self.core \
+                and req.ts < self.ts:
+            self.ts = req.ts
+
+    def stealable_by(self, ts, core: int) -> bool:
+        """May a request at (ts, core) leapfrog this entry?"""
+        if self.prefetch or self.squashed:
+            return True
+        return self.core == core and self.ts > ts
+
+    def add_fill(self, fill_fn: Callable[[int, int, float], None],
+                 ts=None) -> None:
+        """Register a completion fill; ``fill_fn(line, cycle, ts)``."""
+        self.fill_actions.append((fill_fn, ts))
+
+    def has_fill(self, fill_fn) -> bool:
+        return any(fn is fill_fn for fn, _ts in self.fill_actions)
+
+
+class MSHRFile:
+    """Fixed-size MSHR file for one cache level."""
+
+    def __init__(self, size: int, name: str, stats: Optional[Stats] = None
+                 ) -> None:
+        if size < 1:
+            raise ValueError("MSHR file needs at least one entry")
+        self.size = size
+        self.name = name
+        self.stats = stats if stats is not None else Stats()
+        self.entries: List[MSHREntry] = []
+
+    # -- queries --------------------------------------------------------
+
+    def find(self, line: int) -> Optional[MSHREntry]:
+        for entry in self.entries:
+            if entry.line == line:
+                return entry
+        return None
+
+    def full(self) -> bool:
+        return len(self.entries) >= self.size
+
+    def occupancy(self) -> int:
+        return len(self.entries)
+
+    def earliest_free_cycle(self) -> int:
+        """When the next entry frees, for full-file queueing delays."""
+        if not self.entries:
+            return 0
+        return min(entry.ready_cycle for entry in self.entries)
+
+    # -- allocation -----------------------------------------------------
+
+    def allocate(self, line: int, ts, ready_cycle: int,
+                 prefetch: bool = False, core: int = 0) -> MSHREntry:
+        if self.full():
+            raise RuntimeError("%s: allocate on full MSHR file" % self.name)
+        entry = MSHREntry(line, ts, ready_cycle, prefetch=prefetch,
+                          core=core)
+        self.entries.append(entry)
+        self.stats.bump(self.name + ".allocs")
+        return entry
+
+    # -- Temporal-Order mechanisms (GhostMinion) --------------------------
+
+    def leapfrog_victim(self, ts, core: int = 0) -> Optional[MSHREntry]:
+        """Youngest-timestamp entry strictly younger than ``ts``.
+
+        Prefetch and squashed-transient entries count as infinitely
+        young (always stealable); otherwise only same-core entries are
+        comparable (no cross-thread Temporal Order, §4.9).  Returns None
+        when every occupant is at-or-before ``ts`` — then waiting is
+        safe, because all occupants are visible to the requester.
+        """
+        candidates = [e for e in self.entries if e.stealable_by(ts, core)]
+        if not candidates:
+            return None
+        return max(candidates,
+                   key=lambda e: (PREFETCH_TS
+                                  if e.prefetch or e.squashed else e.ts))
+
+    def steal(self, victim: MSHREntry, line: int, ts, ready_cycle: int,
+              core: int = 0) -> MSHREntry:
+        """Leapfrog: cancel ``victim`` and reuse its slot (fig. 5).
+
+        Cancellation cascades to upper-level entries waiting on the
+        victim (their attached loads replay too).
+        """
+        self._cancel(victim)
+        self.entries.remove(victim)
+        self.stats.bump(self.name + ".leapfrogs")
+        return self.allocate(line, ts, ready_cycle, core=core)
+
+    def _cancel(self, entry: MSHREntry) -> None:
+        for req in entry.requests:
+            req.mark_replay()
+            self.stats.bump(self.name + ".leapfrog_victim_replays")
+        for dep_file, dep_entry in entry.dependents:
+            if dep_entry in dep_file.entries:
+                dep_file.entries.remove(dep_entry)
+                dep_file._cancel(dep_entry)
+
+    def timeleap(self, entry: MSHREntry, ts, ready_cycle: int) -> None:
+        """Restart ``entry`` for an older-timestamp requester (§4.5).
+
+        The entry's timestamp drops to the older request's and its
+        completion is recomputed as if freshly issued; every attached
+        (younger) request legitimately observes the new timing, and
+        upper-level entries waiting on this one are postponed with it.
+        """
+        entry.ts = ts
+        entry.ready_cycle = ready_cycle
+        entry.prefetch = False
+        entry.squashed = False
+        for req in entry.requests:
+            req.postpone(ready_cycle)
+        for dep_file, dep_entry in entry.dependents:
+            if dep_entry in dep_file.entries:
+                if dep_entry.ready_cycle < ready_cycle:
+                    dep_entry.ready_cycle = ready_cycle
+                for req in dep_entry.requests:
+                    req.postpone(ready_cycle)
+        self.stats.bump(self.name + ".timeleaps")
+
+    def mark_squashed_above(self, ts, core: int) -> int:
+        """Squash support: entries allocated by ``core`` above the squash
+        timestamp now belong to squashed instructions.  In the hardware
+        window encoding their timestamps sit above every future
+        (reissued) timestamp, so they are stealable by any new request;
+        mark them accordingly.  Returns the count marked."""
+        marked = 0
+        for entry in self.entries:
+            if (not entry.prefetch and not entry.squashed
+                    and entry.core == core and entry.ts > ts):
+                entry.squashed = True
+                marked += 1
+        if marked:
+            self.stats.bump(self.name + ".squash_marked", marked)
+        return marked
+
+    # -- completion -----------------------------------------------------
+
+    def drain(self, cycle: int) -> List[MSHREntry]:
+        """Pop and return all entries whose data has arrived."""
+        done = [e for e in self.entries if e.ready_cycle <= cycle]
+        if done:
+            self.entries = [e for e in self.entries
+                            if e.ready_cycle > cycle]
+        return done
+
+    def drop_fills_above(self, ts, fill_tag_fns) -> int:
+        """Squash support: drop pending fills into wiped structures.
+
+        ``fill_tag_fns`` is the set of fill functions that target a
+        GhostMinion being wiped; any pending action with a timestamp above
+        ``ts`` into one of them is removed.  Returns the drop count.
+        """
+        dropped = 0
+        for entry in self.entries:
+            kept = []
+            for fill_fn, fill_ts in entry.fill_actions:
+                effective_ts = entry.ts if fill_ts is None else fill_ts
+                if fill_fn in fill_tag_fns and effective_ts > ts:
+                    dropped += 1
+                else:
+                    kept.append((fill_fn, fill_ts))
+            entry.fill_actions = kept
+        if dropped:
+            self.stats.bump(self.name + ".squash_dropped_fills", dropped)
+        return dropped

@@ -1,0 +1,70 @@
+"""Mutable in-flight memory request handles.
+
+The out-of-order core polls a :class:`MemRequest` every cycle rather than
+being called back: GhostMinion's leapfrogging can *cancel* a request that
+has already been given a completion time (the victim must replay), and
+timeleaping can *postpone* one, so completion times are mutable state
+shared between the core and the MSHR files.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class ReqState(enum.Enum):
+    PENDING = "pending"  # waiting on an MSHR completion
+    READY = "ready"      # ready_cycle is final
+    REPLAY = "replay"    # leapfrogged away; the core must reissue
+
+
+class MemRequest:
+    """One in-flight load/ifetch with a mutable completion time."""
+
+    __slots__ = (
+        "kind", "addr", "line", "ts", "core_id", "speculative",
+        "issue_cycle", "ready_cycle", "state", "hit_level",
+        "filled_minion", "minion_version", "uncached", "invisible",
+        "needs_validation", "validation_req", "pc",
+    )
+
+    def __init__(self, kind: str, addr: int, ts: int, core_id: int,
+                 issue_cycle: int, speculative: bool, pc: int = 0) -> None:
+        self.kind = kind            # 'load' | 'ifetch' | 'reload'
+        self.addr = addr
+        self.line = addr >> 6
+        self.ts = ts
+        self.core_id = core_id
+        self.speculative = speculative
+        self.issue_cycle = issue_cycle
+        self.ready_cycle = issue_cycle
+        self.state = ReqState.PENDING
+        self.hit_level = 3          # 0=minion, 1=L1, 2=L2, 3=DRAM
+        self.filled_minion = False
+        self.minion_version = -1
+        self.uncached = False       # minion fill failed; data not retained
+        self.invisible = False      # InvisiSpec: no fills were performed
+        self.needs_validation = False
+        self.validation_req: Optional["MemRequest"] = None
+        self.pc = pc
+
+    def done(self, cycle: int) -> bool:
+        """True once data is available to the core at ``cycle``."""
+        return self.state is ReqState.READY and cycle >= self.ready_cycle
+
+    def mark_ready(self, ready_cycle: int) -> None:
+        self.state = ReqState.READY
+        self.ready_cycle = ready_cycle
+
+    def mark_replay(self) -> None:
+        self.state = ReqState.REPLAY
+
+    def postpone(self, ready_cycle: int) -> None:
+        """Timeleap: restart this request's timing at each cache level."""
+        self.ready_cycle = max(self.ready_cycle, ready_cycle)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return ("MemRequest(%s addr=%#x ts=%d %s ready=%d)" %
+                (self.kind, self.addr, self.ts, self.state.value,
+                 self.ready_cycle))

@@ -1,0 +1,27 @@
+"""Out-of-order core substrate: ISA, programs, predictor, FUs, the core."""
+
+from repro.pipeline.isa import Op, Instr
+from repro.pipeline.program import Program, ProgramBuilder
+from repro.pipeline.interpreter import Interpreter, run_program
+from repro.pipeline.branch_predictor import (
+    TournamentPredictor,
+    BranchTargetBuffer,
+    ReturnAddressStack,
+)
+from repro.pipeline.functional_units import FUPool
+from repro.pipeline.core import Core, DynInst
+
+__all__ = [
+    "Op",
+    "Instr",
+    "Program",
+    "ProgramBuilder",
+    "Interpreter",
+    "run_program",
+    "TournamentPredictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "FUPool",
+    "Core",
+    "DynInst",
+]

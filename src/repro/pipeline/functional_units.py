@@ -1,0 +1,93 @@
+"""Functional-unit pool with non-pipelined occupancy and the §4.9
+strictness-ordered issue policy.
+
+Pipelined ops consume an issue *port* of their class for one cycle;
+non-pipelined ops (DIV/REM/FDIV/FSQRT) additionally occupy a unit for
+their full latency — the structural hazard SpectreRewind exploits.
+
+``strict_order=True`` implements the paper's fix: a non-pipelined unit
+"may only be issued a speculative operation once all previous speculative
+operations in timestamp order, that may use the same unit, have issued".
+The scheduler walks candidates oldest-first, so the rule reduces to: once
+an older op of a class fails to issue, younger ops of that class are
+blocked this cycle (per-class blocking flags, reset each cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.stats import Stats
+from repro.config import CoreConfig
+
+
+class FUPool:
+    """Issue ports + non-pipelined unit occupancy for one core."""
+
+    CLASSES = ("int", "fp", "muldiv")
+
+    def __init__(self, cfg: CoreConfig, stats: Optional[Stats] = None,
+                 strict_order: bool = False) -> None:
+        self.stats = stats if stats is not None else Stats()
+        self.strict_order = strict_order or cfg.strict_fu_order
+        self._ports: Dict[str, int] = {
+            "int": cfg.int_alus, "fp": cfg.fp_alus,
+            "muldiv": cfg.muldiv_units}
+        # busy-until cycle per non-pipelined unit instance.
+        self._busy_until: Dict[str, List[int]] = {
+            name: [0] * count for name, count in self._ports.items()}
+        self._issued_this_cycle: Dict[str, int] = {}
+        self._blocked_class: Dict[str, bool] = {}
+        self._cycle = -1
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Reset per-cycle port counts and strict-order blocking flags."""
+        self._cycle = cycle
+        self._issued_this_cycle = {name: 0 for name in self._ports}
+        self._blocked_class = {name: False for name in self._ports}
+
+    def try_issue(self, fu_class: str, cycle: int, latency: int,
+                  pipelined: bool) -> bool:
+        """Attempt to issue one op; True on success.
+
+        Callers must walk candidates in timestamp order within a cycle
+        for ``strict_order`` to be meaningful (the core's scheduler does).
+        """
+        if cycle != self._cycle:
+            self.begin_cycle(cycle)
+        if self.strict_order and not pipelined \
+                and self._blocked_class[fu_class]:
+            self.stats.bump("fu.%s.strict_blocked" % fu_class)
+            return False
+        if self._issued_this_cycle[fu_class] >= self._ports[fu_class]:
+            self._note_failure(fu_class, pipelined)
+            return False
+        if pipelined:
+            self._issued_this_cycle[fu_class] += 1
+            self.stats.bump("fu.%s.issued" % fu_class)
+            return True
+        # Non-pipelined: need a unit instance free for the whole latency.
+        units = self._busy_until[fu_class]
+        for idx, busy_until in enumerate(units):
+            if busy_until <= cycle:
+                units[idx] = cycle + latency
+                self._issued_this_cycle[fu_class] += 1
+                self.stats.bump("fu.%s.issued" % fu_class)
+                self.stats.bump("fu.%s.nonpipelined_issued" % fu_class)
+                return True
+        self._note_failure(fu_class, pipelined)
+        self.stats.bump("fu.%s.structural_hazard" % fu_class)
+        return False
+
+    def _note_failure(self, fu_class: str, pipelined: bool) -> None:
+        if self.strict_order and not pipelined:
+            self._blocked_class[fu_class] = True
+
+    # -- introspection (attacks + tests) -----------------------------------
+
+    def busy_units(self, fu_class: str, cycle: int) -> int:
+        return sum(1 for busy in self._busy_until[fu_class]
+                   if busy > cycle)
+
+    def ports(self, fu_class: str) -> int:
+        return self._ports[fu_class]

@@ -1,0 +1,124 @@
+"""Functional reference interpreter for the mini-ISA.
+
+The out-of-order core must produce the same architectural state as this
+interpreter for every program and every defense — differential testing
+relies on it (tests/pipeline/test_differential.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.pipeline.isa import (
+    ALU_OPS,
+    FP_OPS,
+    LINK_REG,
+    MULDIV_OPS,
+    NUM_REGS,
+    Instr,
+    Op,
+    evaluate,
+)
+from repro.pipeline.program import Program
+
+
+@dataclass
+class ArchState:
+    """Final architectural state of a run."""
+
+    regs: List[int]
+    memory: Dict[int, int]
+    committed: int
+    halted: bool
+    trace: Optional[List[Tuple[int, Op]]] = None
+
+    def reg(self, index: int) -> int:
+        return self.regs[index]
+
+
+@dataclass
+class Interpreter:
+    """Straight-line functional execution, one instruction per step."""
+
+    program: Program
+    trace: bool = False
+    regs: List[int] = field(default_factory=lambda: [0] * NUM_REGS)
+    pc: int = 0
+    committed: int = 0
+    halted: bool = False
+
+    def __post_init__(self) -> None:
+        self.memory: Dict[int, int] = dict(self.program.memory)
+        self._trace: List[Tuple[int, Op]] = []
+
+    def _src(self, instr: Instr) -> Tuple[int, int]:
+        a = self.regs[instr.rs1] if instr.rs1 is not None else 0
+        b = (self.regs[instr.rs2] if instr.rs2 is not None
+             else instr.imm)
+        return a, b
+
+    def step(self) -> None:
+        """Execute one instruction; no-op once halted."""
+        if self.halted or self.pc >= len(self.program.instrs):
+            self.halted = True
+            return
+        instr = self.program.instrs[self.pc]
+        if self.trace:
+            self._trace.append((self.pc, instr.op))
+        next_pc = self.pc + 1
+        op = instr.op
+        if op in ALU_OPS or op in MULDIV_OPS or op in FP_OPS:
+            a, b = self._src(instr)
+            self.regs[instr.rd] = evaluate(op, a, b, instr.imm)
+        elif op is Op.LOAD:
+            addr = (self.regs[instr.rs1] + instr.imm) if instr.rs1 is not None else instr.imm
+            self.regs[instr.rd] = self.memory.get(addr, 0)
+        elif op is Op.STORE:
+            addr = (self.regs[instr.rs1] + instr.imm) if instr.rs1 is not None else instr.imm
+            self.memory[addr] = self.regs[instr.rs2]
+        elif op is Op.BEQZ:
+            if self.regs[instr.rs1] == 0:
+                next_pc = instr.target
+        elif op is Op.BNEZ:
+            if self.regs[instr.rs1] != 0:
+                next_pc = instr.target
+        elif op is Op.JMP:
+            next_pc = instr.target
+        elif op is Op.CALL:
+            self.regs[LINK_REG] = self.pc + 1
+            next_pc = instr.target
+        elif op is Op.RET:
+            next_pc = self.regs[LINK_REG]
+        elif op is Op.HALT:
+            self.halted = True
+        elif op is Op.RDCYC:
+            # Timing-dependent by construction; the functional reference
+            # returns the committed-instruction count as a deterministic
+            # stand-in (differential tests avoid RDCYC programs).
+            self.regs[instr.rd] = self.committed
+        elif op is Op.NOP:
+            pass
+        else:  # pragma: no cover - exhaustive over Op
+            raise ValueError("unknown op %s" % op)
+        self.committed += 1
+        self.pc = next_pc
+
+    def run(self, max_steps: int = 1_000_000) -> ArchState:
+        steps = 0
+        while not self.halted and steps < max_steps:
+            self.step()
+            steps += 1
+        return ArchState(
+            regs=list(self.regs),
+            memory=dict(self.memory),
+            committed=self.committed,
+            halted=self.halted,
+            trace=self._trace if self.trace else None,
+        )
+
+
+def run_program(program: Program, max_steps: int = 1_000_000,
+                trace: bool = False) -> ArchState:
+    """One-call functional execution of ``program``."""
+    return Interpreter(program, trace=trace).run(max_steps)

@@ -1,0 +1,233 @@
+"""The mini-ISA executed by both the reference interpreter and the
+out-of-order core.
+
+A small RISC-like register machine: 32 64-bit integer registers
+(``r31`` doubles as the link register for CALL/RET), a flat 64-bit byte
+address space, and explicit HALT.  FP opcodes (FADD/FMUL/FDIV/FSQRT)
+carry floating-point *timing* (FP functional units, non-pipelined
+dividers) with integer *semantics* — the paper's experiments depend on
+execution timing, never on FP numerics (DESIGN.md note 7).
+
+Program counters are instruction indices; instruction memory addresses
+are ``pc * 4`` so a 64-byte I-cache line holds 16 instructions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+NUM_REGS = 32
+LINK_REG = 31
+MASK64 = (1 << 64) - 1
+INST_BYTES = 4
+
+
+class Op(enum.Enum):
+    # integer ALU (1 cycle, pipelined, INT units)
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    CMPLT = "cmplt"
+    CMPEQ = "cmpeq"
+    LI = "li"
+    MOV = "mov"
+    # multiply/divide (MULDIV units; DIV/REM non-pipelined)
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    # floating-point timing classes (FP units)
+    FADD = "fadd"
+    FMUL = "fmul"
+    FDIV = "fdiv"      # non-pipelined
+    FSQRT = "fsqrt"    # non-pipelined
+    # memory
+    LOAD = "load"
+    STORE = "store"
+    # control
+    BEQZ = "beqz"
+    BNEZ = "bnez"
+    JMP = "jmp"
+    CALL = "call"
+    RET = "ret"
+    # misc
+    NOP = "nop"
+    HALT = "halt"
+    # cycle-counter read (the attacker's rdtsc).  Optional rs1 creates a
+    # data dependency so the read can be ordered after a measured load.
+    RDCYC = "rdcyc"
+
+
+ALU_OPS = frozenset({Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SHL,
+                     Op.SHR, Op.CMPLT, Op.CMPEQ, Op.LI, Op.MOV})
+MULDIV_OPS = frozenset({Op.MUL, Op.DIV, Op.REM})
+FP_OPS = frozenset({Op.FADD, Op.FMUL, Op.FDIV, Op.FSQRT})
+BRANCH_OPS = frozenset({Op.BEQZ, Op.BNEZ, Op.JMP, Op.CALL, Op.RET})
+COND_BRANCH_OPS = frozenset({Op.BEQZ, Op.BNEZ})
+MEM_OPS = frozenset({Op.LOAD, Op.STORE})
+NONPIPELINED_OPS = frozenset({Op.DIV, Op.REM, Op.FDIV, Op.FSQRT})
+
+#: functional-unit class per op.
+FU_CLASS = {}
+for _op in ALU_OPS | BRANCH_OPS | MEM_OPS | {Op.NOP, Op.HALT, Op.RDCYC}:
+    FU_CLASS[_op] = "int"
+for _op in MULDIV_OPS:
+    FU_CLASS[_op] = "muldiv"
+for _op in FP_OPS:
+    FU_CLASS[_op] = "fp"
+
+#: execution latency in cycles (memory ops: address generation only).
+LATENCY = {Op.MUL: 3, Op.DIV: 20, Op.REM: 20,
+           Op.FADD: 4, Op.FMUL: 4, Op.FDIV: 12, Op.FSQRT: 24}
+DEFAULT_LATENCY = 1
+
+
+@dataclass
+class Instr:
+    """One static instruction.
+
+    ``rs2`` and ``imm`` are alternatives for the second ALU operand:
+    when ``rs2`` is None the immediate is used.  For STORE, ``rs1`` is
+    the base address register and ``rs2`` the value register.  ``target``
+    is an instruction index for direct branches (RET is indirect via
+    ``r31``).
+    """
+
+    op: Op
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: int = 0
+    target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for reg in (self.rd, self.rs1, self.rs2):
+            if reg is not None and not 0 <= reg < NUM_REGS:
+                raise ValueError("register out of range: %r" % (reg,))
+        if self.op in COND_BRANCH_OPS | {Op.JMP, Op.CALL}:
+            if self.target is None:
+                raise ValueError("%s requires a target" % self.op.value)
+
+    # -- classification ---------------------------------------------------
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.op in COND_BRANCH_OPS
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is Op.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is Op.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op in MEM_OPS
+
+    @property
+    def fu_class(self) -> str:
+        return FU_CLASS[self.op]
+
+    @property
+    def latency(self) -> int:
+        return LATENCY.get(self.op, DEFAULT_LATENCY)
+
+    @property
+    def pipelined(self) -> bool:
+        return self.op not in NONPIPELINED_OPS
+
+    @property
+    def writes_reg(self) -> Optional[int]:
+        if self.op is Op.CALL:
+            return LINK_REG
+        return self.rd
+
+    def src_regs(self) -> "tuple":
+        """Architectural source registers, in operand order."""
+        if self.op is Op.RET:
+            return (LINK_REG,)
+        srcs = []
+        if self.rs1 is not None:
+            srcs.append(self.rs1)
+        if self.rs2 is not None:
+            srcs.append(self.rs2)
+        return tuple(srcs)
+
+    def __repr__(self) -> str:
+        parts = [self.op.value]
+        if self.rd is not None:
+            parts.append("r%d" % self.rd)
+        if self.rs1 is not None:
+            parts.append("r%d" % self.rs1)
+        if self.rs2 is not None:
+            parts.append("r%d" % self.rs2)
+        if self.imm:
+            parts.append("#%d" % self.imm)
+        if self.target is not None:
+            parts.append("@%s" % (self.target,))
+        return "<%s>" % " ".join(parts)
+
+
+def evaluate(op: Op, a: int, b: int, imm: int) -> int:
+    """Pure ALU semantics shared by the interpreter and the OoO core.
+
+    ``a`` is the first operand value, ``b`` the second (already the
+    immediate when rs2 was absent).
+    """
+    if op in (Op.ADD, Op.FADD):
+        return (a + b) & MASK64
+    if op is Op.SUB:
+        return (a - b) & MASK64
+    if op is Op.AND:
+        return a & b
+    if op is Op.OR:
+        return a | b
+    if op is Op.XOR:
+        return a ^ b
+    if op is Op.SHL:
+        return (a << (b & 63)) & MASK64
+    if op is Op.SHR:
+        return (a >> (b & 63)) & MASK64
+    if op is Op.CMPLT:
+        return 1 if a < b else 0
+    if op is Op.CMPEQ:
+        return 1 if a == b else 0
+    if op is Op.LI:
+        return imm & MASK64
+    if op is Op.MOV:
+        return a & MASK64
+    if op in (Op.MUL, Op.FMUL):
+        return (a * b) & MASK64
+    if op in (Op.DIV, Op.FDIV):
+        return (a // b) & MASK64 if b else 0
+    if op is Op.REM:
+        return (a % b) & MASK64 if b else 0
+    if op is Op.FSQRT:
+        return _isqrt(a)
+    raise ValueError("evaluate() called on non-ALU op %s" % op)
+
+
+def _isqrt(value: int) -> int:
+    if value < 0:
+        return 0
+    return int(value ** 0.5) if value < (1 << 52) else _int_sqrt(value)
+
+
+def _int_sqrt(value: int) -> int:
+    guess = value
+    bound = (value + 1) // 2
+    while bound < guess:
+        guess = bound
+        bound = (bound + value // bound) // 2
+    return guess

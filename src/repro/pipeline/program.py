@@ -1,0 +1,150 @@
+"""Program container and a tiny assembler-style builder.
+
+Workload generators and attack gadgets author code through
+:class:`ProgramBuilder`, which supports forward label references and an
+initial data-memory image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.pipeline.isa import Instr, Op
+
+LabelOrIndex = Union[str, int]
+
+
+@dataclass
+class Program:
+    """A fully resolved program: instructions plus initial memory."""
+
+    instrs: List[Instr]
+    memory: Dict[int, int] = field(default_factory=dict)
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        for idx, instr in enumerate(self.instrs):
+            if instr.target is not None and not isinstance(
+                    instr.target, int):
+                raise ValueError(
+                    "unresolved label %r at %d" % (instr.target, idx))
+            if instr.target is not None and not (
+                    0 <= instr.target <= len(self.instrs)):
+                raise ValueError(
+                    "branch target %d out of range at %d"
+                    % (instr.target, idx))
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+
+class ProgramBuilder:
+    """Emit instructions with label support, then :meth:`build`."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._instrs: List[Instr] = []
+        self._labels: Dict[str, int] = {}
+        self._memory: Dict[int, int] = {}
+
+    # -- layout -----------------------------------------------------------
+
+    def label(self, name: str) -> int:
+        """Define ``name`` at the current position."""
+        if name in self._labels:
+            raise ValueError("duplicate label %r" % name)
+        self._labels[name] = len(self._instrs)
+        return self._labels[name]
+
+    def here(self) -> int:
+        return len(self._instrs)
+
+    def data(self, addr: int, value: int) -> None:
+        """Initialise one 8-byte memory word."""
+        self._memory[addr] = value
+
+    def data_block(self, base: int, values: List[int], stride: int = 8
+                   ) -> None:
+        for offset, value in enumerate(values):
+            self._memory[base + offset * stride] = value
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, op: Op, rd: Optional[int] = None,
+             rs1: Optional[int] = None, rs2: Optional[int] = None,
+             imm: int = 0, target: Optional[LabelOrIndex] = None) -> int:
+        """Append an instruction; ``target`` may be a label name."""
+        index = len(self._instrs)
+        # Targets are patched in build(); store the raw value for now by
+        # bypassing Instr validation with a placeholder when symbolic.
+        if isinstance(target, str):
+            instr = Instr(op, rd, rs1, rs2, imm, target=0)
+            instr.target = target  # patched later
+        else:
+            instr = Instr(op, rd, rs1, rs2, imm, target=target)
+        self._instrs.append(instr)
+        return index
+
+    # Convenience emitters keep generator code readable.
+
+    def li(self, rd: int, imm: int) -> int:
+        return self.emit(Op.LI, rd=rd, imm=imm)
+
+    def mov(self, rd: int, rs: int) -> int:
+        return self.emit(Op.MOV, rd=rd, rs1=rs)
+
+    def add(self, rd: int, rs1: int, rs2: Optional[int] = None,
+            imm: int = 0) -> int:
+        return self.emit(Op.ADD, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+
+    def sub(self, rd: int, rs1: int, rs2: Optional[int] = None,
+            imm: int = 0) -> int:
+        return self.emit(Op.SUB, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+
+    def alu(self, op: Op, rd: int, rs1: int, rs2: Optional[int] = None,
+            imm: int = 0) -> int:
+        return self.emit(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+
+    def load(self, rd: int, base: int, imm: int = 0) -> int:
+        return self.emit(Op.LOAD, rd=rd, rs1=base, imm=imm)
+
+    def store(self, base: int, value_reg: int, imm: int = 0) -> int:
+        return self.emit(Op.STORE, rs1=base, rs2=value_reg, imm=imm)
+
+    def beqz(self, rs: int, target: LabelOrIndex) -> int:
+        return self.emit(Op.BEQZ, rs1=rs, target=target)
+
+    def bnez(self, rs: int, target: LabelOrIndex) -> int:
+        return self.emit(Op.BNEZ, rs1=rs, target=target)
+
+    def jmp(self, target: LabelOrIndex) -> int:
+        return self.emit(Op.JMP, target=target)
+
+    def call(self, target: LabelOrIndex) -> int:
+        return self.emit(Op.CALL, target=target)
+
+    def ret(self) -> int:
+        return self.emit(Op.RET)
+
+    def nop(self) -> int:
+        return self.emit(Op.NOP)
+
+    def halt(self) -> int:
+        return self.emit(Op.HALT)
+
+    # -- finalisation --------------------------------------------------------
+
+    def build(self) -> Program:
+        instrs: List[Instr] = []
+        for idx, instr in enumerate(self._instrs):
+            target = instr.target
+            if isinstance(target, str):
+                if target not in self._labels:
+                    raise ValueError(
+                        "undefined label %r at %d" % (target, idx))
+                target = self._labels[target]
+            instrs.append(Instr(instr.op, instr.rd, instr.rs1, instr.rs2,
+                                instr.imm, target=target))
+        return Program(instrs=instrs, memory=dict(self._memory),
+                       name=self.name)

@@ -1,0 +1,18 @@
+"""Top-level simulation driver and experiment runner."""
+
+from repro.sim.simulator import Simulator, RunResult
+from repro.sim.runner import (
+    run_workload,
+    run_program,
+    compare_defenses,
+    normalised_times,
+)
+
+__all__ = [
+    "Simulator",
+    "RunResult",
+    "run_workload",
+    "run_program",
+    "compare_defenses",
+    "normalised_times",
+]

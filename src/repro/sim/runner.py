@@ -1,0 +1,90 @@
+"""One-call experiment drivers used by the benches and examples."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.config import SystemConfig, default_config
+from repro.defenses import registry
+from repro.defenses.base import Defense
+from repro.pipeline.program import Program
+from repro.sim.simulator import RunResult, Simulator
+from repro.workloads.spec import WorkloadSpec, get_workload
+
+#: Global scale knob for experiment sizes (iteration counts).  The
+#: benches honour ``REPRO_SCALE`` so a quick smoke run and a full run use
+#: the same code.
+DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def _resolve_defense(defense: Union[str, Defense]) -> Defense:
+    if isinstance(defense, Defense):
+        return defense
+    if defense not in registry:
+        raise KeyError("unknown defense %r (have: %s)"
+                       % (defense, ", ".join(sorted(registry))))
+    return registry[defense]()
+
+
+def run_program(program: Union[Program, List[Program]],
+                defense: Union[str, Defense],
+                cfg: Optional[SystemConfig] = None,
+                max_cycles: int = 5_000_000,
+                max_insts: Optional[int] = None) -> RunResult:
+    """Simulate ``program`` under ``defense`` and return the result."""
+    simulator = Simulator(program, _resolve_defense(defense), cfg=cfg)
+    return simulator.run(max_cycles=max_cycles, max_insts=max_insts)
+
+
+def run_workload(workload: Union[str, WorkloadSpec],
+                 defense: Union[str, Defense],
+                 scale: Optional[float] = None,
+                 cfg: Optional[SystemConfig] = None,
+                 max_cycles: int = 5_000_000) -> RunResult:
+    """Build a named workload and simulate it under ``defense``."""
+    spec = (get_workload(workload) if isinstance(workload, str)
+            else workload)
+    programs = spec.build(scale if scale is not None else DEFAULT_SCALE)
+    if cfg is None:
+        cfg = default_config(cores=len(programs))
+    return run_program(programs, defense, cfg=cfg, max_cycles=max_cycles)
+
+
+def compare_defenses(workloads: Iterable[Union[str, WorkloadSpec]],
+                     defenses: Iterable[Union[str, Defense]],
+                     scale: Optional[float] = None,
+                     cfg: Optional[SystemConfig] = None
+                     ) -> Dict[str, Dict[str, RunResult]]:
+    """Run every (workload, defense) pair.
+
+    Returns ``{workload_name: {defense_name: RunResult}}``.
+    """
+    results: Dict[str, Dict[str, RunResult]] = {}
+    for workload in workloads:
+        spec = (get_workload(workload) if isinstance(workload, str)
+                else workload)
+        row: Dict[str, RunResult] = {}
+        for defense in defenses:
+            resolved = _resolve_defense(defense)
+            row[resolved.name] = run_workload(spec, resolved, scale=scale,
+                                              cfg=cfg)
+        results[spec.name] = row
+    return results
+
+
+def normalised_times(results: Dict[str, Dict[str, RunResult]],
+                     baseline: str = "Unsafe"
+                     ) -> Dict[str, Dict[str, float]]:
+    """Execution time of each defense normalised to ``baseline``
+    (the y-axis of figs. 6-8)."""
+    table: Dict[str, Dict[str, float]] = {}
+    for workload, row in results.items():
+        if baseline not in row:
+            raise KeyError("baseline %r missing for %s"
+                           % (baseline, workload))
+        base_cycles = row[baseline].cycles
+        table[workload] = {
+            name: result.cycles / base_cycles
+            for name, result in row.items() if name != baseline}
+    return table

@@ -1,0 +1,100 @@
+"""Multi-core cycle-driven simulator.
+
+One :class:`Simulator` owns the shared memory system (L2, DRAM,
+directory, prefetcher), one :class:`repro.pipeline.core.Core` per thread,
+and the shared functional memory.  Cores step round-robin each cycle
+until every program HALTs (or a cycle/instruction cap fires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.stats import Stats
+from repro.config import SystemConfig, default_config
+from repro.defenses.base import Defense
+from repro.memory.hierarchy import SharedMemory
+from repro.pipeline.core import Core
+from repro.pipeline.program import Program
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation."""
+
+    cycles: int
+    stats: Stats
+    finished: bool
+    cores: List[Core]
+
+    @property
+    def insts(self) -> int:
+        return int(self.stats.get("commit.insts"))
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc()
+
+    def arch_regs(self, core: int = 0) -> List[int]:
+        return self.cores[core].arch_regs()
+
+
+class Simulator:
+    """A whole machine: N cores over a shared memory system."""
+
+    def __init__(self, programs: Union[Program, Sequence[Program]],
+                 defense: Defense,
+                 cfg: Optional[SystemConfig] = None,
+                 init_regs: Optional[Sequence[Dict[int, int]]] = None
+                 ) -> None:
+        if isinstance(programs, Program):
+            programs = [programs]
+        self.programs = list(programs)
+        if cfg is None:
+            cfg = default_config(cores=len(self.programs))
+        if cfg.cores != len(self.programs):
+            raise ValueError("config cores (%d) != programs (%d)"
+                             % (cfg.cores, len(self.programs)))
+        cfg.validate()
+        self.cfg = cfg
+        self.defense = defense
+        self.stats = Stats()
+        self.shared = SharedMemory(cfg, self.stats)
+        # Shared functional memory: merged initial images.
+        self.memory: Dict[int, int] = {}
+        for program in self.programs:
+            self.memory.update(program.memory)
+        self.cores: List[Core] = []
+        for core_id, program in enumerate(self.programs):
+            hierarchy = defense.build_hierarchy(
+                core_id, cfg, self.shared, self.stats)
+            regs = (init_regs[core_id]
+                    if init_regs is not None else None)
+            self.cores.append(Core(core_id, program, cfg, defense,
+                                   hierarchy, self.memory, self.stats,
+                                   init_regs=regs))
+        self.cycle = 0
+
+    def run(self, max_cycles: int = 5_000_000,
+            max_insts: Optional[int] = None) -> RunResult:
+        """Simulate until all cores halt or a cap fires."""
+        cores = self.cores
+        stats = self.stats
+        while self.cycle < max_cycles:
+            all_halted = True
+            for core in cores:
+                if not core.halted:
+                    core.step(self.cycle)
+                    if not core.halted:
+                        all_halted = False
+            self.cycle += 1
+            if all_halted:
+                break
+            if max_insts is not None and \
+                    stats.get("commit.insts") >= max_insts:
+                break
+        finished = all(core.halted for core in cores)
+        stats.set("sim.cycles", self.cycle)
+        return RunResult(cycles=self.cycle, stats=stats,
+                         finished=finished, cores=cores)

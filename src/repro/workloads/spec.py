@@ -1,0 +1,223 @@
+"""Benchmark tables: every workload in figs. 6, 7 and 8.
+
+Each entry picks a kernel and parameters reflecting the benchmark's
+dominant behaviour in the literature (memory-bound pointer chasing for
+mcf, streaming for lbm/libquantum, indirect gathers for xalancbmk, FP
+compute for gamess, ...).  Absolute footprints and iteration counts are
+scaled down ~5 orders of magnitude from the real suites so a pure-Python
+cycle simulator can run the full evaluation (DESIGN.md note 1); what is
+preserved is *which machine structure each workload stresses*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.pipeline.program import Program
+from repro.workloads import patterns
+
+KERNELS: Dict[str, Callable[..., Program]] = {
+    "stream": patterns.stream_kernel,
+    "pchase": patterns.pointer_chase_kernel,
+    "indirect": patterns.indirect_kernel,
+    "random": patterns.random_kernel,
+    "compute": patterns.compute_kernel,
+    "mixed": patterns.mixed_kernel,
+}
+
+#: kernels that accept a ``seed`` parameter (varied per thread).
+_SEEDED = {"pchase", "indirect", "random", "mixed"}
+
+
+@dataclass
+class WorkloadSpec:
+    """One named benchmark: kernel + parameters + thread count."""
+
+    name: str
+    suite: str
+    kernel: str
+    base_iters: int
+    params: Dict[str, object] = field(default_factory=dict)
+    threads: int = 1
+
+    def build(self, scale: float = 1.0) -> List[Program]:
+        """Instantiate the program(s), one per thread."""
+        if self.kernel not in KERNELS:
+            raise KeyError("unknown kernel %r" % self.kernel)
+        iters = max(50, int(self.base_iters * scale))
+        programs = []
+        for thread in range(self.threads):
+            params = dict(self.params)
+            if self.threads > 1 and self.kernel in _SEEDED:
+                params["seed"] = int(params.get("seed", 7)) + thread * 13
+            programs.append(KERNELS[self.kernel](
+                iters=iters, name="%s.t%d" % (self.name, thread),
+                **params))
+        return programs
+
+
+def _spec(name: str, suite: str, kernel: str, iters: int,
+          threads: int = 1, **params) -> WorkloadSpec:
+    return WorkloadSpec(name=name, suite=suite, kernel=kernel,
+                        base_iters=iters, params=params, threads=threads)
+
+
+# ---------------------------------------------------------------------------
+# SPEC CPU2006 (fig. 6) — 25 workloads
+# ---------------------------------------------------------------------------
+
+SPEC2006: List[WorkloadSpec] = [
+    # pointer/graph-heavy integer codes
+    _spec("astar", "spec2006", "indirect", 1100,
+          footprint_lines=1024, index_lines=256, seed=5,
+          branch_entropy=True),
+    _spec("bzip2", "spec2006", "mixed", 320, stream_weight=2,
+          indirect_weight=1, compute_weight=1, chase_weight=1,
+          footprint_lines=2048, branch_entropy=True),
+    _spec("gcc", "spec2006", "mixed", 300, stream_weight=1,
+          indirect_weight=1, chase_weight=2, compute_weight=1,
+          footprint_lines=8192, branch_entropy=True),
+    _spec("gobmk", "spec2006", "mixed", 300, stream_weight=1,
+          indirect_weight=1, chase_weight=1, compute_weight=2,
+          footprint_lines=1024, branch_entropy=True),
+    _spec("h264ref", "spec2006", "mixed", 340, stream_weight=2,
+          indirect_weight=1, compute_weight=2, footprint_lines=512,
+          branch_entropy=False),
+    _spec("hmmer", "spec2006", "stream", 1600, footprint_lines=256,
+          stride_lines=1),
+    _spec("libquantum", "spec2006", "stream", 1600,
+          footprint_lines=2048, stride_lines=2),
+    _spec("mcf", "spec2006", "pchase", 1300, nodes=8192,
+          work_per_node=1, branchy=True),
+    _spec("omnetpp", "spec2006", "indirect", 1100,
+          footprint_lines=1024, index_lines=512, seed=29,
+          branch_entropy=True),
+    _spec("perlbench-like-sjeng", "spec2006", "mixed", 300,
+          stream_weight=1, indirect_weight=1, compute_weight=2,
+          chase_weight=0, footprint_lines=1024, branch_entropy=True),
+    _spec("xalancbmk", "spec2006", "indirect", 1100,
+          footprint_lines=512, index_lines=512, branch_entropy=True),
+    # FP / streaming codes
+    _spec("bwaves", "spec2006", "stream", 1500, footprint_lines=4096,
+          stride_lines=2),
+    _spec("cactusADM", "spec2006", "stream", 1500,
+          footprint_lines=2048, stride_lines=4),
+    _spec("calculix", "spec2006", "compute", 800, div_every=4,
+          fp=True, unroll=4),
+    _spec("gamess", "spec2006", "compute", 800, div_every=0,
+          fp=True, unroll=6),
+    _spec("GemsFDTD", "spec2006", "stream", 1500,
+          footprint_lines=8192, stride_lines=1),
+    _spec("gromacs", "spec2006", "mixed", 320, stream_weight=2,
+          indirect_weight=0, compute_weight=2, footprint_lines=1024,
+          branch_entropy=False),
+    _spec("lbm", "spec2006", "stream", 1500, footprint_lines=8192,
+          stride_lines=1, store_every=1),
+    _spec("leslie3d", "spec2006", "stream", 1400,
+          footprint_lines=4096, stride_lines=8),
+    _spec("milc", "spec2006", "random", 900, footprint_lines=4096),
+    _spec("namd", "spec2006", "compute", 800, div_every=8, fp=True,
+          unroll=5),
+    _spec("povray", "spec2006", "compute", 750, div_every=3, fp=True,
+          unroll=4),
+    _spec("soplex", "spec2006", "mixed", 300, stream_weight=2,
+          indirect_weight=2, chase_weight=1, compute_weight=1,
+          footprint_lines=8192, branch_entropy=True),
+    _spec("tonto", "spec2006", "compute", 780, div_every=5, fp=True,
+          unroll=5),
+    _spec("zeusmp", "spec2006", "mixed", 300, stream_weight=3,
+          indirect_weight=0, chase_weight=1, compute_weight=1,
+          footprint_lines=16384, branch_entropy=True),
+]
+# Keep the paper's fig. 6 naming: "sjeng" is the mixed entry above.
+SPEC2006[9].name = "sjeng"
+
+
+# ---------------------------------------------------------------------------
+# SPECspeed 2017 (fig. 8) — 18 workloads
+# ---------------------------------------------------------------------------
+
+SPEC2017: List[WorkloadSpec] = [
+    _spec("bwaves17", "spec2017", "stream", 1500,
+          footprint_lines=16384, stride_lines=2),
+    _spec("cactuBSSN", "spec2017", "stream", 1500,
+          footprint_lines=8192, stride_lines=4),
+    _spec("cam4", "spec2017", "mixed", 300, stream_weight=2,
+          indirect_weight=1, compute_weight=2, footprint_lines=4096,
+          branch_entropy=False),
+    _spec("deepsjeng", "spec2017", "mixed", 300, stream_weight=1,
+          indirect_weight=1, compute_weight=2, footprint_lines=1024,
+          branch_entropy=True),
+    _spec("exchange2", "spec2017", "compute", 800, div_every=0,
+          fp=False, unroll=6),
+    _spec("fotonik3d", "spec2017", "stream", 1500,
+          footprint_lines=16384, stride_lines=1),
+    _spec("gcc17", "spec2017", "mixed", 300, stream_weight=1,
+          indirect_weight=1, chase_weight=2, compute_weight=1,
+          footprint_lines=8192, branch_entropy=True),
+    _spec("imagick", "spec2017", "compute", 800, div_every=6,
+          fp=True, unroll=5),
+    _spec("lbm17", "spec2017", "stream", 1500, footprint_lines=8192,
+          stride_lines=1, store_every=1),
+    _spec("leela", "spec2017", "mixed", 300, stream_weight=1,
+          indirect_weight=1, compute_weight=2, chase_weight=1,
+          footprint_lines=512, branch_entropy=True),
+    _spec("mcf17", "spec2017", "pchase", 1300, nodes=8192,
+          work_per_node=1, branchy=True),
+    _spec("nab", "spec2017", "compute", 800, div_every=5, fp=True,
+          unroll=5),
+    _spec("perlbench", "spec2017", "mixed", 300, stream_weight=1,
+          indirect_weight=2, compute_weight=1, footprint_lines=1024,
+          branch_entropy=True),
+    _spec("pop2", "spec2017", "stream", 1400, footprint_lines=8192,
+          stride_lines=2),
+    _spec("roms", "spec2017", "stream", 1400, footprint_lines=16384,
+          stride_lines=1),
+    _spec("wrf", "spec2017", "mixed", 300, stream_weight=2,
+          indirect_weight=0, chase_weight=2, compute_weight=1,
+          footprint_lines=16384, branch_entropy=True),
+    _spec("xalancbmk17", "spec2017", "indirect", 1100,
+          footprint_lines=512, index_lines=512, branch_entropy=True),
+    _spec("xz", "spec2017", "mixed", 300, stream_weight=2,
+          indirect_weight=1, compute_weight=1, footprint_lines=4096,
+          branch_entropy=True),
+]
+
+
+# ---------------------------------------------------------------------------
+# Parsec, 4 threads (fig. 7) — 7 workloads
+# ---------------------------------------------------------------------------
+
+PARSEC: List[WorkloadSpec] = [
+    _spec("blackscholes", "parsec", "compute", 700, threads=4,
+          div_every=4, fp=True, unroll=4),
+    _spec("canneal", "parsec", "mixed", 260, threads=4,
+          stream_weight=0, indirect_weight=1, chase_weight=1,
+          compute_weight=1, store_weight=1, footprint_lines=8192,
+          branch_entropy=True),
+    _spec("ferret", "parsec", "mixed", 260, threads=4,
+          stream_weight=1, indirect_weight=2, compute_weight=1,
+          footprint_lines=4096, branch_entropy=False),
+    _spec("fluidanimate", "parsec", "mixed", 260, threads=4,
+          stream_weight=2, indirect_weight=1, compute_weight=1,
+          store_weight=1, footprint_lines=8192, branch_entropy=False),
+    _spec("freqmine", "parsec", "indirect", 900, threads=4,
+          footprint_lines=4096, index_lines=512),
+    _spec("streamcluster", "parsec", "stream", 1300, threads=4,
+          footprint_lines=4096, stride_lines=1),
+    _spec("swaptions", "parsec", "compute", 700, threads=4,
+          div_every=6, fp=True, unroll=5),
+]
+
+
+_ALL: Dict[str, WorkloadSpec] = {
+    spec.name: spec for spec in SPEC2006 + SPEC2017 + PARSEC}
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look a workload up by its figure name."""
+    if name not in _ALL:
+        raise KeyError("unknown workload %r (have: %s)"
+                       % (name, ", ".join(sorted(_ALL))))
+    return _ALL[name]

@@ -1,0 +1,198 @@
+"""The TimeGuarded Minion structure (figs. 3, 4; sections 4.3-4.4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ghostminion import Minion
+
+
+def make(num_sets=4, assoc=2, timeless=False, rob=0):
+    return Minion(num_sets, assoc, timeless=timeless, rob_entries=rob)
+
+
+# -- TimeGuarded reads (fig. 4a) ---------------------------------------------
+
+def test_read_miss():
+    assert make().read(0x10, ts=5) == "miss"
+
+
+def test_read_hit_older_line():
+    minion = make()
+    minion.fill(0x10, ts=3)
+    assert minion.read(0x10, ts=5) == "hit"
+    assert minion.read(0x10, ts=3) == "hit"  # equal timestamps allowed
+
+
+def test_read_blocked_by_timeguard():
+    """Fig. 4a: a line brought in by a younger instruction is invisible."""
+    minion = make()
+    minion.fill(0x10, ts=22)
+    assert minion.read(0x10, ts=21) == "timeguard"
+    assert minion.stats.get("minion.timeguard_blocks") == 1
+
+
+# -- TimeGuarded fills (fig. 4b) ---------------------------------------------
+
+def test_fill_takes_free_slot():
+    outcome = make().fill(0x10, ts=7)
+    assert outcome.filled and outcome.took_free_slot
+
+
+def test_fill_evicts_younger_line():
+    minion = make(num_sets=1, assoc=1)
+    minion.fill(0x10, ts=9)
+    outcome = minion.fill(0x11, ts=5)  # older fill may displace younger
+    assert outcome.filled and outcome.evicted == 0x10
+
+
+def test_fill_fails_against_older_line():
+    """Fig. 4b: a younger fill may not displace an older line — only the
+    highest-timestamped instruction learns the Minion is full."""
+    minion = make(num_sets=1, assoc=1)
+    minion.fill(0x10, ts=5)
+    outcome = minion.fill(0x11, ts=9)
+    assert not outcome.filled
+    assert minion.get(0x10) is not None
+
+
+def test_fill_evicts_highest_timestamp_candidate():
+    """Footnote 4's policy: evict the highest-timestamped valid victim."""
+    minion = make(num_sets=1, assoc=3)
+    minion.fill(0x10, ts=5)
+    minion.fill(0x11, ts=9)
+    minion.fill(0x12, ts=7)
+    outcome = minion.fill(0x13, ts=6)
+    assert outcome.evicted == 0x11
+
+
+def test_refill_same_line_lowers_timestamp():
+    minion = make()
+    minion.fill(0x10, ts=9)
+    outcome = minion.fill(0x10, ts=4)
+    assert outcome.filled
+    assert minion.get(0x10).ts == 4
+
+
+def test_refill_same_line_younger_fails():
+    minion = make()
+    minion.fill(0x10, ts=4)
+    assert not minion.fill(0x10, ts=9).filled
+    assert minion.get(0x10).ts == 4
+
+
+# -- free-slotting at commit (fig. 3) ----------------------------------------
+
+def test_commit_takes_line_and_frees_slot():
+    minion = make(num_sets=1, assoc=1)
+    minion.fill(0x10, ts=3)
+    entry = minion.take_for_commit(0x10, ts=3)
+    assert entry is not None and entry.line == 0x10
+    assert len(minion) == 0
+    # the freed slot accepts a new speculative fill
+    assert minion.fill(0x11, ts=50).filled
+
+
+def test_commit_cannot_take_younger_line():
+    minion = make()
+    minion.fill(0x10, ts=9)
+    assert minion.take_for_commit(0x10, ts=5) is None
+    assert minion.get(0x10) is not None
+
+
+def test_commit_miss_returns_none():
+    assert make().take_for_commit(0x99, ts=5) is None
+
+
+# -- wipe on misspeculation (section 4.2) ------------------------------------
+
+def test_wipe_is_timestamp_bounded():
+    """Footnote 2: only lines above the squash point are cleared."""
+    minion = make()
+    minion.fill(0x10, ts=3)
+    minion.fill(0x11, ts=7)
+    minion.fill(0x12, ts=12)
+    wiped = minion.wipe_above(7)
+    assert wiped == 1
+    assert sorted(entry.line for entry in minion.lines()) == [0x10, 0x11]
+
+
+def test_timeless_wipe_clears_everything():
+    minion = make(timeless=True)
+    minion.fill(0x10, ts=3)
+    minion.fill(0x11, ts=7)
+    assert minion.wipe_above(100) == 2
+    assert len(minion) == 0
+
+
+def test_timeless_ignores_timeguard():
+    """DMinion-Timeless (fig. 9): no backwards-in-time protection."""
+    minion = make(timeless=True)
+    minion.fill(0x10, ts=22)
+    assert minion.read(0x10, ts=21) == "hit"
+
+
+def test_timeless_fill_always_succeeds():
+    minion = make(num_sets=1, assoc=1, timeless=True)
+    minion.fill(0x10, ts=5)
+    assert minion.fill(0x11, ts=9).filled
+
+
+def test_invalidate():
+    minion = make()
+    minion.fill(0x10, ts=3)
+    assert minion.invalidate(0x10)
+    assert not minion.invalidate(0x10)
+
+
+def test_contents_sorted():
+    minion = make()
+    minion.fill(0x12, ts=9)
+    minion.fill(0x10, ts=3)
+    assert minion.contents() == [(0x10, 3), (0x12, 9)]
+
+
+def test_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        Minion(0, 2)
+    with pytest.raises(ValueError):
+        Minion(2, 0)
+
+
+# -- property-based invariants -------------------------------------------------
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["fill", "read", "commit", "wipe"]),
+              st.integers(0, 15),      # line
+              st.integers(0, 40)),     # ts
+    max_size=60)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops)
+def test_timeguard_invariants_hold_under_any_sequence(sequence):
+    """Under any operation sequence:
+
+    * a read at ts t never observes a line with ts > t;
+    * a fill never displaces a line strictly older than itself;
+    * after wipe_above(t), no line with ts > t remains.
+    """
+    minion = make(num_sets=2, assoc=2, rob=32)
+    for op, line, ts in sequence:
+        before = {e.line: e.ts for e in minion.lines()}
+        if op == "fill":
+            outcome = minion.fill(line, ts)
+            if outcome.evicted is not None:
+                assert before[outcome.evicted] >= ts
+        elif op == "read":
+            result = minion.read(line, ts)
+            if result == "hit":
+                assert before[line] <= ts
+            elif result == "timeguard":
+                assert before[line] > ts
+        elif op == "commit":
+            entry = minion.take_for_commit(line, ts)
+            if entry is not None:
+                assert entry.ts <= ts
+        else:
+            minion.wipe_above(ts)
+            assert all(e.ts <= ts for e in minion.lines())

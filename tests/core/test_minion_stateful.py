@@ -1,0 +1,101 @@
+"""Model-based (stateful) testing of the Minion against a reference
+dictionary model.
+
+The model is the paper's specification: a map ``line -> ts`` where reads
+see only at-or-older timestamps, fills only displace at-or-younger
+lines, commits remove, and wipes clear everything above a bound.  Any
+divergence between the Minion and the model over arbitrary operation
+interleavings is a bug in either the structure or our reading of the
+paper.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.ghostminion import Minion
+
+NUM_SETS = 2
+ASSOC = 2
+
+lines = st.integers(0, 9)
+stamps = st.integers(0, 50)
+
+
+class MinionModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.minion = Minion(NUM_SETS, ASSOC)
+        self.model = {}          # line -> ts
+
+    def _set_of(self, line):
+        return {l: t for l, t in self.model.items()
+                if l % NUM_SETS == line % NUM_SETS}
+
+    @rule(line=lines, ts=stamps)
+    def fill(self, line, ts):
+        outcome = self.minion.fill(line, ts)
+        current = self._set_of(line)
+        if line in self.model:
+            expected = self.model[line] >= ts
+            assert outcome.filled == expected
+            if expected:
+                self.model[line] = min(self.model[line], ts)
+        elif len(current) < ASSOC:
+            assert outcome.filled and outcome.took_free_slot
+            self.model[line] = ts
+        else:
+            candidates = {l: t for l, t in current.items() if t >= ts}
+            if candidates:
+                victim = max(candidates, key=lambda l: candidates[l])
+                assert outcome.filled and outcome.evicted == victim
+                del self.model[victim]
+                self.model[line] = ts
+            else:
+                assert not outcome.filled
+
+    @rule(line=lines, ts=stamps)
+    def read(self, line, ts):
+        result = self.minion.read(line, ts)
+        if line not in self.model:
+            assert result == "miss"
+        elif self.model[line] <= ts:
+            assert result == "hit"
+        else:
+            assert result == "timeguard"
+
+    @rule(line=lines, ts=stamps)
+    def commit(self, line, ts):
+        entry = self.minion.take_for_commit(line, ts)
+        if line in self.model and self.model[line] <= ts:
+            assert entry is not None and entry.line == line
+            del self.model[line]
+        else:
+            assert entry is None
+
+    @rule(ts=stamps)
+    def wipe(self, ts):
+        wiped = self.minion.wipe_above(ts)
+        doomed = [l for l, t in self.model.items() if t > ts]
+        assert wiped == len(doomed)
+        for line in doomed:
+            del self.model[line]
+
+    @rule(line=lines)
+    def invalidate(self, line):
+        present = line in self.model
+        assert self.minion.invalidate(line) == present
+        self.model.pop(line, None)
+
+    @invariant()
+    def contents_match(self):
+        assert self.minion.contents() == sorted(self.model.items())
+
+
+MinionModel.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None)
+TestMinionModel = MinionModel.TestCase

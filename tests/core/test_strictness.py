@@ -1,0 +1,132 @@
+"""Executable Strictness/Temporal Order model (section 3)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.strictness import (
+    InstDesc,
+    consistent_commit_sets,
+    may_influence_timing,
+    seq_before,
+    strictly_observes,
+    temporal_implies_strict,
+    temporally_succeeds,
+    transmission_allowed,
+)
+
+insts = st.builds(InstDesc, thread=st.integers(0, 3),
+                  seq=st.integers(0, 50), commits=st.booleans())
+
+
+def _consistent_pair(x, y):
+    return consistent_commit_sets([x, y])
+
+
+# -- definition 1 -----------------------------------------------------------
+
+def test_committed_transmits_to_anyone():
+    src = InstDesc(0, 5, commits=True)
+    for commits in (True, False):
+        assert strictly_observes(src, InstDesc(0, 9, commits))
+
+
+def test_transient_cannot_transmit_to_committed():
+    """The security theorem's core step: x transient, y committed ->
+    x S=> y must NOT hold."""
+    transient = InstDesc(0, 9, commits=False)
+    committed = InstDesc(0, 5, commits=True)
+    assert not strictly_observes(transient, committed)
+
+
+def test_transient_may_transmit_to_transient():
+    a = InstDesc(0, 5, commits=False)
+    b = InstDesc(0, 9, commits=False)
+    assert strictly_observes(a, b)
+    assert strictly_observes(b, a)
+
+
+@given(insts)
+def test_reflexive(x):
+    assert strictly_observes(x, x)
+
+
+@given(insts, insts, insts)
+def test_transitive(x, y, z):
+    if strictly_observes(x, y) and strictly_observes(y, z):
+        assert strictly_observes(x, z)
+
+
+@given(insts, insts)
+def test_total_within_thread(x, y):
+    """Section 3: within a thread either a S=> b or b S=> a (or both),
+    given the pipeline's consistent commit sets."""
+    if x.thread != y.thread or not _consistent_pair(x, y):
+        return
+    assert strictly_observes(x, y) or strictly_observes(y, x)
+
+
+def test_no_cross_thread_order_for_speculative():
+    """Between threads both directions may fail (section 3)."""
+    a = InstDesc(0, 1, commits=False)
+    b = InstDesc(1, 1, commits=True)
+    assert not strictly_observes(a, b)
+    assert strictly_observes(b, a)  # committed transmits anywhere
+
+
+# -- definition 2 and the overapproximation theorem --------------------------
+
+def test_temporal_older_in_sequence():
+    older = InstDesc(0, 1, commits=False)
+    newer = InstDesc(0, 2, commits=False)
+    assert temporally_succeeds(older, newer)
+    assert not temporally_succeeds(newer, older)
+
+
+@given(insts, insts)
+def test_temporal_implies_strict(x, y):
+    if not _consistent_pair(x, y):
+        return
+    assert temporal_implies_strict(x, y)
+
+
+@given(insts, insts)
+def test_temporal_is_stricter(x, y):
+    """Temporal Order permits a subset of Strictness Order's flows."""
+    if not _consistent_pair(x, y):
+        return
+    if temporally_succeeds(x, y):
+        assert strictly_observes(x, y)
+
+
+def test_strict_flow_temporal_rejects():
+    """The fig. 1 'blue' case Temporal Order loses: a younger committed
+    instruction may strictly transmit to an older one, but Temporal
+    Order rejects it unless the younger commits."""
+    older = InstDesc(0, 1, commits=True)
+    newer = InstDesc(0, 2, commits=False)
+    # strictness: newer -> older is forbidden (newer doesn't commit)
+    assert not strictly_observes(newer, older)
+    # but older -> newer is fine under both
+    assert strictly_observes(older, newer)
+    assert temporally_succeeds(older, newer)
+
+
+# -- helpers ------------------------------------------------------------------
+
+def test_consistent_commit_sets_detects_violation():
+    bad = [InstDesc(0, 1, commits=False), InstDesc(0, 2, commits=True)]
+    assert not consistent_commit_sets(bad)
+    good = [InstDesc(0, 1, commits=True), InstDesc(0, 2, commits=False)]
+    assert consistent_commit_sets(good)
+
+
+def test_seq_before_requires_same_thread():
+    assert not seq_before(InstDesc(0, 1, True), InstDesc(1, 2, True))
+    assert seq_before(InstDesc(0, 1, True), InstDesc(0, 2, True))
+
+
+def test_unified_query_modes():
+    older = InstDesc(0, 1, commits=False)
+    newer = InstDesc(0, 2, commits=False)
+    assert may_influence_timing(older, newer, temporal=True)
+    assert may_influence_timing(older, newer, temporal=False)
+    assert transmission_allowed(older, newer)

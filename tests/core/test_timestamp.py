@@ -1,0 +1,91 @@
+"""The 2x-ROB sliding-window timestamp encoding (§4.4, footnote 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.timestamp import TimestampWindow
+
+
+def test_modulus_is_twice_rob():
+    assert TimestampWindow(192).modulus == 384
+
+
+def test_rejects_empty_rob():
+    with pytest.raises(ValueError):
+        TimestampWindow(0)
+
+
+def test_encode_wraps():
+    window = TimestampWindow(4)
+    assert window.encode(0) == 0
+    assert window.encode(8) == 0
+    assert window.encode(9) == 1
+
+
+def test_encode_rejects_negative():
+    with pytest.raises(ValueError):
+        TimestampWindow(4).encode(-1)
+
+
+def test_simple_ordering():
+    window = TimestampWindow(8)
+    assert window.precedes_or_equal(3, 5)
+    assert not window.precedes_or_equal(5, 3)
+    assert window.precedes_or_equal(4, 4)
+
+
+def test_ordering_across_wrap():
+    window = TimestampWindow(4)  # modulus 8
+    # seq 7 encodes to 7, seq 9 encodes to 1: 7 precedes 1 in-window.
+    assert window.precedes_or_equal(window.encode(7), window.encode(9))
+    assert not window.precedes_or_equal(window.encode(9), window.encode(7))
+
+
+def test_read_and_overwrite_rules_are_duals():
+    window = TimestampWindow(16)
+    # fig. 4a: read allowed iff line at-or-before instruction
+    assert window.may_read(inst_ts=10, line_ts=9)
+    assert window.may_read(inst_ts=10, line_ts=10)
+    assert not window.may_read(inst_ts=10, line_ts=11)
+    # fig. 4b: overwrite allowed iff victim at-or-after instruction
+    assert window.may_overwrite(inst_ts=10, line_ts=11)
+    assert window.may_overwrite(inst_ts=10, line_ts=10)
+    assert not window.may_overwrite(inst_ts=10, line_ts=9)
+
+
+@given(st.integers(1, 512), st.integers(0, 10**6), st.integers(0, 10**6))
+def test_window_agrees_with_monotone_when_in_flight(rob, seq_a, seq_b):
+    """Footnote 5's claim: for any two instructions that can legally
+    coexist in the ROB, the wrapped comparison equals the monotone one."""
+    window = TimestampWindow(rob)
+    if not window.in_flight_together(seq_a, seq_b):
+        return
+    wrapped = window.precedes_or_equal(
+        window.encode(seq_a), window.encode(seq_b))
+    assert wrapped == (seq_a <= seq_b)
+
+
+@given(st.integers(1, 256), st.integers(0, 10**6))
+def test_reflexive(rob, seq):
+    window = TimestampWindow(rob)
+    enc = window.encode(seq)
+    assert window.precedes_or_equal(enc, enc)
+
+
+@given(st.integers(1, 256), st.integers(0, 10**5), st.integers(0, 10**5))
+def test_antisymmetric_strictly_within_window(rob, seq_a, seq_b):
+    """For distinct timestamps strictly closer than the ROB depth,
+    exactly one direction holds.  (At distance exactly N the footnote-5
+    window is deliberately inclusive on both sides.)"""
+    window = TimestampWindow(rob)
+    if seq_a == seq_b or abs(seq_a - seq_b) >= rob:
+        return
+    enc_a, enc_b = window.encode(seq_a), window.encode(seq_b)
+    assert window.precedes_or_equal(enc_a, enc_b) != \
+        window.precedes_or_equal(enc_b, enc_a)
+
+
+def test_distance():
+    window = TimestampWindow(4)
+    assert window.distance(6, 1) == 3  # wraps through 7, 0, 1
+    assert window.distance(1, 6) == 5

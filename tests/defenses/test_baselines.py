@@ -1,0 +1,198 @@
+"""MuonTrap, InvisiSpec and STT baseline semantics (§6.1)."""
+
+from repro.analysis.stats import Stats
+from repro.config import default_config
+from repro.defenses import registry
+from repro.defenses.invisispec import invisispec
+from repro.defenses.muontrap import muontrap
+from repro.defenses.stt import stt
+from repro.memory.hierarchy import SharedMemory
+from repro.pipeline.isa import Op
+from repro.pipeline.program import ProgramBuilder
+from repro.sim.simulator import Simulator
+
+
+def build_hier(defense, cfg=None):
+    cfg = cfg if cfg is not None else default_config()
+    stats = Stats()
+    shared = SharedMemory(cfg, stats)
+    return defense.build_hierarchy(0, cfg, shared, stats), shared, stats
+
+
+def run_sim(program, defense):
+    sim = Simulator(program, defense)
+    result = sim.run(max_cycles=200_000)
+    assert result.finished
+    return sim, result
+
+
+def spin(b, reg, count):
+    label = "spin_%d" % b.here()
+    b.li(reg, count)
+    b.label(label)
+    b.alu(Op.SUB, reg, reg, imm=1)
+    b.bnez(reg, label)
+
+
+# -- MuonTrap -----------------------------------------------------------------
+
+def test_muontrap_speculative_fill_goes_to_l0_only():
+    hier, shared, _stats = build_hier(muontrap())
+    req = hier.load(0x9000, ts=5, cycle=0)
+    hier.drain(req.ready_cycle + 1)
+    line = 0x9000 >> 6
+    assert hier.l0d.contains(line)
+    assert not hier.dport.cache.contains(line)
+    assert not shared.l2.contains(line)
+
+
+def test_muontrap_commit_promotes_to_l1():
+    hier, _shared, _stats = build_hier(muontrap())
+    req = hier.load(0x9000, ts=5, cycle=0)
+    hier.drain(req.ready_cycle + 1)
+    hier.commit_load(req, ts=5, cycle=req.ready_cycle + 1)
+    line = 0x9000 >> 6
+    assert hier.dport.cache.contains(line)
+    assert not hier.l0d.contains(line)
+
+
+def test_muontrap_serial_l0_probe_adds_latency():
+    """L0 in front of the L1 makes every L1 hit one cycle slower than
+    the unsafe baseline — GhostMinion's motivation for parallel access."""
+    unsafe_hier, _s, _t = build_hier(registry["Unsafe"]())
+    mt_hier, _s2, _t2 = build_hier(muontrap())
+    for hier in (unsafe_hier, mt_hier):
+        req = hier.load(0x9000, ts=1, cycle=0, speculative=False)
+        hier.drain(req.ready_cycle + 1)
+    unsafe_hit = unsafe_hier.load(0x9000, ts=2, cycle=500,
+                                  speculative=False)
+    mt_hit = mt_hier.load(0x9000, ts=2, cycle=500, speculative=False)
+    assert (mt_hit.ready_cycle - 500) == (unsafe_hit.ready_cycle - 500) + 1
+
+
+def test_muontrap_flush_clears_l0_on_squash():
+    base_hier, _s, _t = build_hier(muontrap(flush=False))
+    flush_hier, _s2, _t2 = build_hier(muontrap(flush=True))
+    for hier in (base_hier, flush_hier):
+        req = hier.load(0x9000, ts=5, cycle=0)
+        hier.drain(req.ready_cycle + 1)
+        hier.squash(0, cycle=req.ready_cycle + 2)
+    assert base_hier.l0d.contains(0x9000 >> 6)       # base keeps it
+    assert not flush_hier.l0d.contains(0x9000 >> 6)  # flush clears
+
+
+def test_muontrap_flush_drops_inflight_l0_fills():
+    hier, _s, _t = build_hier(muontrap(flush=True))
+    req = hier.load(0x9000, ts=5, cycle=0)
+    hier.squash(0, cycle=1)                  # fill still in flight
+    hier.drain(req.ready_cycle + 1)
+    assert not hier.l0d.contains(0x9000 >> 6)
+
+
+# -- InvisiSpec ----------------------------------------------------------------
+
+def test_invisispec_loads_are_invisible():
+    hier, shared, _stats = build_hier(invisispec())
+    req = hier.load(0x9000, ts=5, cycle=0)
+    hier.drain(req.ready_cycle + 1)
+    line = 0x9000 >> 6
+    assert req.invisible and req.needs_validation
+    assert not hier.dport.cache.contains(line)
+    assert not shared.l2.contains(line)
+
+
+def test_invisispec_l1_hits_expose_without_validation():
+    hier, _shared, stats = build_hier(invisispec())
+    warm = hier.load(0x9000, ts=1, cycle=0, speculative=False)
+    hier.drain(warm.ready_cycle + 1)
+    hit = hier.load(0x9000, ts=2, cycle=warm.ready_cycle + 1)
+    assert hit.invisible and not hit.needs_validation
+    assert stats.get("ivs.exposures") == 1
+
+
+def test_invisispec_validation_fills_caches():
+    hier, _shared, stats = build_hier(invisispec())
+    req = hier.load(0x9000, ts=5, cycle=0)
+    hier.drain(req.ready_cycle + 1)
+    done = hier.validate(req, ts=5, cycle=req.ready_cycle + 1)
+    assert done > req.ready_cycle
+    assert hier.dport.cache.contains(0x9000 >> 6)
+    assert stats.get("ivs.validations") == 1
+
+
+def test_invisispec_future_stalls_commit_on_validation():
+    b = ProgramBuilder()
+    b.load(1, None, imm=0x9000)
+    spin(b, 5, 10)
+    b.halt()
+    _sim, result = run_sim(b.build(), invisispec(future=True))
+    assert result.stats.get("ivs.validations") >= 1
+    assert result.stats.get("ivs.validation_stall_cycles") >= 1
+
+
+def test_invisispec_spectre_validates_at_branch_resolution():
+    defense = invisispec(future=False)
+    assert defense.validation_mode == "spectre"
+    b = ProgramBuilder()
+    b.load(1, None, imm=0x9000)
+    spin(b, 5, 10)
+    b.halt()
+    _sim, result = run_sim(b.build(), defense)
+    assert result.stats.get("ivs.validations") >= 1
+
+
+# -- STT -------------------------------------------------------------------------
+
+def _tainted_gather_program():
+    """The 'access' load completes quickly but cannot commit — an older
+    serial pointer chain blocks the ROB head for ~300 cycles — so the
+    tainted-address 'transmit' load is demonstrably delayed by STT
+    rather than by plain dataflow."""
+    b = ProgramBuilder()
+    b.data(0x200, 64)
+    b.data(0x300, 0x340)
+    b.data(0x340, 0x380)
+    b.data(0x380, 0)
+    b.load(9, None, imm=0x200)      # brings the access load's line in
+    b.li(8, 0x300)
+    b.load(8, 8)                    # serial cold chain: holds commit
+    b.load(8, 8)
+    b.load(1, 8)
+    b.load(2, None, imm=0x200)      # fast 'access' load: taints r2
+    b.alu(Op.SHL, 3, 2, imm=6)
+    b.alu(Op.ADD, 3, 3, imm=0x8000)
+    b.load(4, 3)                    # tainted-address 'transmit' load
+    spin(b, 7, 10)
+    b.halt()
+    return b.build()
+
+
+def test_stt_delays_tainted_address_loads():
+    _sim, result = run_sim(_tainted_gather_program(), stt(future=True))
+    assert result.stats.get("stt.load_blocked_cycles") >= 1
+
+
+def test_stt_spectre_unblocks_at_branch_resolution():
+    _sim_s, res_s = run_sim(_tainted_gather_program(), stt(future=False))
+    _sim_f, res_f = run_sim(_tainted_gather_program(), stt(future=True))
+    # Future (commit-point untaint) delays at least as long as Spectre.
+    assert res_f.stats.get("stt.load_blocked_cycles") >= \
+        res_s.stats.get("stt.load_blocked_cycles")
+
+
+def test_stt_does_not_delay_untainted_loads():
+    b = ProgramBuilder()
+    b.li(1, 0x8000)
+    b.load(2, 1)                    # ALU-computed address: untainted
+    spin(b, 5, 5)
+    b.halt()
+    _sim, result = run_sim(b.build(), stt(future=True))
+    assert result.stats.get("stt.load_blocked_cycles", 0) == 0
+
+
+def test_stt_hierarchy_is_stock():
+    hier, shared, _stats = build_hier(stt())
+    req = hier.load(0x9000, ts=5, cycle=0)
+    hier.drain(req.ready_cycle + 1)
+    assert hier.dport.cache.contains(0x9000 >> 6)
+    assert shared.l2.contains(0x9000 >> 6)

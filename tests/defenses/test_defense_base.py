@@ -1,0 +1,59 @@
+"""Defense descriptor validation and construction."""
+
+import pytest
+
+from repro.analysis.stats import Stats
+from repro.config import default_config
+from repro.defenses.base import Defense
+from repro.defenses.ghostminion import GhostMinionHierarchy, ghostminion
+from repro.memory.hierarchy import BaseHierarchy, SharedMemory
+
+
+def test_defaults_are_unsafe_like():
+    defense = Defense(name="x")
+    assert defense.hierarchy_cls is BaseHierarchy
+    assert defense.taint_mode == "none"
+    assert defense.validation_mode == "none"
+    assert not defense.strict_fu_order
+    assert not defense.early_commit
+    assert not defense.epoch_timestamps
+
+
+@pytest.mark.parametrize("field,value", [
+    ("taint_mode", "bogus"),
+    ("validation_mode", "bogus"),
+])
+def test_mode_validation(field, value):
+    with pytest.raises(ValueError):
+        Defense(name="x", **{field: value})
+
+
+def test_build_hierarchy_passes_kwargs():
+    cfg = default_config()
+    stats = Stats()
+    shared = SharedMemory(cfg, stats)
+    defense = Defense(name="x", hierarchy_cls=GhostMinionHierarchy,
+                      hierarchy_kwargs=dict(dminion=False, iminion=True))
+    hierarchy = defense.build_hierarchy(0, cfg, shared, stats)
+    assert hierarchy.dminion is None
+    assert hierarchy.iminion is not None
+
+
+def test_ghostminion_flag_combinations():
+    defense = ghostminion(strict_fu_order=True, early_commit=True,
+                          full_strictness=True)
+    assert defense.strict_fu_order
+    assert defense.early_commit
+    assert defense.epoch_timestamps
+    # name reflects the most specific variant
+    assert defense.name == "GhostMinion-FS"
+
+
+def test_every_registry_defense_builds_a_hierarchy():
+    from repro.defenses import registry
+    cfg = default_config()
+    for name, factory in registry.items():
+        stats = Stats()
+        shared = SharedMemory(cfg, stats)
+        hierarchy = factory().build_hierarchy(0, cfg, shared, stats)
+        assert isinstance(hierarchy, BaseHierarchy), name

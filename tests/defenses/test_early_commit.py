@@ -1,0 +1,62 @@
+"""§4.10 Early Commit: promote loads at branch resolution."""
+
+from repro.defenses.ghostminion import ghostminion
+from repro.pipeline.interpreter import run_program as interp
+from repro.pipeline.isa import Op
+from repro.pipeline.program import ProgramBuilder
+from repro.sim.simulator import Simulator
+from repro.workloads.spec import get_workload
+
+
+def run(program, defense):
+    sim = Simulator(program, defense)
+    result = sim.run(max_cycles=500_000)
+    assert result.finished
+    return sim, result
+
+
+def straightline_loads():
+    b = ProgramBuilder()
+    for i in range(6):
+        b.load(1 + i % 4, None, imm=0x9000 + i * 64)
+    b.li(7, 30)
+    b.label("spin")
+    b.alu(Op.SUB, 7, 7, imm=1)
+    b.bnez(7, "spin")
+    b.halt()
+    return b.build()
+
+
+def test_early_commit_promotes_loads():
+    _sim, result = run(straightline_loads(), ghostminion(early_commit=True))
+    assert result.stats.get("gm.early_commits") >= 1
+
+
+def test_early_commit_preserves_architecture():
+    spec = get_workload("soplex")
+    program = spec.build(0.1)[0]
+    ref = interp(program, max_steps=1_000_000)
+    _sim, result = run(program, ghostminion(early_commit=True))
+    assert result.arch_regs() == ref.regs
+
+
+def test_early_commit_never_slower_check_is_shape_only():
+    """EC removes commit-path work; it should not be dramatically slower
+    on a branchy workload (exact orderings are workload-dependent)."""
+    spec = get_workload("xalancbmk")
+    program = spec.build(0.1)[0]
+    _s1, base = run(program, ghostminion(early_commit=False))
+    _s2, ec = run(program, ghostminion(early_commit=True))
+    assert ec.cycles <= base.cycles * 1.1
+
+
+def test_early_commit_defense_name():
+    assert ghostminion(early_commit=True).name == "GhostMinion-EC"
+    assert ghostminion().name == "GhostMinion"
+
+
+def test_early_commit_still_blocks_spectre():
+    """Promotion happens only after *all* older branches resolve, so a
+    transient gadget's lines are never promoted: Spectre stays blocked."""
+    from repro.attacks import spectre
+    assert not spectre.leaks(ghostminion(early_commit=True))

@@ -1,0 +1,131 @@
+"""Optional extensions: I-Minion prefetch (§4.7), L2 MSHR partitioning
+(§4.9), Full Strictness Order epochs (§4.10)."""
+
+from repro.analysis.stats import Stats
+from repro.config import default_config
+from repro.defenses.ghostminion import ghostminion
+from repro.memory.hierarchy import SharedMemory
+from repro.pipeline.interpreter import run_program as interp
+from repro.sim.simulator import Simulator
+from repro.workloads.spec import get_workload
+
+
+# -- fetch-directed I-prefetch into the I-Minion (§4.7) ------------------------
+
+def test_iprefetch_fills_iminion():
+    cfg = default_config()
+    cfg.iprefetch_into_minion = True
+    spec = get_workload("gamess")
+    program = spec.build(0.05)[0]
+    sim = Simulator(program, ghostminion(), cfg=cfg)
+    result = sim.run(max_cycles=200_000)
+    assert result.finished
+    assert result.stats.get("gm.iprefetches") >= 1
+
+
+def test_iprefetch_is_timestamped():
+    """The prefetched line carries the trigger's timestamp: an older
+    instruction must not observe it (§4.7)."""
+    cfg = default_config()
+    cfg.iprefetch_into_minion = True
+    stats = Stats()
+    shared = SharedMemory(cfg, stats)
+    hier = ghostminion().build_hierarchy(0, cfg, shared, stats)
+    req = hier.ifetch(0x1000, ts=50, cycle=0)
+    hier.drain(req.ready_cycle + 200)
+    next_line = (0x1000 + 64) >> 6
+    entry = hier.iminion.get(next_line)
+    assert entry is not None
+    assert entry.ts == 50
+    assert hier.iminion.read(next_line, ts=10) == "timeguard"
+
+
+def test_iprefetch_preserves_architecture():
+    cfg = default_config()
+    cfg.iprefetch_into_minion = True
+    spec = get_workload("soplex")
+    program = spec.build(0.05)[0]
+    ref = interp(program, max_steps=500_000)
+    sim = Simulator(program, ghostminion(), cfg=cfg)
+    result = sim.run(max_cycles=300_000)
+    assert result.finished
+    assert result.arch_regs() == ref.regs
+
+
+# -- L2 MSHR partitioning (§4.9) -------------------------------------------------
+
+def test_partitioning_caps_per_core_mshr_usage():
+    cfg = default_config(cores=2)
+    cfg.l2_mshr_partitioning = True
+    stats = Stats()
+    shared = SharedMemory(cfg, stats)
+    h0 = ghostminion().build_hierarchy(0, cfg, shared, stats)
+    quota = cfg.l2.mshrs // 2
+    granted = 0
+    for i in range(cfg.l2.mshrs):
+        # exhaust the L1 MSHRs quickly: use refetch-free distinct lines
+        req = h0.load(0x100000 + i * 64, ts=i, cycle=0)
+        if req is None:
+            break
+        granted += 1
+    held = sum(1 for e in shared.l2_mshrs.entries
+               if e.core == 0 and not e.prefetch)
+    assert held <= quota
+
+
+def test_partitioning_disabled_by_default():
+    cfg = default_config(cores=2)
+    assert not cfg.l2_mshr_partitioning
+    stats = Stats()
+    shared = SharedMemory(cfg, stats)
+    assert shared._mshr_quota is None
+
+
+# -- Full Strictness Order (§4.10) --------------------------------------------------
+
+def test_epoch_timestamps_shared_within_epoch():
+    spec = get_workload("hmmer")
+    program = spec.build(0.05)[0]
+    sim = Simulator(program, ghostminion(full_strictness=True))
+    result = sim.run(max_cycles=300_000)
+    assert result.finished
+    core = sim.cores[0]
+    assert core.epoch_timestamps
+    # instructions exist that share a timestamp despite distinct seqs
+    assert core.seq_counter > core.epoch
+
+
+def test_full_strictness_preserves_architecture():
+    spec = get_workload("soplex")
+    program = spec.build(0.08)[0]
+    ref = interp(program, max_steps=500_000)
+    sim = Simulator(program, ghostminion(full_strictness=True))
+    result = sim.run(max_cycles=500_000)
+    assert result.finished
+    assert result.arch_regs() == ref.regs
+
+
+def test_full_strictness_reduces_backwards_blocking():
+    """Epoch timestamps permit same-epoch flows that per-instruction
+    Temporal Order rejects: TimeGuard/timeleap events cannot increase."""
+    spec = get_workload("soplex")
+    program = spec.build(0.15)[0]
+    base_sim = Simulator(program, ghostminion())
+    base = base_sim.run(max_cycles=1_000_000)
+    fs_sim = Simulator(spec.build(0.15)[0],
+                       ghostminion(full_strictness=True))
+    fs = fs_sim.run(max_cycles=1_000_000)
+    base_events = (base.stats.get("gm.timeguard_loads")
+                   + base.stats.get("gm.timeleap_loads"))
+    fs_events = (fs.stats.get("gm.timeguard_loads")
+                 + fs.stats.get("gm.timeleap_loads"))
+    assert fs_events <= base_events
+
+
+def test_full_strictness_still_blocks_spectre():
+    from repro.attacks import spectre
+    assert not spectre.leaks(ghostminion(full_strictness=True))
+
+
+def test_full_strictness_defense_name():
+    assert ghostminion(full_strictness=True).name == "GhostMinion-FS"

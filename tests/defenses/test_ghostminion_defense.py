@@ -1,0 +1,179 @@
+"""GhostMinion hierarchy semantics (section 4)."""
+
+import pytest
+
+from repro.config import default_config
+from repro.defenses.ghostminion import ghostminion, ghostminion_breakdown
+from repro.pipeline.isa import Op
+from repro.pipeline.program import ProgramBuilder
+from repro.sim.simulator import Simulator
+
+
+def run_sim(program, defense=None, cfg=None):
+    defense = defense if defense is not None else ghostminion()
+    sim = Simulator(program, defense, cfg=cfg)
+    result = sim.run(max_cycles=200_000)
+    assert result.finished
+    return sim, result
+
+
+def spin(b, reg, count):
+    label = "spin_%d" % b.here()
+    b.li(reg, count)
+    b.label(label)
+    b.alu(Op.SUB, reg, reg, imm=1)
+    b.bnez(reg, label)
+
+
+def test_speculative_miss_bypasses_l1_and_l2():
+    """§4.2: the non-speculative hierarchy never sees speculative fills;
+    the data lands in the Minion and moves to the L1 at commit."""
+    b = ProgramBuilder()
+    b.load(1, None, imm=0x9000)
+    spin(b, 5, 10)
+    b.halt()
+    sim, _ = run_sim(b.build())
+    hierarchy = sim.cores[0].hierarchy
+    line = 0x9000 >> 6
+    # the commit move put it in the L1...
+    assert hierarchy.dport.cache.contains(line)
+    # ...but the L2 never saw it
+    assert not sim.shared.l2.contains(line)
+    assert sim.stats.get("dminion.commit_moves") >= 1
+
+
+def test_squash_wipes_transient_minion_lines():
+    b = ProgramBuilder()
+    b.data(0x100, 1)
+    b.load(1, None, imm=0x100)      # slow condition
+    b.bnez(1, "taken")              # mispredicted (default NT)
+    b.load(2, None, imm=0x9000)     # transient load
+    b.label("taken")
+    spin(b, 5, 150)                 # outlive the in-flight miss
+    b.halt()
+    sim, result = run_sim(b.build())
+    hierarchy = sim.cores[0].hierarchy
+    line = 0x9000 >> 6
+    assert result.stats.get("squash.events") >= 1
+    # neither the Minion nor the L1/L2 retain the transient line
+    assert hierarchy.dminion.get(line) is None
+    assert not hierarchy.dport.cache.contains(line)
+    assert not sim.shared.l2.contains(line)
+
+
+def test_unsafe_keeps_transient_line_for_contrast():
+    from repro.defenses.unsafe import unsafe
+    b = ProgramBuilder()
+    b.data(0x100, 1)
+    b.load(1, None, imm=0x100)
+    b.bnez(1, "taken")
+    b.load(2, None, imm=0x9000)
+    b.label("taken")
+    spin(b, 5, 150)
+    b.halt()
+    sim, _ = run_sim(b.build(), defense=unsafe())
+    assert sim.cores[0].hierarchy.dport.cache.contains(0x9000 >> 6)
+
+
+def test_commit_move_frees_minion_slot():
+    b = ProgramBuilder()
+    b.load(1, None, imm=0x9000)
+    spin(b, 5, 10)
+    b.halt()
+    sim, _ = run_sim(b.build())
+    hierarchy = sim.cores[0].hierarchy
+    assert hierarchy.dminion.get(0x9000 >> 6) is None  # moved out
+
+
+def test_iminion_serves_instruction_fetch():
+    b = ProgramBuilder()
+    spin(b, 5, 40)
+    b.halt()
+    sim, result = run_sim(b.build())
+    assert result.stats.get("iminion.fills", 0) >= 1
+
+
+def test_breakdown_configs():
+    for name in ("DMinion-Timeless", "DMinion", "IMinion", "Coherence",
+                 "Prefetcher", "All"):
+        defense = ghostminion_breakdown(name)
+        assert name in defense.name
+    with pytest.raises(KeyError):
+        ghostminion_breakdown("nope")
+
+
+def test_breakdown_timeless_has_no_temporal_order():
+    cfg = default_config()
+    from repro.analysis.stats import Stats
+    from repro.memory.hierarchy import SharedMemory
+    stats = Stats()
+    shared = SharedMemory(cfg, stats)
+    hier = ghostminion_breakdown("DMinion-Timeless").build_hierarchy(
+        0, cfg, shared, stats)
+    assert not hier.temporal_order
+    assert hier.dminion.timeless
+
+
+def test_timeguard_blocks_backwards_read():
+    """A younger load's Minion line is invisible to an older load."""
+    cfg = default_config()
+    from repro.analysis.stats import Stats
+    from repro.memory.hierarchy import SharedMemory
+    stats = Stats()
+    shared = SharedMemory(cfg, stats)
+    hier = ghostminion().build_hierarchy(0, cfg, shared, stats)
+    young = hier.load(0x9000, ts=50, cycle=0)
+    assert young is not None
+    hier.drain(young.ready_cycle + 1)
+    # the line is now in the Minion at ts=50; an older load must miss
+    old = hier.load(0x9000, ts=10, cycle=young.ready_cycle + 1)
+    assert old.hit_level != 0
+    assert stats.get("gm.timeguard_loads") >= 1
+
+
+def test_leapfrog_on_full_mshrs():
+    cfg = default_config()
+    from repro.analysis.stats import Stats
+    from repro.memory.hierarchy import SharedMemory
+    stats = Stats()
+    shared = SharedMemory(cfg, stats)
+    hier = ghostminion().build_hierarchy(0, cfg, shared, stats)
+    reqs = [hier.load(0x9000 + i * 64, ts=10 + i, cycle=0)
+            for i in range(cfg.l1d.mshrs)]
+    assert all(reqs)
+    older = hier.load(0xA000, ts=5, cycle=1)
+    assert older is not None
+    assert stats.get("gm.leapfrog_loads") == 1
+    from repro.memory.request import ReqState
+    assert reqs[-1].state is ReqState.REPLAY
+
+
+def test_timeleap_on_younger_inflight_line():
+    cfg = default_config()
+    from repro.analysis.stats import Stats
+    from repro.memory.hierarchy import SharedMemory
+    stats = Stats()
+    shared = SharedMemory(cfg, stats)
+    hier = ghostminion().build_hierarchy(0, cfg, shared, stats)
+    young = hier.load(0x9000, ts=50, cycle=0)
+    old = hier.load(0x9000, ts=10, cycle=2)
+    assert stats.get("gm.timeleap_loads") == 1
+    # the younger request was postponed to the restarted completion
+    assert young.ready_cycle >= old.ready_cycle
+
+
+def test_async_reload_recovers_lost_lines():
+    """§6.4: with tiny Minions lines are lost before commit; the async
+    reload brings them into the L1 without stalling commit."""
+    from repro.config import MinionConfig
+    cfg = default_config()
+    cfg.minion_d = MinionConfig(size_bytes=128, assoc=2)
+    cfg.minion_i = MinionConfig(size_bytes=128, assoc=2)
+    b = ProgramBuilder()
+    for i in range(8):
+        b.load(1 + i % 4, None, imm=0x9000 + i * 64)
+    spin(b, 7, 30)
+    b.halt()
+    defense = ghostminion(async_reload=True)
+    sim, result = run_sim(b.build(), defense=defense, cfg=cfg)
+    assert result.stats.get("dminion.async_reloads", 0) >= 1

@@ -1,0 +1,102 @@
+"""Multi-core GhostMinion: coherence extension behaviour (§4.6)."""
+
+from repro.analysis.stats import Stats
+from repro.config import default_config
+from repro.defenses.ghostminion import ghostminion
+from repro.memory.hierarchy import SharedMemory
+from repro.pipeline.isa import Op
+from repro.pipeline.program import ProgramBuilder
+from repro.sim.simulator import Simulator
+
+
+def build_pair():
+    cfg = default_config(cores=2)
+    stats = Stats()
+    shared = SharedMemory(cfg, stats)
+    defense = ghostminion()
+    h0 = defense.build_hierarchy(0, cfg, shared, stats)
+    h1 = defense.build_hierarchy(1, cfg, shared, stats)
+    return h0, h1, shared, stats
+
+
+def test_remote_store_invalidates_minion_copy():
+    h0, h1, shared, _stats = build_pair()
+    req = h1.load(0x9000, ts=1, cycle=0)
+    h1.drain(req.ready_cycle + 1)
+    assert h1.dminion.get(0x9000 >> 6) is not None
+    h0.store_commit(0x9000, ts=5, cycle=req.ready_cycle + 2)
+    assert h1.dminion.get(0x9000 >> 6) is None
+
+
+def test_minion_fill_denied_when_remote_modified():
+    """§4.6: a Minion may only gain Shared copies — a line modified by
+    another core passes through uncached."""
+    h0, h1, shared, stats = build_pair()
+    h0.store_commit(0x9000, ts=1, cycle=0)       # core 0 owns modified
+    req = h1.load(0x9000, ts=2, cycle=10)
+    h1.drain(req.ready_cycle + 1)
+    assert req.uncached
+    assert h1.dminion.get(0x9000 >> 6) is None
+    assert stats.get("coh.minion_fill_denied") == 1
+
+
+def test_denied_fill_refetches_coherently_at_commit():
+    h0, h1, shared, stats = build_pair()
+    h0.store_commit(0x9000, ts=1, cycle=0)
+    req = h1.load(0x9000, ts=2, cycle=10)
+    h1.drain(req.ready_cycle + 1)
+    extra = h1.commit_load(req, ts=2, cycle=req.ready_cycle + 1)
+    assert extra > 0
+    assert stats.get("coh.commit_refetches") == 1
+    assert h1.dport.cache.contains(0x9000 >> 6)
+
+
+def test_stale_minion_copy_replays_at_commit():
+    """A remote store between fill and commit bumps the line version;
+    the committing load must replay (§4.6)."""
+    h0, h1, shared, stats = build_pair()
+    req = h1.load(0x9000, ts=1, cycle=0)
+    h1.drain(req.ready_cycle + 1)
+    # Hack alert avoided: re-fill the Minion line after the invalidation
+    # by loading again, then invalidate only the directory version.
+    shared.directory.on_store_commit(0, 0x9000 >> 6)
+    # the Minion copy survived only if invalidation missed it; force the
+    # situation by filling afresh with the old version number
+    h1.dminion.fill(0x9000 >> 6, ts=1, version=0)
+    extra = h1.commit_load(req, ts=1, cycle=req.ready_cycle + 5)
+    assert extra > 0
+    assert stats.get("coh.commit_replays") == 1
+
+
+def test_own_store_invalidates_own_minion_copy():
+    h0, _h1, _shared, _stats = build_pair()
+    req = h0.load(0x9000, ts=1, cycle=0)
+    h0.drain(req.ready_cycle + 1)
+    assert h0.dminion.get(0x9000 >> 6) is not None
+    h0.store_commit(0x9000, ts=2, cycle=req.ready_cycle + 2)
+    assert h0.dminion.get(0x9000 >> 6) is None
+
+
+def test_cross_core_producer_consumer_program():
+    """End-to-end: a flag-based handoff between two cores under
+    GhostMinion commits the right values."""
+    writer = ProgramBuilder("writer")
+    writer.li(1, 0x2000)
+    writer.li(2, 1234)
+    writer.store(1, 2)               # data
+    writer.li(3, 1)
+    writer.store(1, 3, imm=64)       # flag (different line)
+    writer.halt()
+
+    reader = ProgramBuilder("reader")
+    reader.li(1, 0x2000)
+    reader.label("wait")
+    reader.load(3, 1, imm=64)
+    reader.beqz(3, "wait")
+    reader.load(4, 1)                # data must be visible
+    reader.halt()
+
+    sim = Simulator([writer.build(), reader.build()], ghostminion())
+    result = sim.run(max_cycles=100_000)
+    assert result.finished
+    assert result.cores[1].regs[4] == 1234

@@ -1,0 +1,100 @@
+"""Set-associative cache with LRU."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import SetAssocCache
+
+
+def test_miss_then_fill_then_hit():
+    cache = SetAssocCache(4, 2)
+    assert not cache.lookup(0x10, cycle=0)
+    cache.fill(0x10, cycle=1)
+    assert cache.lookup(0x10, cycle=2)
+    assert cache.stats.get("cache.hits") == 1
+    assert cache.stats.get("cache.misses") == 1
+
+
+def test_lru_eviction():
+    cache = SetAssocCache(1, 2)
+    cache.fill(1, cycle=1)
+    cache.fill(2, cycle=2)
+    cache.lookup(1, cycle=3)        # 1 is now most recent
+    victim = cache.fill(3, cycle=4)
+    assert victim == 2
+
+
+def test_fill_existing_updates_recency():
+    cache = SetAssocCache(1, 2)
+    cache.fill(1, cycle=1)
+    cache.fill(2, cycle=2)
+    assert cache.fill(1, cycle=3) is None   # refresh, no eviction
+    victim = cache.fill(3, cycle=4)
+    assert victim == 2
+
+
+def test_set_mapping_isolates_sets():
+    cache = SetAssocCache(2, 1)
+    cache.fill(0, cycle=1)   # set 0
+    cache.fill(1, cycle=2)   # set 1
+    assert cache.contains(0) and cache.contains(1)
+    victim = cache.fill(2, cycle=3)   # set 0 again
+    assert victim == 0
+    assert cache.contains(1)
+
+
+def test_invalidate():
+    cache = SetAssocCache(2, 2)
+    cache.fill(5, cycle=1)
+    assert cache.invalidate(5)
+    assert not cache.invalidate(5)
+    assert not cache.contains(5)
+
+
+def test_invalidate_all():
+    cache = SetAssocCache(2, 2)
+    for line in range(4):
+        cache.fill(line, cycle=line)
+    assert cache.invalidate_all() == 4
+    assert len(cache) == 0
+
+
+def test_probe_has_no_lru_side_effect():
+    cache = SetAssocCache(1, 2)
+    cache.fill(1, cycle=1)
+    cache.fill(2, cycle=2)
+    cache.contains(1)                 # probe: must not refresh 1
+    victim = cache.fill(3, cycle=3)
+    assert victim == 1
+
+
+def test_dirty_tracking():
+    cache = SetAssocCache(2, 2)
+    cache.fill(5, cycle=1, dirty=True)
+    assert cache.get(5).dirty
+    cache.mark_dirty(5)
+    assert cache.get(5).dirty
+
+
+def test_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        SetAssocCache(0, 2)
+    with pytest.raises(ValueError):
+        SetAssocCache(2, 0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.integers(0, 30), max_size=80),
+       st.integers(1, 4), st.integers(1, 4))
+def test_capacity_and_membership_invariants(lines, num_sets, assoc):
+    """No set ever exceeds its associativity, and the most recently
+    filled line of a set is always resident."""
+    cache = SetAssocCache(num_sets, assoc)
+    for cycle, line in enumerate(lines):
+        cache.fill(line, cycle=cycle)
+        assert cache.contains(line)
+        per_set = {}
+        for resident in cache.lines():
+            per_set.setdefault(cache.set_index(resident), []).append(
+                resident)
+        assert all(len(v) <= assoc for v in per_set.values())

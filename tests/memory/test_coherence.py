@@ -1,0 +1,69 @@
+"""Directory coherence and the Minion Shared/Invalid rule (§4.6)."""
+
+from repro.memory.coherence import Directory
+
+
+def test_fill_registers_sharer():
+    directory = Directory(4)
+    directory.on_fill(0, 0x10)
+    assert directory.sharers(0x10) == {0}
+
+
+def test_store_invalidates_remote_sharers():
+    directory = Directory(4)
+    directory.on_fill(0, 0x10)
+    directory.on_fill(1, 0x10)
+    directory.on_fill(2, 0x10)
+    victims = directory.on_store_commit(1, 0x10)
+    assert sorted(victims) == [0, 2]
+    assert directory.sharers(0x10) == {1}
+    assert directory.owner(0x10) == 1
+
+
+def test_store_invalidates_previous_owner():
+    directory = Directory(4)
+    directory.on_store_commit(0, 0x10)
+    victims = directory.on_store_commit(1, 0x10)
+    assert 0 in victims
+    assert directory.owner(0x10) == 1
+
+
+def test_version_bumps_on_store():
+    directory = Directory(2)
+    assert directory.version(0x10) == 0
+    directory.on_store_commit(0, 0x10)
+    directory.on_store_commit(0, 0x10)
+    assert directory.version(0x10) == 2
+
+
+def test_minion_fill_rule():
+    """A Minion may only hold Shared copies: denied while a *remote*
+    core owns the line modified (§4.6)."""
+    directory = Directory(2)
+    assert directory.minion_fill_allowed(0, 0x10)
+    directory.on_store_commit(1, 0x10)
+    assert not directory.minion_fill_allowed(0, 0x10)
+    assert directory.minion_fill_allowed(1, 0x10)  # own line is fine
+
+
+def test_downgrade_restores_minion_fill():
+    directory = Directory(2)
+    directory.on_store_commit(1, 0x10)
+    directory.downgrade(0x10)
+    assert directory.minion_fill_allowed(0, 0x10)
+
+
+def test_evict_clears_sharer_and_owner():
+    directory = Directory(2)
+    directory.on_store_commit(0, 0x10)
+    directory.on_evict(0, 0x10)
+    assert directory.sharers(0x10) == set()
+    assert directory.owner(0x10) is None
+
+
+def test_invalidation_stats():
+    directory = Directory(3)
+    directory.on_fill(0, 0x10)
+    directory.on_fill(1, 0x10)
+    directory.on_store_commit(2, 0x10)
+    assert directory.stats.get("coh.invalidations") == 2

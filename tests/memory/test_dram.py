@@ -1,0 +1,80 @@
+"""DRAM row-buffer model and the §4.9 speculative open-page policy."""
+
+from repro.config import DRAMConfig
+from repro.memory.dram import DRAM
+
+
+def make(**kwargs):
+    return DRAM(DRAMConfig(**kwargs))
+
+
+def test_first_access_pays_full_latency():
+    dram = make()
+    assert dram.access(0) == dram.cfg.base_latency
+
+
+def test_row_hit_fast_path():
+    dram = make()
+    dram.access(0)
+    assert dram.access(1) == dram.cfg.row_hit_latency  # same row
+
+
+def test_row_conflict_pays_full_latency():
+    dram = make()
+    lines_per_row = dram.lines_per_row
+    dram.access(0)
+    # a line in a different row of the same bank
+    other = lines_per_row * dram.cfg.banks
+    assert dram.bank_of(other) == dram.bank_of(0)
+    assert dram.access(other) == dram.cfg.base_latency
+
+
+def test_banks_hold_independent_rows():
+    dram = make()
+    row0_line = 0
+    row1_line = dram.lines_per_row      # next row -> next bank
+    dram.access(row0_line)
+    dram.access(row1_line)
+    assert dram.access(row0_line + 1) == dram.cfg.row_hit_latency
+    assert dram.access(row1_line + 1) == dram.cfg.row_hit_latency
+
+
+def test_closed_page_never_hits():
+    dram = make(open_page=False)
+    dram.access(0)
+    assert dram.access(1) == dram.cfg.base_latency
+
+
+def test_nonspec_open_only_policy():
+    """§4.9: speculative accesses may not leave pages open."""
+    dram = make(nonspec_open_only=True)
+    dram.access(0, speculative=True)
+    # the speculative access left no trace: still a row miss
+    assert dram.access(1, speculative=False) == dram.cfg.base_latency
+    # but non-speculative accesses open pages normally
+    assert dram.access(2, speculative=False) == dram.cfg.row_hit_latency
+
+
+def test_nonspec_open_only_preserves_previous_row():
+    """A speculative access must not close an open row either (that
+    would also be observable)."""
+    dram = make(nonspec_open_only=True)
+    dram.access(0, speculative=False)           # opens row 0
+    other_row = dram.lines_per_row * dram.cfg.banks
+    dram.access(other_row, speculative=True)    # same bank, no update
+    assert dram.access(1, speculative=False) == dram.cfg.row_hit_latency
+
+
+def test_stats_counted():
+    dram = make()
+    dram.access(0)
+    dram.access(1)
+    assert dram.stats.get("dram.accesses") == 2
+    assert dram.stats.get("dram.row_hits") == 1
+
+
+def test_reset():
+    dram = make()
+    dram.access(0)
+    dram.reset()
+    assert dram.access(1) == dram.cfg.base_latency

@@ -1,0 +1,46 @@
+"""MemRequest handle semantics."""
+
+from repro.memory.request import MemRequest, ReqState
+
+
+def make(**kwargs):
+    defaults = dict(kind="load", addr=0x1234, ts=5, core_id=0,
+                    issue_cycle=10, speculative=True)
+    defaults.update(kwargs)
+    return MemRequest(**defaults)
+
+
+def test_line_derivation():
+    assert make(addr=0x1234).line == 0x1234 >> 6
+
+
+def test_done_requires_ready_state_and_cycle():
+    req = make()
+    assert not req.done(100)
+    req.mark_ready(50)
+    assert not req.done(49)
+    assert req.done(50)
+
+
+def test_replay_overrides_ready():
+    req = make()
+    req.mark_ready(50)
+    req.mark_replay()
+    assert req.state is ReqState.REPLAY
+    assert not req.done(100)
+
+
+def test_postpone_never_advances():
+    req = make()
+    req.mark_ready(50)
+    req.postpone(80)
+    assert req.ready_cycle == 80
+    req.postpone(60)
+    assert req.ready_cycle == 80
+
+
+def test_defaults():
+    req = make()
+    assert req.hit_level == 3
+    assert not req.invisible and not req.needs_validation
+    assert not req.filled_minion and not req.uncached

@@ -1,0 +1,105 @@
+"""TLB hierarchy with a TLB GhostMinion (§4.9 address translation)."""
+
+from repro.config import TLBConfig, default_config
+from repro.defenses.ghostminion import ghostminion
+from repro.memory.tlb import TLBHierarchy
+from repro.pipeline.isa import Op
+from repro.pipeline.program import ProgramBuilder
+from repro.sim.simulator import Simulator
+
+
+def make(minion=True, **kwargs):
+    return TLBHierarchy(TLBConfig(**kwargs), minion=minion)
+
+
+PAGE = 1 << 12
+
+
+def test_cold_translation_walks():
+    tlb = make()
+    result = tlb.translate(0x5000, ts=1, cycle=0)
+    assert result.level == "walk"
+    assert result.latency == tlb.cfg.l2_latency + tlb.cfg.walk_latency
+
+
+def test_speculative_walk_fills_minion_not_tlb():
+    tlb = make()
+    tlb.translate(0x5000, ts=1, cycle=0, speculative=True)
+    vpn = 0x5000 >> 12
+    assert tlb.minion.get(vpn) is not None
+    assert not tlb.l1.contains(vpn)
+
+
+def test_minion_hit_is_free_and_timeguarded():
+    tlb = make()
+    tlb.translate(0x5000, ts=5, cycle=0)
+    hit = tlb.translate(0x5008, ts=6, cycle=1)       # same page
+    assert hit.level == "minion" and hit.latency == 0
+    # an older instruction must not see the younger translation
+    older = tlb.translate(0x5008, ts=2, cycle=2)
+    assert older.level != "minion"
+
+
+def test_commit_promotes_translation():
+    tlb = make()
+    tlb.translate(0x5000, ts=1, cycle=0)
+    tlb.commit_translation(0x5000, ts=1, cycle=5)
+    vpn = 0x5000 >> 12
+    assert tlb.minion.get(vpn) is None
+    assert tlb.l1.contains(vpn)
+    assert tlb.translate(0x5010, ts=2, cycle=6).level == "l1"
+
+
+def test_squash_wipes_transient_translations():
+    tlb = make()
+    tlb.translate(0x5000, ts=10, cycle=0)
+    tlb.translate(0x9000, ts=3, cycle=1)
+    tlb.squash(5)
+    assert tlb.minion.get(0x5000 >> 12) is None
+    assert tlb.minion.get(0x9000 >> 12) is not None
+
+
+def test_nonspeculative_translation_fills_real_tlbs():
+    tlb = make()
+    tlb.translate(0x5000, ts=1, cycle=0, speculative=False)
+    vpn = 0x5000 >> 12
+    assert tlb.l1.contains(vpn)
+    assert tlb.l2.contains(vpn)
+    assert tlb.minion.get(vpn) is None
+
+
+def test_unsafe_mode_has_no_minion():
+    tlb = make(minion=False)
+    tlb.translate(0x5000, ts=1, cycle=0, speculative=True)
+    assert tlb.l1.contains(0x5000 >> 12)   # speculative fill goes live
+
+
+def test_l2_tlb_hit_cost():
+    tlb = make(minion=False)
+    tlb.translate(0x5000, ts=1, cycle=0, speculative=False)
+    tlb.l1.invalidate(0x5000 >> 12)
+    result = tlb.translate(0x5000, ts=2, cycle=10)
+    assert result.level == "l2"
+    assert result.latency == tlb.cfg.l2_latency
+
+
+def test_end_to_end_with_tlb_modelled():
+    cfg = default_config()
+    cfg.model_tlb = True
+    b = ProgramBuilder()
+    b.li(1, 20)
+    b.li(2, 0x40000)
+    b.label("loop")
+    b.load(3, 2)
+    b.alu(Op.ADD, 2, 2, imm=4096)   # one page per iteration: TLB misses
+    b.alu(Op.SUB, 1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    sim = Simulator(b.build(), ghostminion(), cfg=cfg)
+    result = sim.run(max_cycles=200_000)
+    assert result.finished
+    assert result.stats.get("dtlb.walks") >= 10
+    # TLB walks slow the run down relative to an untranslated machine
+    sim_plain = Simulator(b.build(), ghostminion())
+    plain = sim_plain.run(max_cycles=200_000)
+    assert result.cycles > plain.cycles

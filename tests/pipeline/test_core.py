@@ -1,0 +1,193 @@
+"""Out-of-order core behaviour: correctness, speculation, forwarding."""
+
+from repro.defenses import registry
+from repro.pipeline.isa import Op
+from repro.pipeline.interpreter import run_program as interp
+from repro.pipeline.program import ProgramBuilder
+from repro.sim.runner import run_program as simrun
+from repro.sim.simulator import Simulator
+
+
+def run_both(program, defense="Unsafe"):
+    ref = interp(program, max_steps=1_000_000)
+    assert ref.halted
+    result = simrun(program, defense)
+    assert result.finished, "simulation did not halt"
+    return ref, result
+
+
+def test_straightline_alu():
+    b = ProgramBuilder()
+    b.li(1, 6)
+    b.li(2, 7)
+    b.alu(Op.MUL, 3, 1, 2)
+    b.alu(Op.XOR, 4, 3, 1)
+    b.halt()
+    ref, result = run_both(b.build())
+    assert result.arch_regs() == ref.regs
+
+
+def test_loop_with_memory():
+    b = ProgramBuilder()
+    b.li(1, 20)
+    b.li(2, 0)
+    b.li(3, 0x1000)
+    b.label("loop")
+    b.load(4, 3)
+    b.alu(Op.ADD, 2, 2, 4)
+    b.store(3, 2, imm=0x4000)
+    b.alu(Op.ADD, 3, 3, imm=8)
+    b.alu(Op.SUB, 1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    for i in range(32):
+        b.data(0x1000 + i * 8, i * 3)
+    ref, result = run_both(b.build())
+    assert result.arch_regs() == ref.regs
+    assert {k: v for k, v in result.cores[0].memory.items()
+            if k >= 0x4000} == \
+        {k: v for k, v in ref.memory.items() if k >= 0x4000}
+
+
+def test_wrong_path_execution_leaves_no_architectural_trace():
+    """A mispredicted branch's wrong path executes transiently (and
+    pollutes the cache under Unsafe) but never commits."""
+    b = ProgramBuilder()
+    b.data(0x100, 1)
+    b.load(1, None, imm=0x100)      # slow condition
+    b.bnez(1, "taken")              # actually taken; predicted NT
+    b.li(2, 0xBAD)                  # wrong path
+    b.store(None, 2, imm=0x200) if False else b.li(3, 0xBAD)
+    b.label("taken")
+    b.li(4, 7)
+    b.halt()
+    ref, result = run_both(b.build())
+    assert result.arch_regs() == ref.regs
+    assert result.arch_regs()[2] == 0
+    assert result.arch_regs()[3] == 0
+    assert result.stats.get("squash.events") >= 1
+
+
+def test_wrong_path_load_fills_cache_under_unsafe():
+    b = ProgramBuilder()
+    b.data(0x100, 1)
+    b.load(1, None, imm=0x100)
+    b.bnez(1, "taken")
+    b.load(2, None, imm=0x8000)     # transient load
+    b.label("taken")
+    # keep the program alive until the transient miss returns
+    b.li(5, 120)
+    b.label("spin")
+    b.alu(Op.SUB, 5, 5, imm=1)
+    b.bnez(5, "spin")
+    b.halt()
+    result = simrun(b.build(), "Unsafe")
+    hierarchy = result.cores[0].hierarchy
+    assert hierarchy.dport.cache.contains(0x8000 >> 6)
+
+
+def test_store_to_load_forwarding():
+    b = ProgramBuilder()
+    b.li(1, 0x300)
+    b.li(2, 77)
+    b.store(1, 2)
+    b.load(3, 1)                    # forwards from the store queue
+    b.halt()
+    ref, result = run_both(b.build())
+    assert result.arch_regs()[3] == 77
+    assert result.stats.get("lsq.forwards") >= 1
+
+
+def test_call_ret_with_ras():
+    b = ProgramBuilder()
+    b.li(1, 0)
+    b.li(2, 4)
+    b.label("loop")
+    b.call("sub")
+    b.alu(Op.SUB, 2, 2, imm=1)
+    b.bnez(2, "loop")
+    b.halt()
+    b.label("sub")
+    b.alu(Op.ADD, 1, 1, imm=10)
+    b.ret()
+    ref, result = run_both(b.build())
+    assert result.arch_regs()[1] == 40
+
+
+def test_rdcyc_monotone_along_dependencies():
+    b = ProgramBuilder()
+    b.emit(Op.RDCYC, rd=1)
+    b.load(2, None, imm=0x5000)     # a slow load
+    b.emit(Op.RDCYC, rd=3, rs1=2)   # ordered after the load
+    b.halt()
+    result = simrun(b.build(), "Unsafe")
+    regs = result.arch_regs()
+    assert regs[3] > regs[1]
+
+
+def test_division_by_zero_commits_zero():
+    b = ProgramBuilder()
+    b.li(1, 5)
+    b.li(2, 0)
+    b.alu(Op.DIV, 3, 1, 2)
+    b.halt()
+    ref, result = run_both(b.build())
+    assert result.arch_regs()[3] == 0
+
+
+def test_commit_is_in_order():
+    """IPC <= commit width, cycles >= insts / width."""
+    b = ProgramBuilder()
+    for i in range(64):
+        b.li(1, i)
+    b.halt()
+    result = simrun(b.build(), "Unsafe")
+    assert result.cycles >= result.insts / 8
+
+
+def test_mispredict_penalty_costs_cycles():
+    def build(outcome):
+        b = ProgramBuilder()
+        b.data(0x100, outcome)
+        # warm-up: teach the predictor the opposite outcome
+        for _ in range(3):
+            b.load(1, None, imm=0x100)
+        b.load(1, None, imm=0x100)
+        b.bnez(1, "t")
+        b.nop()
+        b.label("t")
+        b.halt()
+        return b.build()
+    taken = simrun(build(1), "Unsafe")      # untrained -> mispredict
+    not_taken = simrun(build(0), "Unsafe")  # matches the NT default
+    assert taken.cycles > not_taken.cycles
+
+
+def test_simulator_respects_max_cycles():
+    b = ProgramBuilder()
+    b.label("spin")
+    b.jmp("spin")
+    sim = Simulator(b.build(), registry["Unsafe"]())
+    result = sim.run(max_cycles=500)
+    assert not result.finished
+    assert result.cycles == 500
+
+
+def test_deep_speculation_nested_branches():
+    """Multiple in-flight unresolved branches squash correctly."""
+    b = ProgramBuilder()
+    b.data(0x100, 1)
+    b.data(0x140, 1)
+    b.load(1, None, imm=0x100)
+    b.load(2, None, imm=0x140)
+    b.bnez(1, "a")                  # both mispredict (default NT)
+    b.li(3, 1)
+    b.label("a")
+    b.bnez(2, "b")
+    b.li(4, 1)
+    b.label("b")
+    b.li(5, 42)
+    b.halt()
+    ref, result = run_both(b.build())
+    assert result.arch_regs() == ref.regs
+    assert result.arch_regs()[5] == 42

@@ -1,0 +1,104 @@
+"""Functional reference interpreter."""
+
+from repro.pipeline.isa import Op
+from repro.pipeline.program import ProgramBuilder
+from repro.pipeline.interpreter import run_program
+
+
+def build_sum_loop(n):
+    b = ProgramBuilder()
+    b.li(1, n)
+    b.li(2, 0)
+    b.label("loop")
+    b.alu(Op.ADD, 2, 2, 1)
+    b.alu(Op.SUB, 1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    return b.build()
+
+
+def test_sum_loop():
+    state = run_program(build_sum_loop(10))
+    assert state.halted
+    assert state.reg(2) == sum(range(1, 11))
+
+
+def test_memory_round_trip():
+    b = ProgramBuilder()
+    b.data(0x40, 7)
+    b.li(1, 0x40)
+    b.load(2, 1)
+    b.alu(Op.ADD, 2, 2, imm=1)
+    b.store(1, 2, imm=8)
+    b.halt()
+    state = run_program(b.build())
+    assert state.memory[0x48] == 8
+
+
+def test_uninitialised_memory_reads_zero():
+    b = ProgramBuilder()
+    b.load(1, None, imm=0x999)
+    b.halt()
+    assert run_program(b.build()).reg(1) == 0
+
+
+def test_call_and_ret():
+    b = ProgramBuilder()
+    b.li(1, 0)
+    b.call("sub")
+    b.call("sub")
+    b.halt()
+    b.label("sub")
+    b.alu(Op.ADD, 1, 1, imm=1)
+    b.ret()
+    state = run_program(b.build())
+    assert state.reg(1) == 2
+
+
+def test_beqz_taken_and_not_taken():
+    b = ProgramBuilder()
+    b.li(1, 0)
+    b.beqz(1, "skip")
+    b.li(2, 99)             # skipped
+    b.label("skip")
+    b.li(3, 5)
+    b.halt()
+    state = run_program(b.build())
+    assert state.reg(2) == 0 and state.reg(3) == 5
+
+
+def test_max_steps_guard():
+    b = ProgramBuilder()
+    b.label("spin")
+    b.jmp("spin")
+    state = run_program(b.build(), max_steps=100)
+    assert not state.halted
+    assert state.committed == 100
+
+
+def test_trace_records_committed_path():
+    b = ProgramBuilder()
+    b.li(1, 1)
+    b.beqz(1, "skip")
+    b.nop()
+    b.label("skip")
+    b.halt()
+    state = run_program(b.build(), trace=True)
+    pcs = [pc for pc, _op in state.trace]
+    assert pcs == [0, 1, 2, 3]
+
+
+def test_falling_off_end_halts():
+    b = ProgramBuilder()
+    b.nop()
+    state = run_program(b.build())
+    assert state.halted
+
+
+def test_rdcyc_is_deterministic_stub():
+    b = ProgramBuilder()
+    b.nop()
+    b.emit(Op.RDCYC, rd=1)
+    b.halt()
+    state = run_program(b.build())
+    assert state.reg(1) == 1  # committed count at that point

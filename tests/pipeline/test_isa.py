@@ -1,0 +1,118 @@
+"""Mini-ISA semantics and classification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pipeline.isa import (
+    MASK64,
+    Instr,
+    Op,
+    evaluate,
+)
+
+u64 = st.integers(0, MASK64)
+
+
+@pytest.mark.parametrize("op,a,b,expected", [
+    (Op.ADD, 2, 3, 5),
+    (Op.SUB, 2, 3, (2 - 3) & MASK64),
+    (Op.AND, 0b1100, 0b1010, 0b1000),
+    (Op.OR, 0b1100, 0b1010, 0b1110),
+    (Op.XOR, 0b1100, 0b1010, 0b0110),
+    (Op.SHL, 1, 4, 16),
+    (Op.SHR, 16, 4, 1),
+    (Op.CMPLT, 2, 3, 1),
+    (Op.CMPLT, 3, 2, 0),
+    (Op.CMPEQ, 7, 7, 1),
+    (Op.CMPEQ, 7, 8, 0),
+    (Op.MOV, 42, 0, 42),
+    (Op.MUL, 6, 7, 42),
+    (Op.DIV, 42, 7, 6),
+    (Op.DIV, 42, 0, 0),          # divide-by-zero yields 0
+    (Op.REM, 43, 7, 1),
+    (Op.REM, 43, 0, 0),
+    (Op.FADD, 2, 3, 5),
+    (Op.FMUL, 6, 7, 42),
+    (Op.FDIV, 42, 7, 6),
+    (Op.FSQRT, 49, 0, 7),
+])
+def test_evaluate(op, a, b, expected):
+    assert evaluate(op, a, b, 0) == expected
+
+
+def test_li_uses_immediate():
+    assert evaluate(Op.LI, 999, 999, imm=17) == 17
+
+
+def test_shift_amount_masked():
+    assert evaluate(Op.SHL, 1, 64, 0) == 1       # 64 & 63 == 0
+    assert evaluate(Op.SHR, 4, 65, 0) == 2
+
+
+@given(u64, u64)
+def test_results_always_fit_64_bits(a, b):
+    for op in (Op.ADD, Op.SUB, Op.MUL, Op.SHL, Op.XOR):
+        assert 0 <= evaluate(op, a, b, 0) <= MASK64
+
+
+@given(st.integers(0, 1 << 60))
+def test_fsqrt_is_floor_sqrt(value):
+    root = evaluate(Op.FSQRT, value, 0, 0)
+    assert root * root <= value < (root + 2) * (root + 1) + 1
+
+
+def test_evaluate_rejects_non_alu():
+    with pytest.raises(ValueError):
+        evaluate(Op.LOAD, 0, 0, 0)
+
+
+# -- classification ----------------------------------------------------------
+
+def test_branch_classification():
+    beqz = Instr(Op.BEQZ, rs1=1, target=0)
+    assert beqz.is_branch and beqz.is_cond_branch
+    jmp = Instr(Op.JMP, target=0)
+    assert jmp.is_branch and not jmp.is_cond_branch
+    ret = Instr(Op.RET)
+    assert ret.is_branch and not ret.is_cond_branch
+
+
+def test_mem_classification():
+    load = Instr(Op.LOAD, rd=1, rs1=2)
+    store = Instr(Op.STORE, rs1=2, rs2=3)
+    assert load.is_load and load.is_mem and not load.is_store
+    assert store.is_store and store.is_mem and not store.is_load
+
+
+def test_fu_class_and_pipelining():
+    assert Instr(Op.ADD, rd=1, rs1=1).fu_class == "int"
+    assert Instr(Op.FADD, rd=1, rs1=1).fu_class == "fp"
+    div = Instr(Op.DIV, rd=1, rs1=1, rs2=2)
+    assert div.fu_class == "muldiv" and not div.pipelined
+    fsqrt = Instr(Op.FSQRT, rd=1, rs1=1)
+    assert not fsqrt.pipelined and fsqrt.latency > 1
+    assert Instr(Op.MUL, rd=1, rs1=1, rs2=2).pipelined
+
+
+def test_call_writes_link_register():
+    from repro.pipeline.isa import LINK_REG
+    call = Instr(Op.CALL, target=5)
+    assert call.writes_reg == LINK_REG
+    ret = Instr(Op.RET)
+    assert ret.src_regs() == (LINK_REG,)
+
+
+def test_src_regs_order():
+    store = Instr(Op.STORE, rs1=2, rs2=3)
+    assert store.src_regs() == (2, 3)
+    load = Instr(Op.LOAD, rd=1, rs1=2)
+    assert load.src_regs() == (2,)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        Instr(Op.ADD, rd=32, rs1=0)          # register out of range
+    with pytest.raises(ValueError):
+        Instr(Op.BEQZ, rs1=1)                # missing target
+    with pytest.raises(ValueError):
+        Instr(Op.JMP)                        # missing target

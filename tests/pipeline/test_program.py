@@ -1,0 +1,97 @@
+"""Program container and builder."""
+
+import pytest
+
+from repro.pipeline.isa import Op
+from repro.pipeline.program import Program, ProgramBuilder
+
+
+def test_forward_label_reference():
+    b = ProgramBuilder()
+    b.jmp("end")
+    b.nop()
+    b.label("end")
+    b.halt()
+    program = b.build()
+    assert program.instrs[0].target == 2
+
+
+def test_backward_label_reference():
+    b = ProgramBuilder()
+    b.label("top")
+    b.nop()
+    b.jmp("top")
+    program = b.build()
+    assert program.instrs[1].target == 0
+
+
+def test_numeric_target_passthrough():
+    b = ProgramBuilder()
+    b.jmp(1)
+    b.halt()
+    assert b.build().instrs[0].target == 1
+
+
+def test_undefined_label_raises():
+    b = ProgramBuilder()
+    b.jmp("nowhere")
+    with pytest.raises(ValueError):
+        b.build()
+
+
+def test_duplicate_label_raises():
+    b = ProgramBuilder()
+    b.label("x")
+    with pytest.raises(ValueError):
+        b.label("x")
+
+
+def test_out_of_range_target_rejected():
+    with pytest.raises(ValueError):
+        Program(instrs=[ProgramBuilder().build().instrs]
+                if False else
+                [__import__("repro.pipeline.isa",
+                            fromlist=["Instr"]).Instr(Op.JMP, target=5)])
+
+
+def test_data_and_block():
+    b = ProgramBuilder()
+    b.data(0x100, 42)
+    b.data_block(0x200, [1, 2, 3])
+    b.halt()
+    program = b.build()
+    assert program.memory[0x100] == 42
+    assert program.memory[0x200 + 8] == 2
+
+
+def test_convenience_emitters_encode_correctly():
+    b = ProgramBuilder()
+    b.li(1, 5)
+    b.add(2, 1, imm=3)
+    b.load(3, 1, imm=0x10)
+    b.store(1, 3, imm=0x20)
+    b.beqz(3, "end")
+    b.call("end")
+    b.ret()
+    b.label("end")
+    b.halt()
+    program = b.build()
+    ops = [i.op for i in program.instrs]
+    assert ops == [Op.LI, Op.ADD, Op.LOAD, Op.STORE, Op.BEQZ, Op.CALL,
+                   Op.RET, Op.HALT]
+
+
+def test_here_reports_position():
+    b = ProgramBuilder()
+    assert b.here() == 0
+    b.nop()
+    assert b.here() == 1
+
+
+def test_builder_is_reusable_after_build():
+    b = ProgramBuilder()
+    b.halt()
+    first = b.build()
+    second = b.build()
+    assert len(first) == len(second) == 1
+    assert first.instrs is not second.instrs

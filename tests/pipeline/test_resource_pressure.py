@@ -1,0 +1,106 @@
+"""Core behaviour under structural resource pressure: every bounded
+queue (ROB/IQ/LQ/SQ/MSHR/fetch) must throttle without deadlock or
+architectural divergence."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import default_config
+from repro.defenses import registry
+from repro.pipeline.interpreter import run_program as interp
+from repro.pipeline.isa import Op
+from repro.pipeline.program import ProgramBuilder
+from repro.sim.simulator import Simulator
+
+
+def tiny_cfg(**core_kwargs):
+    cfg = default_config()
+    cfg.core = dataclasses.replace(cfg.core, **core_kwargs)
+    return cfg
+
+
+def run_with(cfg, program):
+    sim = Simulator(program, registry["Unsafe"](), cfg=cfg)
+    result = sim.run(max_cycles=500_000)
+    assert result.finished, "deadlock under resource pressure"
+    return result
+
+
+def load_burst_program(n=24):
+    b = ProgramBuilder()
+    for i in range(n):
+        b.load(1 + i % 8, None, imm=0x9000 + i * 64)
+    b.halt()
+    return b.build()
+
+
+def store_burst_program(n=24):
+    b = ProgramBuilder()
+    b.li(1, 42)
+    for i in range(n):
+        b.store(None, 1, imm=0x9000 + i * 64) if False else \
+            b.emit(Op.STORE, rs1=1, rs2=1, imm=0x9000 + i * 64)
+    b.halt()
+    return b.build()
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(rob_entries=8),
+    dict(iq_entries=2),
+    dict(lq_entries=2),
+    dict(sq_entries=2),
+    dict(fetch_width=1, issue_width=1, commit_width=1),
+])
+def test_tiny_structures_still_complete(kwargs):
+    program = load_burst_program()
+    ref = interp(program, max_steps=100_000)
+    result = run_with(tiny_cfg(**kwargs), program)
+    assert result.arch_regs() == ref.regs
+
+
+def test_tiny_sq_with_stores():
+    program = store_burst_program()
+    ref = interp(program, max_steps=100_000)
+    result = run_with(tiny_cfg(sq_entries=2), program)
+    assert result.cores[0].memory == ref.memory
+
+
+def test_one_mshr_everywhere():
+    cfg = default_config()
+    cfg.l1d = dataclasses.replace(cfg.l1d, mshrs=1)
+    cfg.l1i = dataclasses.replace(cfg.l1i, mshrs=1)
+    cfg.l2 = dataclasses.replace(cfg.l2, mshrs=1)
+    cfg.l2_prefetcher = False
+    program = load_burst_program(12)
+    ref = interp(program, max_steps=100_000)
+    result = run_with(cfg, program)
+    assert result.arch_regs() == ref.regs
+
+
+def test_one_mshr_under_ghostminion_leapfrogging():
+    """Leapfrogging with a single MSHR must not livelock."""
+    cfg = default_config()
+    cfg.l1d = dataclasses.replace(cfg.l1d, mshrs=1)
+    cfg.l2_prefetcher = False
+    program = load_burst_program(12)
+    ref = interp(program, max_steps=100_000)
+    sim = Simulator(program, registry["GhostMinion"](), cfg=cfg)
+    result = sim.run(max_cycles=500_000)
+    assert result.finished
+    assert result.arch_regs() == ref.regs
+
+
+def test_narrow_pipeline_is_slower():
+    wide = run_with(default_config(), load_burst_program())
+    narrow = run_with(
+        tiny_cfg(fetch_width=1, issue_width=1, commit_width=1),
+        load_burst_program())
+    assert narrow.cycles > wide.cycles
+
+
+def test_tiny_rob_bounds_ilp():
+    program = load_burst_program()
+    big = run_with(default_config(), program)
+    small = run_with(tiny_cfg(rob_entries=4), program)
+    assert small.cycles > big.cycles

@@ -1,0 +1,125 @@
+"""Stats, report formatting and the §6.5 power model."""
+
+import math
+
+import pytest
+
+from repro.analysis.power import SRAMModel, power_report
+from repro.analysis.report import (
+    format_table,
+    geomean,
+    normalised_series,
+    render_bars,
+)
+from repro.analysis.stats import Stats
+from repro.config import default_config
+
+
+# -- stats ---------------------------------------------------------------------
+
+def test_stats_bump_get():
+    stats = Stats()
+    stats.bump("x")
+    stats.bump("x", 2)
+    assert stats.get("x") == 3
+    assert stats.get("missing") == 0
+    assert stats.get("missing", 7) == 7
+
+
+def test_stats_merge():
+    a, b = Stats(), Stats()
+    a.bump("x", 1)
+    b.bump("x", 2)
+    b.bump("y", 5)
+    a.merge(b)
+    assert a.get("x") == 3 and a.get("y") == 5
+
+
+def test_stats_ratio_and_ipc():
+    stats = Stats()
+    stats.set("commit.insts", 50)
+    stats.set("sim.cycles", 100)
+    assert stats.ipc() == 0.5
+    assert stats.ratio("commit.insts", "nothing") == 0
+
+
+# -- report ----------------------------------------------------------------------
+
+def test_geomean():
+    assert geomean([1, 4]) == pytest.approx(2.0)
+    assert geomean([]) == 0.0
+    with pytest.raises(ValueError):
+        geomean([1, 0])
+
+
+def test_normalised_series_appends_geomean():
+    table = {"a": {"X": 2.0, "Y": 1.0}, "b": {"X": 8.0, "Y": 1.0}}
+    rows = normalised_series(table, ["X", "Y"])
+    assert rows[-1][0] == "geomean"
+    assert rows[-1][1] == pytest.approx(4.0)
+    assert rows[-1][2] == pytest.approx(1.0)
+
+
+def test_format_table_aligns():
+    text = format_table(["name", "v"], [("aa", 1.5), ("b", 2.25)])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "1.500" in text and "2.250" in text
+
+
+def test_render_bars():
+    text = render_bars({"A": 1.0, "B": 2.0})
+    assert "A" in text and "#" in text
+    assert render_bars({}) == "(no data)"
+
+
+# -- power (§6.5 anchors) -----------------------------------------------------------
+
+def test_minion_static_power_anchor():
+    assert SRAMModel(2048).leakage_mw == pytest.approx(0.47, abs=0.01)
+
+
+def test_l1_static_power_anchor():
+    assert SRAMModel(64 * 1024).leakage_mw == pytest.approx(12.8, abs=0.1)
+
+
+def test_minion_read_energy_anchor():
+    assert SRAMModel(2048).read_energy_pj == pytest.approx(1.5, abs=0.05)
+
+
+def test_l1_read_energy_anchor():
+    assert SRAMModel(64 * 1024).read_energy_pj == pytest.approx(
+        8.6, abs=0.1)
+
+
+def test_energy_scales_with_size():
+    assert SRAMModel(4096).read_energy_pj > SRAMModel(2048).read_energy_pj
+    assert SRAMModel(1024).leakage_mw < SRAMModel(2048).leakage_mw
+
+
+def test_power_report_dynamic_power_arithmetic():
+    """Dynamic power = event energies over simulated wall-clock at 2 GHz
+    (§6.5's accounting: a Minion read per L1 read, a write per fill, a
+    read-out per commit move)."""
+    stats = Stats()
+    stats.set("sim.cycles", 1_000_000)
+    stats.set("dminion.read_hits", 100_000)
+    stats.set("dminion.misses", 200_000)
+    stats.set("dminion.fills", 150_000)
+    stats.set("dminion.commit_moves", 100_000)
+    report = power_report(stats, default_config())
+    seconds = 1_000_000 / 2.0e9
+    read_pj = report.minion_read_pj
+    expected_pj = (300_000 * read_pj + 150_000 * 1.2 * read_pj
+                   + 100_000 * read_pj)
+    expected_uw = expected_pj * 1e-12 / seconds * 1e6
+    assert report.dminion_dynamic_uw == pytest.approx(expected_uw)
+    assert report.iminion_dynamic_uw == 0.0
+    rows = dict(report.rows())
+    assert "GhostMinion static power" in rows
+
+
+def test_power_report_handles_empty_run():
+    report = power_report(Stats(), default_config())
+    assert report.dminion_dynamic_uw == 0.0
+    assert math.isfinite(report.minion_static_mw)

@@ -1,0 +1,65 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "GhostMinion" in out
+    assert "mcf" in out and "blackscholes" in out
+
+
+def test_run(capsys):
+    assert main(["run", "hmmer", "--defense", "GhostMinion",
+                 "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out and "cycles" in out
+    assert "dminion.fills" in out
+
+
+def test_run_unknown_workload():
+    with pytest.raises(KeyError):
+        main(["run", "doom", "--scale", "0.05"])
+
+
+def test_compare(capsys):
+    assert main(["compare", "hmmer", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "GhostMinion" in out and "geomean" in out
+
+
+def test_figure_table1(capsys):
+    assert main(["figure", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "L1 DCache" in out
+
+
+def test_figure_six_small(capsys):
+    assert main(["figure", "sec49", "--scale", "0.03"]) == 0
+    out = capsys.readouterr().out
+    assert "strict FU" in out
+
+
+def test_attack_spectre_on_unsafe(capsys):
+    assert main(["attack", "spectre", "--defense", "Unsafe",
+                 "--secret", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "recovered: 3 (correct)" in out
+    assert "LEAKS" in out
+
+
+def test_attack_spectre_on_ghostminion(capsys):
+    assert main(["attack", "spectre", "--defense", "GhostMinion"]) == 0
+    out = capsys.readouterr().out
+    assert "safe under GhostMinion" in out
+
+
+def test_attack_interference(capsys):
+    exit_code = main(["attack", "interference",
+                      "--defense", "GhostMinion"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "secret bit 0" in out and "secret bit 1" in out

@@ -1,0 +1,84 @@
+"""System configuration (Table 1)."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    MinionConfig,
+    SystemConfig,
+    default_config,
+    line_of,
+    table1_rows,
+)
+
+
+def test_default_matches_table1():
+    cfg = default_config()
+    assert cfg.core.rob_entries == 192
+    assert cfg.core.iq_entries == 64
+    assert cfg.core.lq_entries == 32
+    assert cfg.core.sq_entries == 32
+    assert cfg.core.fetch_width == 8
+    assert cfg.l1i.size_bytes == 32 * 1024 and cfg.l1i.mshrs == 4
+    assert cfg.l1d.size_bytes == 64 * 1024 and cfg.l1d.latency == 2
+    assert cfg.l2.size_bytes == 2 * 1024 * 1024 and cfg.l2.mshrs == 20
+    assert cfg.minion_d.size_bytes == 2048 and cfg.minion_d.assoc == 2
+    assert cfg.core.predictor.local_entries == 2048
+    assert cfg.core.predictor.global_entries == 8192
+    assert cfg.core.predictor.btb_entries == 4096
+    assert cfg.core.predictor.ras_entries == 16
+
+
+def test_cache_geometry():
+    cache = CacheConfig(64 * 1024, 2, 2, 4)
+    assert cache.num_lines == 1024
+    assert cache.num_sets == 512
+
+
+def test_minion_geometry():
+    minion = MinionConfig(2048, 2)
+    assert minion.num_lines == 32
+    assert minion.num_sets == 16
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(size_bytes=100, assoc=2, latency=2, mshrs=4),   # not line mult
+    dict(size_bytes=64, assoc=2, latency=2, mshrs=4),    # < one set
+    dict(size_bytes=1024, assoc=2, latency=0, mshrs=4),  # bad latency
+    dict(size_bytes=1024, assoc=2, latency=2, mshrs=0),  # no MSHRs
+])
+def test_cache_validation(kwargs):
+    with pytest.raises(ValueError):
+        CacheConfig(**kwargs).validate()
+
+
+def test_system_validation():
+    cfg = default_config()
+    cfg.cores = 0
+    with pytest.raises(ValueError):
+        cfg.validate()
+
+
+def test_copy_is_deep_for_nested_configs():
+    cfg = default_config()
+    copy = cfg.copy()
+    copy.minion_d.size_bytes = 128
+    copy.core.rob_entries = 16
+    assert cfg.minion_d.size_bytes == 2048
+    assert cfg.core.rob_entries == 192
+
+
+def test_line_of():
+    assert line_of(0) == 0
+    assert line_of(63) == 0
+    assert line_of(64) == 1
+
+
+def test_table1_rows_render():
+    rows = table1_rows()
+    labels = [label for label, _ in rows]
+    assert "L1 DCache" in labels
+    assert "D/I GhostMinions" in labels
+    joined = " ".join(text for _, text in rows)
+    assert "192-Entry ROB" in joined
+    assert "2KiB" in joined

@@ -1,0 +1,71 @@
+"""The figure-regeneration module (tiny scales: smoke + shape)."""
+
+import pytest
+
+from repro.analysis.figures import (
+    dram_policy_ablation,
+    figure6,
+    figure9,
+    figure10,
+    figure11,
+    section49_fu_order,
+    section65_power,
+    table1,
+)
+
+TINY = 0.04
+SUBSET = ["mcf", "gamess"]
+
+
+def test_table1_contains_config():
+    result = table1()
+    assert "GhostMinions" in result.text
+    assert result.data["rows"]
+
+
+def test_figure6_subset():
+    result = figure6(scale=TINY, workloads=SUBSET)
+    assert set(result.data["normalised"]) == set(SUBSET)
+    geo = result.data["geomean"]
+    assert set(geo) == {"GhostMinion", "MuonTrap", "MuonTrap-Flush",
+                        "InvisiSpec-Spectre", "InvisiSpec-Future",
+                        "STT-Spectre", "STT-Future"}
+    assert all(value > 0.5 for value in geo.values())
+    assert "geomean" in result.text
+
+
+def test_figure9_subset():
+    result = figure9(scale=TINY, workloads=SUBSET)
+    table = result.data["normalised"]
+    assert "GhostMinion[All]" in table["mcf"]
+    assert "DMinion-Timeless" in result.text
+
+
+def test_figure10_subset():
+    result = figure10(scale=TINY, workloads=SUBSET)
+    for proportions in result.data.values():
+        for value in proportions.values():
+            assert 0 <= value <= 1
+
+
+def test_figure11_subset():
+    result = figure11(scale=TINY, workloads=["gamess"])
+    assert set(result.data["geomean"]) == {
+        "4096B", "2048B", "1024B", "512B", "256B", "128B"}
+    assert "128B async" in result.data["async_geomean"]
+
+
+def test_section49_subset():
+    result = section49_fu_order(scale=TINY, workloads=["gamess"])
+    assert result.data["ratios"]["gamess"] == pytest.approx(1.0, abs=0.2)
+
+
+def test_section65_subset():
+    result = section65_power(scale=TINY, workloads=["gamess"])
+    report = result.data["gamess"]
+    assert report.minion_static_mw == pytest.approx(0.47, abs=0.01)
+
+
+def test_dram_ablation_subset():
+    result = dram_policy_ablation(scale=TINY, workloads=["lbm"])
+    assert "nonspec-open-only" in result.text

@@ -1,0 +1,108 @@
+"""Top-level simulator and runner."""
+
+import pytest
+
+from repro.config import default_config
+from repro.defenses import FIGURE_ORDER, registry
+from repro.pipeline.isa import Op
+from repro.pipeline.program import ProgramBuilder
+from repro.sim.runner import (
+    compare_defenses,
+    normalised_times,
+    run_workload,
+)
+from repro.sim.simulator import Simulator
+from repro.workloads.spec import get_workload
+
+
+def tiny_program(value=5, name="tiny"):
+    b = ProgramBuilder(name)
+    b.li(1, value)
+    b.li(2, 0)
+    b.label("loop")
+    b.alu(Op.ADD, 2, 2, 1)
+    b.alu(Op.SUB, 1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    return b.build()
+
+
+def test_single_core_run():
+    sim = Simulator(tiny_program(), registry["Unsafe"]())
+    result = sim.run()
+    assert result.finished
+    assert result.insts > 0
+    assert 0 < result.ipc <= 8
+    assert result.arch_regs()[2] == 15
+
+
+def test_multicore_runs_to_completion():
+    programs = [tiny_program(3 + i, "t%d" % i) for i in range(4)]
+    sim = Simulator(programs, registry["GhostMinion"]())
+    result = sim.run()
+    assert result.finished
+    assert len(result.cores) == 4
+    for i, core in enumerate(result.cores):
+        assert core.halted
+        assert core.regs[2] == sum(range(1, 4 + i))
+
+
+def test_core_count_mismatch_rejected():
+    cfg = default_config(cores=2)
+    with pytest.raises(ValueError):
+        Simulator(tiny_program(), registry["Unsafe"](), cfg=cfg)
+
+
+def test_shared_memory_between_cores():
+    """A store by core 0 is observed by core 1 (after invalidation)."""
+    b0 = ProgramBuilder("writer")
+    b0.li(1, 0x1000)
+    b0.li(2, 99)
+    b0.store(1, 2)
+    b0.li(3, 200)
+    b0.label("spin")
+    b0.alu(Op.SUB, 3, 3, imm=1)
+    b0.bnez(3, "spin")
+    b0.halt()
+    b1 = ProgramBuilder("reader")
+    b1.li(3, 300)
+    b1.label("spin")
+    b1.alu(Op.SUB, 3, 3, imm=1)
+    b1.bnez(3, "spin")
+    b1.load(4, None, imm=0x1000)
+    b1.halt()
+    sim = Simulator([b0.build(), b1.build()], registry["GhostMinion"]())
+    result = sim.run()
+    assert result.finished
+    assert result.cores[1].regs[4] == 99
+
+
+def test_run_workload_by_name():
+    result = run_workload("hmmer", "Unsafe", scale=0.05)
+    assert result.finished and result.insts > 100
+
+
+def test_run_workload_unknown_defense():
+    with pytest.raises(KeyError):
+        run_workload("hmmer", "NotADefense", scale=0.05)
+
+
+def test_compare_and_normalise():
+    results = compare_defenses(["hmmer"], ["Unsafe", "GhostMinion"],
+                               scale=0.05)
+    table = normalised_times(results)
+    assert "GhostMinion" in table["hmmer"]
+    assert table["hmmer"]["GhostMinion"] > 0.5
+
+
+def test_normalise_requires_baseline():
+    results = compare_defenses(["hmmer"], ["GhostMinion"], scale=0.05)
+    with pytest.raises(KeyError):
+        normalised_times(results)
+
+
+def test_registry_covers_all_figure_bars():
+    assert set(FIGURE_ORDER) <= set(registry)
+    assert "Unsafe" in registry
+    for name in FIGURE_ORDER:
+        assert registry[name]().name == name

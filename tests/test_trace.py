@@ -1,0 +1,76 @@
+"""Pipeline tracer."""
+
+from repro.analysis.trace import PipelineTracer
+from repro.defenses import registry
+from repro.pipeline.isa import Op
+from repro.pipeline.program import ProgramBuilder
+from repro.sim.simulator import Simulator
+
+
+def traced_run(program, defense="Unsafe", limit=300):
+    sim = Simulator(program, registry[defense]())
+    tracer = PipelineTracer(sim.cores[0], limit=limit)
+    result = sim.run(max_cycles=100_000)
+    assert result.finished
+    return tracer, result
+
+
+def simple_loop(n=10):
+    b = ProgramBuilder()
+    b.li(1, n)
+    b.label("loop")
+    b.load(2, None, imm=0x1000)
+    b.alu(Op.SUB, 1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    return b.build()
+
+
+def test_records_lifetimes():
+    tracer, result = traced_run(simple_loop())
+    committed = tracer.committed()
+    assert committed
+    for record in committed:
+        assert record.fetch_cycle <= record.commit_cycle
+        if record.issue_cycle is not None:
+            assert record.fetch_cycle <= record.issue_cycle
+            assert record.issue_cycle <= record.commit_cycle
+
+
+def test_marks_transient_instructions():
+    b = ProgramBuilder()
+    b.data(0x100, 1)
+    b.load(1, None, imm=0x100)
+    b.bnez(1, "t")
+    b.li(2, 0xBAD)          # wrong path
+    b.li(3, 0xBAD)
+    b.label("t")
+    b.halt()
+    tracer, result = traced_run(b.build())
+    assert result.stats.get("squash.events") >= 1
+    assert tracer.transient()
+    assert tracer.squashes
+
+
+def test_render_and_summary():
+    tracer, _result = traced_run(simple_loop())
+    art = tracer.render(width=40, count=12)
+    assert "C" in art and "|" in art
+    summary = tracer.summary()
+    assert summary["committed"] > 0
+    assert summary["mean_issue_to_commit"] >= 0
+
+
+def test_limit_caps_records():
+    tracer, _result = traced_run(simple_loop(50), limit=10)
+    assert len(tracer.records) <= 10
+
+
+def test_tracing_does_not_change_timing():
+    program = simple_loop(20)
+    plain = Simulator(program, registry["GhostMinion"]())
+    plain_result = plain.run(max_cycles=100_000)
+    traced_sim = Simulator(simple_loop(20), registry["GhostMinion"]())
+    PipelineTracer(traced_sim.cores[0])
+    traced_result = traced_sim.run(max_cycles=100_000)
+    assert plain_result.cycles == traced_result.cycles

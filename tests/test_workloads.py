@@ -1,0 +1,65 @@
+"""Workload suites: every figure benchmark builds and terminates."""
+
+import pytest
+
+from repro.pipeline.interpreter import run_program
+from repro.workloads.spec import (
+    PARSEC,
+    SPEC2006,
+    SPEC2017,
+    get_workload,
+)
+
+ALL = SPEC2006 + SPEC2017 + PARSEC
+
+
+def test_suite_sizes_match_figures():
+    assert len(SPEC2006) == 25    # fig. 6
+    assert len(SPEC2017) == 18    # fig. 8
+    assert len(PARSEC) == 7       # fig. 7
+
+
+def test_names_unique():
+    names = [spec.name for spec in ALL]
+    assert len(names) == len(set(names))
+
+
+def test_figure6_headline_workloads_present():
+    for name in ("mcf", "libquantum", "xalancbmk", "gamess", "soplex",
+                 "lbm", "astar", "omnetpp", "zeusmp"):
+        assert get_workload(name).suite == "spec2006"
+
+
+def test_parsec_is_four_threaded():
+    for spec in PARSEC:
+        assert spec.threads == 4
+
+
+def test_get_workload_unknown():
+    with pytest.raises(KeyError):
+        get_workload("doom")
+
+
+@pytest.mark.parametrize("spec", ALL, ids=lambda s: s.name)
+def test_workload_terminates_functionally(spec):
+    """Every benchmark program halts and commits work (tiny scale)."""
+    programs = spec.build(scale=0.02)
+    assert len(programs) == spec.threads
+    for program in programs:
+        state = run_program(program, max_steps=300_000)
+        assert state.halted, spec.name
+        assert state.committed > 50
+
+
+def test_scale_controls_iterations():
+    small = get_workload("hmmer").build(scale=0.05)[0]
+    large = get_workload("hmmer").build(scale=0.2)[0]
+    s_small = run_program(small, max_steps=1_000_000)
+    s_large = run_program(large, max_steps=1_000_000)
+    assert s_large.committed > 2 * s_small.committed
+
+
+def test_threads_get_distinct_seeds():
+    programs = get_workload("canneal").build(scale=0.05)
+    images = [tuple(sorted(p.memory.items())) for p in programs]
+    assert len(set(images)) > 1
