@@ -6,7 +6,7 @@ implicit cache but does not evaluate it; this bench measures the cost on
 streaming and pointer-chasing workloads.
 """
 
-from conftest import BENCH_SCALE, emit
+from conftest import BENCH_SCALE, ENGINE_KWARGS, emit
 
 from repro.analysis.figures import dram_policy_ablation
 from repro.config import default_config
@@ -14,7 +14,8 @@ from repro.sim.runner import run_workload
 
 
 def test_dram_policy(benchmark):
-    result = dram_policy_ablation(scale=BENCH_SCALE)
+    result = dram_policy_ablation(scale=BENCH_SCALE,
+                                  **ENGINE_KWARGS)
     emit(result)
     benchmark.pedantic(
         lambda: run_workload("lbm", "GhostMinion", scale=0.05,

@@ -3,37 +3,46 @@
 The paper proposes treating instructions as non-speculative once their
 branches resolve (as InvisiSpec-Spectre/STT-Spectre do) instead of at
 commit; this bench measures what that buys on branchy, memory-bound
-workloads.
+workloads.  The whole comparison is one engine invocation (a workloads
+x {GhostMinion, GhostMinion-EC} sweep) rather than a hand-rolled loop.
 """
 
-from conftest import BENCH_SCALE, emit
+from conftest import BENCH_SCALE, ENGINE_KWARGS, emit
 
 from repro.analysis.figures import FigureResult
 from repro.analysis.report import format_table, geomean
 from repro.defenses.ghostminion import ghostminion
+from repro.exp import Sweep, run_sweep
 from repro.sim.runner import run_workload
 
 WORKLOADS = ["mcf", "xalancbmk", "soplex", "gcc", "libquantum", "hmmer"]
 
 
 def test_early_commit_ablation(benchmark):
+    report = run_sweep(
+        Sweep(name="early-commit",
+              workloads=WORKLOADS,
+              defenses=[ghostminion(), ghostminion(early_commit=True)],
+              scale=BENCH_SCALE),
+        **ENGINE_KWARGS)
     rows = []
     ratios = []
     for name in WORKLOADS:
-        base = run_workload(name, ghostminion(), scale=BENCH_SCALE)
-        early = run_workload(name, ghostminion(early_commit=True),
-                             scale=BENCH_SCALE)
+        base = report.results.get("%s::GhostMinion::base" % name)
+        early = report.results.get("%s::GhostMinion-EC::base" % name)
         ratio = early.cycles / base.cycles
         ratios.append(ratio)
         rows.append((name, base.cycles, early.cycles, ratio,
-                     int(early.stats.get("gm.early_commits"))))
+                     int(early.stats.get("gm.early_commits", 0))))
     rows.append(("geomean", "-", "-", geomean(ratios), "-"))
     result = FigureResult(
         name="Section 4.10 ablation: Early Commit",
         data={"ratios": dict(zip(WORKLOADS, ratios))},
         text=format_table(
             ["workload", "GhostMinion", "GhostMinion-EC", "ratio",
-             "promotions"], rows))
+             "promotions"], rows),
+        meta={"points": report.total, "cache_hits": report.cache_hits,
+              "executed": report.executed, "jobs": report.jobs})
     emit(result)
     assert geomean(ratios) < 1.1
     benchmark.pedantic(

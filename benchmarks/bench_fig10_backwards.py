@@ -6,7 +6,7 @@ data backwards in time are unusual), with soplex-like workloads showing
 timeleaps and mcf/libquantum/omnetpp-like workloads leapfrogs.
 """
 
-from conftest import BENCH_SCALE, emit
+from conftest import BENCH_SCALE, ENGINE_KWARGS, emit
 
 from repro.analysis.figures import figure10
 from repro.defenses.ghostminion import ghostminion
@@ -14,7 +14,7 @@ from repro.sim.runner import run_workload
 
 
 def test_figure10(benchmark):
-    result = figure10(scale=BENCH_SCALE)
+    result = figure10(scale=BENCH_SCALE, **ENGINE_KWARGS)
     emit(result)
     for name, proportions in result.data.items():
         for event, value in proportions.items():

@@ -6,7 +6,7 @@ negligibly slower); spikes appear below 512 B as lines leave the Minion
 before commit; async reload removes the spikes.
 """
 
-from conftest import BENCH_SCALE, emit
+from conftest import BENCH_SCALE, ENGINE_KWARGS, emit
 
 from repro.analysis.figures import figure11
 
@@ -16,7 +16,8 @@ SWEEP_WORKLOADS = ["mcf", "libquantum", "xalancbmk", "leslie3d", "hmmer",
 
 
 def test_figure11(benchmark):
-    result = figure11(scale=BENCH_SCALE, workloads=SWEEP_WORKLOADS)
+    result = figure11(scale=BENCH_SCALE, workloads=SWEEP_WORKLOADS,
+                      **ENGINE_KWARGS)
     emit(result)
     geo = result.data["geomean"]
     async_geo = result.data["async_geomean"]

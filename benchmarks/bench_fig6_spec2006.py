@@ -6,14 +6,14 @@ Paper headline: 2.5% geomean overhead for GhostMinion; mcf worst case
 most expensive hiding scheme.
 """
 
-from conftest import BENCH_SCALE, emit
+from conftest import BENCH_SCALE, ENGINE_KWARGS, emit
 
 from repro.analysis.figures import figure6
 from repro.sim.runner import run_workload
 
 
 def test_figure6(benchmark):
-    result = figure6(scale=BENCH_SCALE)
+    result = figure6(scale=BENCH_SCALE, **ENGINE_KWARGS)
     emit(result)
     geo = result.data["geomean"]
     # shape assertions: who wins, roughly by how much

@@ -4,14 +4,14 @@ Paper headline: ~0% geomean overhead for GhostMinion on Parsec;
 InvisiSpec's validation costs dominate multithreaded runs.
 """
 
-from conftest import BENCH_SCALE, emit
+from conftest import BENCH_SCALE, ENGINE_KWARGS, emit
 
 from repro.analysis.figures import figure7
 from repro.sim.runner import run_workload
 
 
 def test_figure7(benchmark):
-    result = figure7(scale=BENCH_SCALE)
+    result = figure7(scale=BENCH_SCALE, **ENGINE_KWARGS)
     emit(result)
     geo = result.data["geomean"]
     # paper: GhostMinion is ~free on Parsec; speculation-restricting

@@ -3,14 +3,14 @@
 Paper headline: 0.6% geomean overhead for GhostMinion.
 """
 
-from conftest import BENCH_SCALE, emit
+from conftest import BENCH_SCALE, ENGINE_KWARGS, emit
 
 from repro.analysis.figures import figure8
 from repro.sim.runner import run_workload
 
 
 def test_figure8(benchmark):
-    result = figure8(scale=BENCH_SCALE)
+    result = figure8(scale=BENCH_SCALE, **ENGINE_KWARGS)
     emit(result)
     geo = result.data["geomean"]
     assert geo["GhostMinion"] < 1.15

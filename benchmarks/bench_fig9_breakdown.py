@@ -6,7 +6,7 @@ coherence extension; the instruction side contributes none; TimeGuarding
 itself costs ~0.2% over the Timeless strawman.
 """
 
-from conftest import BENCH_SCALE, emit
+from conftest import BENCH_SCALE, ENGINE_KWARGS, emit
 
 from repro.analysis.figures import figure9
 from repro.defenses.ghostminion import ghostminion_breakdown
@@ -14,7 +14,7 @@ from repro.sim.runner import run_workload
 
 
 def test_figure9(benchmark):
-    result = figure9(scale=BENCH_SCALE)
+    result = figure9(scale=BENCH_SCALE, **ENGINE_KWARGS)
     emit(result)
     table = result.data["normalised"]
     # the IMinion alone is essentially free (paper: none of the

@@ -5,7 +5,7 @@ Paper headline: no non-negligible slowdown on any workload (max 0.08%),
 and a slight geomean speedup from favouring older operations.
 """
 
-from conftest import BENCH_SCALE, emit
+from conftest import BENCH_SCALE, ENGINE_KWARGS, emit
 
 from repro.analysis.figures import section49_fu_order
 from repro.defenses.ghostminion import ghostminion
@@ -13,7 +13,7 @@ from repro.sim.runner import run_workload
 
 
 def test_section49(benchmark):
-    result = section49_fu_order(scale=BENCH_SCALE)
+    result = section49_fu_order(scale=BENCH_SCALE, **ENGINE_KWARGS)
     emit(result)
     for name, ratio in result.data["ratios"].items():
         assert ratio < 1.1, (name, ratio)

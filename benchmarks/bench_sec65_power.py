@@ -6,14 +6,14 @@ Minions in the microwatt range against ~1 W per core.
 """
 
 import pytest
-from conftest import BENCH_SCALE, emit
+from conftest import BENCH_SCALE, ENGINE_KWARGS, emit
 
 from repro.analysis.figures import section65_power
 from repro.analysis.power import SRAMModel
 
 
 def test_section65(benchmark):
-    result = section65_power(scale=BENCH_SCALE)
+    result = section65_power(scale=BENCH_SCALE, **ENGINE_KWARGS)
     emit(result)
     model = SRAMModel(2048)
     assert model.leakage_mw == pytest.approx(0.47, abs=0.01)

@@ -3,6 +3,13 @@
 ``REPRO_BENCH_SCALE`` scales the workload iteration counts used by the
 figure benches (default 0.25: every figure regenerates in minutes on a
 laptop; raise it for tighter numbers).
+
+``REPRO_BENCH_JOBS`` sets how many worker processes the experiment
+engine fans sweep points out over (default 0 = all cores; the
+simulations are embarrassingly parallel).  ``REPRO_BENCH_CACHE``
+enables the on-disk result cache for figure regeneration (``1`` for the
+default directory, or a path); it is off by default so bench timings
+stay honest.
 """
 
 import os
@@ -10,6 +17,21 @@ import os
 import pytest
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0"))
+
+
+def _bench_cache():
+    raw = os.environ.get("REPRO_BENCH_CACHE", "")
+    if raw in ("", "0"):
+        return None
+    if raw == "1":
+        return True
+    return raw
+
+
+#: Engine kwargs every figure bench forwards, so the whole suite shares
+#: one parallel/cached engine configuration.
+ENGINE_KWARGS = {"jobs": BENCH_JOBS, "cache": _bench_cache()}
 
 
 @pytest.fixture(scope="session")
@@ -24,3 +46,6 @@ def emit(result):
     print(result.name)
     print("=" * 72)
     print(result.text)
+    if getattr(result, "meta", None):
+        from repro.exp import format_engine_summary
+        print(format_engine_summary(result.meta))

@@ -17,13 +17,17 @@ Public surface:
 * ``repro.workloads`` -- synthetic SPEC2006/SPEC2017/Parsec suites;
 * ``repro.attacks`` -- Spectre / SpectreRewind / Speculative-Interference
   gadgets run on the simulator;
-* ``repro.sim`` / ``repro.analysis`` -- drivers, stats, power, reports.
+* ``repro.sim`` / ``repro.analysis`` -- drivers, stats, power, reports;
+* ``repro.exp`` -- the experiment engine: declarative sweeps, parallel
+  execution and an on-disk result cache (see docs/experiments.md).
 """
 
 from repro.config import SystemConfig, default_config
 from repro.defenses import registry as defenses, FIGURE_ORDER
+from repro.exp import ResultSet, Sweep, run_sweep
 from repro.sim.runner import (
     compare_defenses,
+    default_scale,
     normalised_times,
     run_program,
     run_workload,
@@ -35,8 +39,12 @@ __version__ = "1.0.0"
 __all__ = [
     "SystemConfig",
     "default_config",
+    "default_scale",
     "defenses",
     "FIGURE_ORDER",
+    "ResultSet",
+    "Sweep",
+    "run_sweep",
     "run_workload",
     "run_program",
     "compare_defenses",

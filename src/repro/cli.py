@@ -6,28 +6,47 @@ Commands
     Simulate one workload and print cycles/IPC/key stats.
 ``compare WORKLOAD [...] [--scale S]``
     Normalised execution time of every defense on the given workloads.
-``figure {table1,6,7,8,9,10,11,sec49,sec65} [--scale S]``
+``figure {table1,6,7,8,9,10,11,sec49,sec65,dram} [--scale S]``
     Regenerate one paper artefact.
+``sweep WORKLOAD [...] [--defense NAME ...] [--set K=V] [--axis K=V1,V2]``
+    Run a declarative workloads x defenses x config sweep.
 ``attack {spectre,rewind,interference} [--defense NAME]``
     Run a transient-execution attack and report the verdict.
 ``list``
     Show available workloads and defenses.
+
+``run``/``compare``/``figure``/``sweep`` share the experiment-engine
+flags: ``--jobs N`` fans sweep points out over N worker processes
+(``0`` = all cores; default from ``REPRO_JOBS``), results are cached
+on disk under ``REPRO_CACHE_DIR`` (``--cache-dir`` to override,
+``--no-cache`` to disable), and ``--json`` emits the machine-readable
+payload instead of the text table.  Per-point progress and cache-hit
+counts go to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import List, Optional
 
 from repro.analysis import figures
 from repro.analysis.report import format_table, normalised_series
 from repro.defenses import FIGURE_ORDER, registry
-from repro.sim.runner import compare_defenses, normalised_times, run_workload
-from repro.workloads.spec import PARSEC, SPEC2006, SPEC2017
+from repro.exp import (
+    BASE_VARIANT,
+    ConfigVariant,
+    Sweep,
+    format_engine_summary,
+    run_sweep,
+    variants_for_axis,
+)
+from repro.sim.runner import normalised_times
 
 FIGURES = {
-    "table1": lambda scale: figures.table1(),
+    "table1": lambda scale, **kw: figures.table1(),
     "6": figures.figure6,
     "7": figures.figure7,
     "8": figures.figure8,
@@ -48,6 +67,20 @@ INTERESTING_STATS = [
 ]
 
 
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (0 = all cores; "
+                             "default $REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory "
+                             "(default $REPRO_CACHE_DIR or "
+                             "~/.cache/repro-ghostminion)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON on stdout")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -58,15 +91,35 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("workload")
     run_p.add_argument("--defense", default="GhostMinion")
     run_p.add_argument("--scale", type=float, default=0.25)
+    _add_engine_args(run_p)
 
     cmp_p = sub.add_parser("compare",
                            help="all defenses on the given workloads")
     cmp_p.add_argument("workloads", nargs="+")
     cmp_p.add_argument("--scale", type=float, default=0.25)
+    _add_engine_args(cmp_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper artefact")
     fig_p.add_argument("which", choices=sorted(FIGURES))
     fig_p.add_argument("--scale", type=float, default=0.25)
+    _add_engine_args(fig_p)
+
+    swp_p = sub.add_parser(
+        "sweep", help="workloads x defenses x config sweep")
+    swp_p.add_argument("workloads", nargs="+")
+    swp_p.add_argument("--defense", action="append", default=None,
+                       help="defense to include (repeatable; default "
+                            "Unsafe + GhostMinion)")
+    swp_p.add_argument("--scale", type=float, default=0.25)
+    swp_p.add_argument("--set", action="append", default=None,
+                       metavar="PATH=VALUE", dest="set_overrides",
+                       help="config override applied to every point "
+                            "(e.g. minion_d.size_bytes=512)")
+    swp_p.add_argument("--axis", action="append", default=None,
+                       metavar="PATH=V1,V2,...",
+                       help="config axis swept as variants "
+                            "(e.g. minion_d.size_bytes=2048,512,128)")
+    _add_engine_args(swp_p)
 
     atk_p = sub.add_parser("attack", help="run a transient attack")
     atk_p.add_argument("which",
@@ -78,16 +131,66 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cache_from_args(args):
+    if args.no_cache:
+        return None
+    if args.cache_dir:
+        return args.cache_dir
+    return True
+
+
+def _progress_to_stderr(done: int, total: int, point) -> None:
+    source = "cached" if point.cached else "%d cycles" % point.cycles
+    print("[%d/%d] %s (%s)" % (done, total, point.key, source),
+          file=sys.stderr)
+
+
+def _report_engine(report) -> None:
+    print(report.summary(), file=sys.stderr)
+
+
+def _json_default(obj):
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return dataclasses.asdict(obj)
+    return str(obj)
+
+
+def _parse_value(text: str):
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
 def _cmd_run(args) -> int:
-    result = run_workload(args.workload, args.defense, scale=args.scale)
+    report = run_sweep(
+        Sweep(name="run", workloads=[args.workload],
+              defenses=[args.defense], scale=args.scale),
+        jobs=args.jobs, cache=_cache_from_args(args),
+        progress=_progress_to_stderr)
+    point = next(iter(report.results))
+    _report_engine(report)
+    if args.json:
+        print(json.dumps({"workload": args.workload,
+                          "defense": args.defense,
+                          "scale": args.scale,
+                          "cache_hits": report.cache_hits,
+                          "result": point.to_json_dict()},
+                         sort_keys=True, indent=2))
+        return 0
     print("workload:   %s" % args.workload)
     print("defense:    %s" % args.defense)
-    print("finished:   %s" % result.finished)
-    print("cycles:     %d" % result.cycles)
-    print("insts:      %d" % result.insts)
-    print("IPC:        %.3f" % result.ipc)
-    rows = [(name, int(result.stats.get(name)))
-            for name in INTERESTING_STATS if name in result.stats]
+    print("finished:   %s" % point.finished)
+    print("cycles:     %d" % point.cycles)
+    print("insts:      %d" % point.insts)
+    print("IPC:        %.3f" % point.ipc)
+    rows = [(name, int(point.stats.get(name)))
+            for name in INTERESTING_STATS if name in point.stats]
     if rows:
         print()
         print(format_table(["stat", "value"], rows))
@@ -95,19 +198,87 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    results = compare_defenses(args.workloads, ["Unsafe"] + FIGURE_ORDER,
-                               scale=args.scale)
-    table = normalised_times(results)
+    report = run_sweep(
+        Sweep(name="compare", workloads=list(args.workloads),
+              defenses=["Unsafe"] + FIGURE_ORDER, scale=args.scale),
+        jobs=args.jobs, cache=_cache_from_args(args),
+        progress=_progress_to_stderr)
+    _report_engine(report)
+    table = normalised_times(report.results.as_run_results())
+    if args.json:
+        print(json.dumps({"normalised": table,
+                          "cache_hits": report.cache_hits,
+                          "executed": report.executed,
+                          "points": [p.to_json_dict()
+                                     for p in report.results]},
+                         sort_keys=True, indent=2))
+        return 0
     rows = normalised_series(table, FIGURE_ORDER)
     print(format_table(["workload"] + FIGURE_ORDER, rows))
     return 0
 
 
 def _cmd_figure(args) -> int:
-    result = FIGURES[args.which](args.scale)
+    result = FIGURES[args.which](args.scale, jobs=args.jobs,
+                                 cache=_cache_from_args(args),
+                                 progress=_progress_to_stderr)
+    if result.meta:
+        print(format_engine_summary(result.meta), file=sys.stderr)
+    if args.json:
+        print(json.dumps({"name": result.name, "data": result.data,
+                          "text": result.text, "meta": result.meta},
+                         sort_keys=True, indent=2,
+                         default=_json_default))
+        return 0
     print(result.name)
     print("=" * len(result.name))
     print(result.text)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    axes = {}
+    for axis in args.axis or []:
+        path, _, values = axis.partition("=")
+        if not values:
+            print("error: --axis wants PATH=V1,V2,... (got %r)" % axis,
+                  file=sys.stderr)
+            return 2
+        axes[path] = [_parse_value(v) for v in values.split(",")]
+    overrides = {}
+    for item in args.set_overrides or []:
+        path, sep, value = item.partition("=")
+        if not sep:
+            print("error: --set wants PATH=VALUE (got %r)" % item,
+                  file=sys.stderr)
+            return 2
+        overrides[path] = _parse_value(value)
+    variants = variants_for_axis(axes) if axes else [BASE_VARIANT]
+    if overrides:
+        variants = [
+            ConfigVariant.make(v.label, {**v.as_dict(), **overrides})
+            for v in variants]
+    defenses = args.defense or ["Unsafe", "GhostMinion"]
+    try:
+        report = run_sweep(
+            Sweep(name="sweep", workloads=list(args.workloads),
+                  defenses=defenses, variants=variants,
+                  scale=args.scale),
+            jobs=args.jobs, cache=_cache_from_args(args),
+            progress=_progress_to_stderr)
+    except AttributeError as exc:
+        # apply_overrides rejects typo'd/unknown config paths.
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    _report_engine(report)
+    if args.json:
+        print(report.results.to_json(indent=2))
+        return 0
+    rows = [(p.key, p.cycles, p.insts, "%.3f" % p.ipc,
+             "hit" if p.cached else "run")
+            for p in report.results]
+    print(format_table(["point", "cycles", "insts", "IPC", "cache"],
+                       rows))
     return 0
 
 
@@ -135,6 +306,7 @@ def _cmd_attack(args) -> int:
 
 
 def _cmd_list(_args) -> int:
+    from repro.workloads.spec import PARSEC, SPEC2006, SPEC2017
     print("defenses:")
     for name in ["Unsafe"] + FIGURE_ORDER:
         print("  %s" % name)
@@ -152,6 +324,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "figure": _cmd_figure,
+        "sweep": _cmd_sweep,
         "attack": _cmd_attack,
         "list": _cmd_list,
     }[args.command]

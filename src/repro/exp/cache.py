@@ -1,0 +1,111 @@
+"""Content-addressed on-disk result cache.
+
+Each sweep point's summary is stored at ``<dir>/<digest[:2]>/<digest>.json``
+where the digest hashes everything the simulation is a pure function of
+(workload spec, defense descriptor, resolved config, scale, cycle cap —
+see :meth:`repro.exp.spec.SweepPoint.cache_token`).  Re-running a figure
+therefore only simulates points whose inputs changed; anything else is a
+constant-time file read.
+
+The cache directory resolves, in order: an explicit argument, the
+``REPRO_CACHE_DIR`` environment variable, then
+``~/.cache/repro-ghostminion``.  Entries carry the schema version from
+``repro.exp.spec.CACHE_SCHEMA_VERSION``; note the digest covers *inputs*
+only — if you change simulator code in a way that alters results, bump
+that version (or wipe the directory) to invalidate stale entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional, Union
+
+from repro.exp.resultset import PointResult
+from repro.exp.spec import CACHE_SCHEMA_VERSION
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "repro-ghostminion")
+
+
+def default_cache_dir() -> str:
+    """Resolve the cache directory from the environment (lazily)."""
+    return os.path.expanduser(
+        os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR)
+
+
+class ResultCache:
+    """Filesystem-backed map from point digest to :class:`PointResult`."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = (os.path.expanduser(str(directory))
+                          if directory is not None else default_cache_dir())
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, digest: str) -> str:
+        return os.path.join(self.directory, digest[:2],
+                            "%s.json" % digest)
+
+    def lookup(self, digest: str) -> Optional[PointResult]:
+        """Return the cached summary for ``digest`` or ``None``.
+
+        Unreadable/corrupt/version-mismatched entries count as misses
+        (and will be overwritten by the next :meth:`store`).
+        """
+        path = self.path_for(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if payload.get("cache_version") != CACHE_SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        try:
+            result = PointResult.from_json_dict(payload["result"],
+                                                cached=True)
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, result: PointResult) -> None:
+        """Atomically persist one summary (tmp file + rename)."""
+        path = self.path_for(result.digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {
+            "cache_version": CACHE_SCHEMA_VERSION,
+            "result": result.to_json_dict(),
+        }
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+
+def resolve_cache(cache: Union[None, bool, str, ResultCache]
+                  ) -> Optional[ResultCache]:
+    """Normalise the ``cache`` argument accepted across the API.
+
+    ``None``/``False`` -> disabled; ``True`` -> default directory; a
+    string/path -> that directory; a :class:`ResultCache` passes through.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)

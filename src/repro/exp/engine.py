@@ -1,0 +1,207 @@
+"""Sweep executor: cache lookups, then fan-out over worker processes.
+
+Simulations are pure CPU-bound functions of (programs, defense, config,
+cycle cap), so a sweep is embarrassingly parallel: points missing from
+the cache are shipped to a ``multiprocessing`` pool (``jobs > 1``) or
+run inline (``jobs == 1``), and both paths produce identical
+:class:`~repro.exp.resultset.PointResult` summaries — the determinism
+test in ``tests/test_exp.py`` asserts byte-identical JSON.
+
+Workload programs are built once per (workload, scale) per process and
+shared by every defense/variant point, instead of being rebuilt per
+pair; payloads ship the (small) workload spec, not the program list.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config import SystemConfig
+from repro.defenses.base import Defense
+from repro.exp.cache import ResultCache, resolve_cache
+from repro.exp.resultset import PointResult, ResultSet
+from repro.exp.spec import Sweep, SweepPoint
+from repro.pipeline.program import Program
+from repro.sim.simulator import Simulator
+from repro.workloads.spec import WorkloadSpec
+
+ENV_JOBS = "REPRO_JOBS"
+
+#: ``progress(done, total, result)`` — invoked once per finished point.
+ProgressFn = Callable[[int, int, PointResult], None]
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker-count policy: argument > ``REPRO_JOBS`` env > 1.
+
+    ``0`` (or any non-positive value) means "all cores".
+    """
+    if jobs is None:
+        jobs = int(os.environ.get(ENV_JOBS, "1"))
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def format_engine_summary(meta: Dict) -> str:
+    """The one-line engine summary shown by the CLI and the benches."""
+    return ("engine: %(points)d points, %(cache_hits)d cache hits, "
+            "%(executed)d simulated, jobs=%(jobs)d" % meta)
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one engine invocation."""
+
+    results: ResultSet
+    cache_hits: int = 0
+    executed: int = 0
+    jobs: int = 1
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    def meta(self) -> Dict:
+        return {"points": self.total, "cache_hits": self.cache_hits,
+                "executed": self.executed, "jobs": self.jobs}
+
+    def summary(self) -> str:
+        return format_engine_summary(self.meta())
+
+
+# One payload per cache miss; a plain tuple so it pickles cheaply:
+# (index, key, digest, meta(workload, defense, variant, scale),
+#  workload_spec, defense, cfg, max_cycles)
+_Payload = Tuple[int, str, str, Tuple[str, str, str, float],
+                 WorkloadSpec, Defense, SystemConfig, int]
+
+#: Per-process (workload-content, scale) -> programs memo.  In serial
+#: runs this is the only copy; each pool worker grows its own.  Safe
+#: because the Simulator never mutates Program state (regression-tested
+#: in tests/test_simulator.py).
+_PROGRAMS_MEMO: Dict[Tuple[str, float], List[Program]] = {}
+
+
+def _build_programs(spec: WorkloadSpec, scale: float) -> List[Program]:
+    # Key by the spec's full content, not its display name: distinct
+    # specs that share a name must not alias each other's programs.
+    memo_key = (json.dumps(dataclasses.asdict(spec), sort_keys=True,
+                           default=str), scale)
+    if memo_key not in _PROGRAMS_MEMO:
+        _PROGRAMS_MEMO[memo_key] = spec.build(scale)
+    return _PROGRAMS_MEMO[memo_key]
+
+
+def _simulate_payload(payload: _Payload) -> Tuple[int, PointResult]:
+    """Run one point (executed inline or inside a worker process)."""
+    (index, key, digest, meta, spec, defense, cfg,
+     max_cycles) = payload
+    workload, defense_name, variant, scale = meta
+    programs = _build_programs(spec, scale)
+    outcome = Simulator(programs, defense, cfg=cfg).run(
+        max_cycles=max_cycles)
+    return index, PointResult(
+        key=key,
+        workload=workload,
+        defense=defense_name,
+        variant=variant,
+        scale=scale,
+        digest=digest,
+        cycles=outcome.cycles,
+        insts=outcome.insts,
+        finished=outcome.finished,
+        stats=outcome.stats.as_dict(),
+    )
+
+
+def run_points(points: Sequence[SweepPoint],
+               jobs: Optional[int] = None,
+               cache: Union[None, bool, str, ResultCache] = None,
+               progress: Optional[ProgressFn] = None) -> SweepReport:
+    """Execute ``points``, consulting/filling the cache, and return a
+    report whose :class:`ResultSet` preserves the input point order."""
+    jobs = resolve_jobs(jobs)
+    store = resolve_cache(cache)
+    total = len(points)
+    # Scope program reuse to this invocation (workers get their own
+    # per-process memo for the lifetime of the pool).
+    _PROGRAMS_MEMO.clear()
+    # Fail fast on composed point lists with colliding keys, before any
+    # simulation time is spent (Sweep.points() already checks within
+    # one sweep).
+    seen_keys = set()
+    for point in points:
+        if point.key in seen_keys:
+            raise ValueError(
+                "duplicate sweep point %r in composed point list; give "
+                "colliding defenses or variants distinct names/labels"
+                % point.key)
+        seen_keys.add(point.key)
+    slots: List[Optional[PointResult]] = [None] * total
+    done = 0
+
+    def finish(index: int, result: PointResult) -> None:
+        nonlocal done
+        slots[index] = result
+        done += 1
+        if progress is not None:
+            progress(done, total, result)
+
+    pending: List[_Payload] = []
+    hits = 0
+    for index, point in enumerate(points):
+        digest = point.digest()
+        if store is not None:
+            hit = store.lookup(digest)
+            if hit is not None:
+                hits += 1
+                # Re-key: the digest identifies the simulation, but the
+                # caller's key/labels name this sweep's view of it.
+                hit.key = point.key
+                hit.variant = point.variant.label
+                finish(index, hit)
+                continue
+        pending.append((
+            index, point.key, digest,
+            (point.workload.name, point.defense.name,
+             point.variant.label, point.scale),
+            point.workload, point.defense, point.config(),
+            point.max_cycles))
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            with multiprocessing.Pool(processes=min(jobs, len(pending))
+                                      ) as pool:
+                for index, result in pool.imap_unordered(
+                        _simulate_payload, pending, chunksize=1):
+                    if store is not None:
+                        store.store(result)
+                    finish(index, result)
+        else:
+            for payload in pending:
+                index, result = _simulate_payload(payload)
+                if store is not None:
+                    store.store(result)
+                finish(index, result)
+
+    results = ResultSet()
+    for slot in slots:
+        assert slot is not None
+        results.add(slot)
+    return SweepReport(results=results, cache_hits=hits,
+                       executed=len(pending), jobs=jobs)
+
+
+def run_sweep(sweep: Sweep,
+              jobs: Optional[int] = None,
+              cache: Union[None, bool, str, ResultCache] = None,
+              progress: Optional[ProgressFn] = None) -> SweepReport:
+    """Expand ``sweep`` and execute every point."""
+    return run_points(sweep.points(), jobs=jobs, cache=cache,
+                      progress=progress)

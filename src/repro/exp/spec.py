@@ -1,0 +1,250 @@
+"""Declarative experiment specifications.
+
+An :class:`Experiment` (alias :class:`Sweep`) is the cross product of
+workloads x defenses x config variants at one workload scale.  Calling
+:meth:`Experiment.points` expands it into a flat, deterministically
+ordered list of :class:`SweepPoint`\\ s — the unit of work the engine
+executes, caches and keys results by.
+
+Config variants are expressed as dotted-path overrides on top of the
+base :class:`~repro.config.SystemConfig` (e.g. the fig. 11 size sweep is
+``{"minion_d.size_bytes": 512, "minion_i.size_bytes": 512}``), so a
+sweep axis is data, not code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.config import SystemConfig, default_config
+from repro.defenses import registry
+from repro.defenses.base import Defense
+from repro.workloads.spec import WorkloadSpec, get_workload
+
+#: Bump when the result summary format (or simulation semantics relevant
+#: to cached summaries) changes incompatibly; invalidates every cache
+#: entry.
+CACHE_SCHEMA_VERSION = 1
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Digest of the ``repro`` package sources (memoized per process).
+
+    Folded into every point digest so editing simulator code invalidates
+    cached results automatically — the rest of the digest covers only
+    *inputs*, and a reproduction toolkit must never silently mix numbers
+    from two versions of the simulator.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        import repro
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        sources = []
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            sources.extend(
+                os.path.relpath(os.path.join(dirpath, name), root)
+                for name in filenames if name.endswith(".py"))
+        digest = hashlib.sha256()
+        for relpath in sorted(sources):
+            digest.update(relpath.encode())
+            with open(os.path.join(root, relpath), "rb") as handle:
+                digest.update(handle.read())
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def resolve_defense(defense: Union[str, Defense]) -> Defense:
+    """Look a defense up in the registry (or pass one through)."""
+    if isinstance(defense, Defense):
+        return defense
+    if defense not in registry:
+        raise KeyError("unknown defense %r (have: %s)"
+                       % (defense, ", ".join(sorted(registry))))
+    return registry[defense]()
+
+
+def resolve_workload(workload: Union[str, WorkloadSpec]) -> WorkloadSpec:
+    """Look a workload up by name (or pass a spec through)."""
+    return (get_workload(workload) if isinstance(workload, str)
+            else workload)
+
+
+def apply_overrides(cfg: SystemConfig,
+                    overrides: Dict[str, object]) -> SystemConfig:
+    """Return a copy of ``cfg`` with dotted-path ``overrides`` applied.
+
+    Paths name existing config attributes (``"minion_d.size_bytes"``,
+    ``"dram.open_page"``, ``"cores"``); unknown paths raise
+    ``AttributeError`` so typos cannot silently no-op a sweep axis.
+    """
+    new = cfg.copy()
+    for path, value in overrides.items():
+        target = new
+        parts = path.split(".")
+        for part in parts[:-1]:
+            target = getattr(target, part)
+        if not hasattr(target, parts[-1]):
+            raise AttributeError("unknown config field %r" % path)
+        setattr(target, parts[-1], value)
+    return new
+
+
+@dataclass(frozen=True)
+class ConfigVariant:
+    """One labelled point on a config axis (dotted-path overrides)."""
+
+    label: str = "base"
+    overrides: Tuple[Tuple[str, object], ...] = ()
+
+    @staticmethod
+    def make(label: str = "base",
+             overrides: Optional[Dict[str, object]] = None
+             ) -> "ConfigVariant":
+        return ConfigVariant(
+            label=label,
+            overrides=tuple(sorted((overrides or {}).items())))
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.overrides)
+
+
+BASE_VARIANT = ConfigVariant.make()
+
+
+def _defense_descriptor(defense: Defense) -> Dict[str, object]:
+    """A JSON-able, digest-stable description of a defense's config."""
+    cls = defense.hierarchy_cls
+    return {
+        "name": defense.name,
+        "hierarchy": "%s.%s" % (cls.__module__, cls.__qualname__),
+        "hierarchy_kwargs": dict(sorted(defense.hierarchy_kwargs.items())),
+        "taint_mode": defense.taint_mode,
+        "validation_mode": defense.validation_mode,
+        "strict_fu_order": defense.strict_fu_order,
+        "train_predictor_at_commit": defense.train_predictor_at_commit,
+        "early_commit": defense.early_commit,
+        "epoch_timestamps": defense.epoch_timestamps,
+    }
+
+
+@dataclass
+class SweepPoint:
+    """One (workload, defense, variant, scale) simulation to run."""
+
+    workload: WorkloadSpec
+    defense: Defense
+    variant: ConfigVariant = BASE_VARIANT
+    scale: float = 1.0
+    max_cycles: int = 5_000_000
+    base_cfg: Optional[SystemConfig] = None
+
+    @property
+    def key(self) -> str:
+        """Stable human-readable result key."""
+        return "%s::%s::%s" % (self.workload.name, self.defense.name,
+                               self.variant.label)
+
+    def config(self) -> SystemConfig:
+        """The fully resolved config this point simulates under."""
+        cfg = (self.base_cfg.copy() if self.base_cfg is not None
+               else default_config())
+        cfg = apply_overrides(cfg, self.variant.as_dict())
+        cfg.cores = self.workload.threads
+        cfg.validate()
+        return cfg
+
+    def cache_token(self) -> Dict[str, object]:
+        """Everything the simulation result is a pure function of."""
+        return {
+            "version": CACHE_SCHEMA_VERSION,
+            "code": code_fingerprint(),
+            "workload": dataclasses.asdict(self.workload),
+            "defense": _defense_descriptor(self.defense),
+            "config": dataclasses.asdict(self.config()),
+            "scale": self.scale,
+            "max_cycles": self.max_cycles,
+        }
+
+    def digest(self) -> str:
+        """Content address of this point (sha256 of the cache token)."""
+        token = json.dumps(self.cache_token(), sort_keys=True,
+                           separators=(",", ":"), default=str)
+        return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Experiment:
+    """A declarative sweep: workloads x defenses x variants at a scale.
+
+    ``scale=None`` resolves ``REPRO_SCALE`` lazily at expansion time (see
+    :func:`repro.sim.runner.default_scale`).  ``base_cfg`` seeds every
+    point's config before variant overrides; per-point ``cores`` always
+    follows the workload's thread count.
+    """
+
+    name: str = "sweep"
+    workloads: Sequence[Union[str, WorkloadSpec]] = ()
+    defenses: Sequence[Union[str, Defense]] = ()
+    variants: Sequence[ConfigVariant] = (BASE_VARIANT,)
+    scale: Optional[float] = None
+    max_cycles: int = 5_000_000
+    base_cfg: Optional[SystemConfig] = None
+
+    def points(self) -> List[SweepPoint]:
+        """Expand to a flat point list (workload-major, then defense,
+        then variant — the iteration order results are reported in)."""
+        from repro.sim.runner import default_scale
+        scale = self.scale if self.scale is not None else default_scale()
+        specs = [resolve_workload(w) for w in self.workloads]
+        defenses = [resolve_defense(d) for d in self.defenses]
+        points = [
+            SweepPoint(workload=spec, defense=defense, variant=variant,
+                       scale=scale, max_cycles=self.max_cycles,
+                       base_cfg=self.base_cfg)
+            for spec in specs
+            for defense in defenses
+            for variant in self.variants
+        ]
+        seen: Dict[str, SweepPoint] = {}
+        for point in points:
+            if point.key in seen:
+                raise ValueError(
+                    "duplicate sweep point %r: give colliding defenses "
+                    "or variants distinct names/labels" % point.key)
+            seen[point.key] = point
+        return points
+
+
+#: ``Sweep`` is the short name used throughout the engine and CLI.
+Sweep = Experiment
+
+
+def variants_for_axis(path_values: Dict[str, Iterable[object]]
+                      ) -> List[ConfigVariant]:
+    """Cross one or more config axes into labelled variants.
+
+    ``variants_for_axis({"minion_d.size_bytes": [2048, 512]})`` gives
+    variants labelled ``minion_d.size_bytes=2048`` etc.; multiple axes
+    produce their cross product with ``,``-joined labels.
+    """
+    variants = [BASE_VARIANT]
+    for path, values in path_values.items():
+        expanded: List[ConfigVariant] = []
+        for variant in variants:
+            for value in values:
+                overrides = variant.as_dict()
+                overrides[path] = value
+                label = "%s=%s" % (path, value)
+                if variant.label != "base":
+                    label = "%s,%s" % (variant.label, label)
+                expanded.append(ConfigVariant.make(label, overrides))
+        variants = expanded
+    return variants

@@ -5,6 +5,7 @@ from repro.sim.runner import (
     run_workload,
     run_program,
     compare_defenses,
+    default_scale,
     normalised_times,
 )
 
@@ -14,5 +15,6 @@ __all__ = [
     "run_workload",
     "run_program",
     "compare_defenses",
+    "default_scale",
     "normalised_times",
 ]

@@ -1,30 +1,42 @@
-"""One-call experiment drivers used by the benches and examples."""
+"""One-call experiment drivers used by the benches and examples.
+
+``run_program``/``run_workload`` simulate a single point in-process and
+return the full :class:`RunResult` (live cores included).
+``compare_defenses`` is a thin wrapper over the experiment engine
+(:mod:`repro.exp`): it builds a workloads x defenses sweep, optionally
+fans it out over worker processes and consults the on-disk result
+cache, and returns the classic ``{workload: {defense: RunResult}}``
+table (engine-produced results carry no live cores).
+"""
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from repro.config import SystemConfig, default_config
-from repro.defenses import registry
 from repro.defenses.base import Defense
 from repro.pipeline.program import Program
 from repro.sim.simulator import RunResult, Simulator
 from repro.workloads.spec import WorkloadSpec, get_workload
 
-#: Global scale knob for experiment sizes (iteration counts).  The
-#: benches honour ``REPRO_SCALE`` so a quick smoke run and a full run use
-#: the same code.
-DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+def default_scale() -> float:
+    """Global scale knob for experiment sizes (iteration counts).
+
+    Resolved from ``REPRO_SCALE`` lazily at *call* time, so setting the
+    variable after import is honoured.  The benches use it so a quick
+    smoke run and a full run share one code path.
+    """
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
 
 
 def _resolve_defense(defense: Union[str, Defense]) -> Defense:
-    if isinstance(defense, Defense):
-        return defense
-    if defense not in registry:
-        raise KeyError("unknown defense %r (have: %s)"
-                       % (defense, ", ".join(sorted(registry))))
-    return registry[defense]()
+    # Canonical resolution lives in the engine spec (lazy import: the
+    # exp package imports this module's default_scale at expansion
+    # time).
+    from repro.exp.spec import resolve_defense
+    return resolve_defense(defense)
 
 
 def run_program(program: Union[Program, List[Program]],
@@ -45,7 +57,7 @@ def run_workload(workload: Union[str, WorkloadSpec],
     """Build a named workload and simulate it under ``defense``."""
     spec = (get_workload(workload) if isinstance(workload, str)
             else workload)
-    programs = spec.build(scale if scale is not None else DEFAULT_SCALE)
+    programs = spec.build(scale if scale is not None else default_scale())
     if cfg is None:
         cfg = default_config(cores=len(programs))
     return run_program(programs, defense, cfg=cfg, max_cycles=max_cycles)
@@ -54,23 +66,23 @@ def run_workload(workload: Union[str, WorkloadSpec],
 def compare_defenses(workloads: Iterable[Union[str, WorkloadSpec]],
                      defenses: Iterable[Union[str, Defense]],
                      scale: Optional[float] = None,
-                     cfg: Optional[SystemConfig] = None
+                     cfg: Optional[SystemConfig] = None,
+                     jobs: Optional[int] = None,
+                     cache: object = None,
+                     progress: Optional[Callable] = None
                      ) -> Dict[str, Dict[str, RunResult]]:
-    """Run every (workload, defense) pair.
+    """Run every (workload, defense) pair through the experiment engine.
 
-    Returns ``{workload_name: {defense_name: RunResult}}``.
+    Returns ``{workload_name: {defense_name: RunResult}}``.  ``jobs``
+    fans points out over worker processes (default serial; see
+    ``REPRO_JOBS``); ``cache`` enables the on-disk result cache
+    (``True``, a directory path, or a :class:`repro.exp.ResultCache`).
     """
-    results: Dict[str, Dict[str, RunResult]] = {}
-    for workload in workloads:
-        spec = (get_workload(workload) if isinstance(workload, str)
-                else workload)
-        row: Dict[str, RunResult] = {}
-        for defense in defenses:
-            resolved = _resolve_defense(defense)
-            row[resolved.name] = run_workload(spec, resolved, scale=scale,
-                                              cfg=cfg)
-        results[spec.name] = row
-    return results
+    from repro.exp import Sweep, run_sweep
+    sweep = Sweep(name="compare", workloads=list(workloads),
+                  defenses=list(defenses), scale=scale, base_cfg=cfg)
+    report = run_sweep(sweep, jobs=jobs, cache=cache, progress=progress)
+    return report.results.as_run_results()
 
 
 def normalised_times(results: Dict[str, Dict[str, RunResult]],

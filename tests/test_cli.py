@@ -1,8 +1,17 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the CLI's default result cache at a throwaway directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path / "cache"
 
 
 def test_list(capsys):
@@ -41,6 +50,102 @@ def test_figure_six_small(capsys):
     assert main(["figure", "sec49", "--scale", "0.03"]) == 0
     out = capsys.readouterr().out
     assert "strict FU" in out
+
+
+def test_run_json(capsys, isolated_cache):
+    assert main(["run", "hmmer", "--scale", "0.05", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["workload"] == "hmmer"
+    assert payload["defense"] == "GhostMinion"
+    result = payload["result"]
+    assert result["cycles"] > 0 and result["finished"] is True
+    assert "dminion.fills" in result["stats"]
+
+
+def test_run_cache_hit_on_second_invocation(capsys, isolated_cache):
+    argv = ["run", "hmmer", "--scale", "0.05", "--json"]
+    assert main(argv) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["cache_hits"] == 0
+    assert main(argv) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["cache_hits"] == 1
+    assert second["result"] == first["result"]
+
+
+def test_compare_json_parallel_matches_serial(capsys, isolated_cache):
+    argv = ["compare", "hmmer", "gamess", "--scale", "0.05", "--json"]
+    assert main(argv + ["--jobs", "2", "--no-cache"]) == 0
+    parallel = json.loads(capsys.readouterr().out)
+    assert main(argv + ["--jobs", "1", "--no-cache"]) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert parallel["points"] == serial["points"]
+    assert set(parallel["normalised"]["hmmer"]) == {
+        "GhostMinion", "MuonTrap", "MuonTrap-Flush",
+        "InvisiSpec-Spectre", "InvisiSpec-Future", "STT-Spectre",
+        "STT-Future"}
+
+
+def test_figure_json(capsys, isolated_cache):
+    assert main(["figure", "table1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["name"].startswith("Table 1")
+    assert payload["data"]["rows"]
+    assert "L1 DCache" in payload["text"]
+
+
+def test_figure_json_with_engine(capsys, isolated_cache):
+    assert main(["figure", "sec49", "--scale", "0.03", "--json",
+                 "--jobs", "2"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "ratios" in payload["data"]
+    assert payload["meta"]["points"] > 0
+
+
+def test_sweep_command(capsys, isolated_cache):
+    assert main(["sweep", "hmmer", "--defense", "GhostMinion",
+                 "--axis", "minion_d.size_bytes=2048,128",
+                 "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "hmmer::GhostMinion::minion_d.size_bytes=2048" in out
+    assert "hmmer::GhostMinion::minion_d.size_bytes=128" in out
+
+
+def test_sweep_malformed_axis_is_clean_error(capsys):
+    assert main(["sweep", "hmmer", "--axis",
+                 "minion_d.size_bytes"]) == 2
+    err = capsys.readouterr().err
+    assert "--axis wants PATH=V1,V2" in err
+
+
+def test_sweep_malformed_set_is_clean_error(capsys):
+    assert main(["sweep", "hmmer", "--set", "dram.open_page"]) == 2
+    err = capsys.readouterr().err
+    assert "--set wants PATH=VALUE" in err
+
+
+def test_sweep_unknown_config_path_is_clean_error(capsys):
+    assert main(["sweep", "hmmer", "--set",
+                 "minion_d.size_bytez=128"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown config field" in err
+
+
+def test_composed_points_duplicate_keys_fail_fast():
+    from repro.exp import Sweep, run_points
+    points = Sweep(workloads=["hmmer"], defenses=["Unsafe"],
+                   scale=0.05).points()
+    with pytest.raises(ValueError, match="duplicate sweep point"):
+        run_points(points + points)
+
+
+def test_sweep_command_json_and_set(capsys, isolated_cache):
+    assert main(["sweep", "hmmer", "--defense", "Unsafe",
+                 "--set", "dram.open_page=false",
+                 "--scale", "0.05", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["points"]) == 1
+    assert payload["points"][0]["workload"] == "hmmer"
 
 
 def test_attack_spectre_on_unsafe(capsys):

@@ -1,0 +1,251 @@
+"""The experiment engine: sweep expansion, caching, determinism."""
+
+import json
+import os
+
+import pytest
+
+from repro.config import default_config
+from repro.defenses.ghostminion import ghostminion
+from repro.exp import (
+    ConfigVariant,
+    ResultCache,
+    Sweep,
+    apply_overrides,
+    run_points,
+    run_sweep,
+    variants_for_axis,
+)
+from repro.sim.runner import default_scale
+
+SCALE = 0.04
+
+
+def small_sweep(**overrides):
+    kwargs = dict(name="t", workloads=["hmmer", "gamess"],
+                  defenses=["Unsafe", "GhostMinion"], scale=SCALE)
+    kwargs.update(overrides)
+    return Sweep(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# sweep expansion
+# ---------------------------------------------------------------------------
+
+def test_sweep_expansion_order_and_keys():
+    points = small_sweep().points()
+    assert [p.key for p in points] == [
+        "hmmer::Unsafe::base", "hmmer::GhostMinion::base",
+        "gamess::Unsafe::base", "gamess::GhostMinion::base"]
+    assert all(p.scale == SCALE for p in points)
+
+
+def test_sweep_variant_expansion():
+    variants = [ConfigVariant.make("big", {"minion_d.size_bytes": 4096}),
+                ConfigVariant.make("small", {"minion_d.size_bytes": 128})]
+    points = Sweep(workloads=["hmmer"], defenses=["GhostMinion"],
+                   variants=variants, scale=SCALE).points()
+    assert len(points) == 2
+    assert points[0].config().minion_d.size_bytes == 4096
+    assert points[1].config().minion_d.size_bytes == 128
+
+
+def test_sweep_duplicate_keys_rejected():
+    # Two distinct defense objects that share a display name collide.
+    with pytest.raises(ValueError):
+        Sweep(workloads=["hmmer"],
+              defenses=[ghostminion(), ghostminion(async_reload=True)],
+              scale=SCALE).points()
+
+
+def test_sweep_unknown_workload_and_defense():
+    with pytest.raises(KeyError):
+        Sweep(workloads=["doom"], defenses=["Unsafe"]).points()
+    with pytest.raises(KeyError):
+        Sweep(workloads=["hmmer"], defenses=["NotADefense"]).points()
+
+
+def test_variants_for_axis_cross_product():
+    variants = variants_for_axis({
+        "minion_d.size_bytes": [2048, 128],
+        "dram.open_page": [True, False]})
+    assert len(variants) == 4
+    labels = [v.label for v in variants]
+    assert "minion_d.size_bytes=2048,dram.open_page=True" in labels
+
+
+def test_apply_overrides_rejects_unknown_path():
+    cfg = default_config()
+    with pytest.raises(AttributeError):
+        apply_overrides(cfg, {"minion_d.size_bytez": 128})
+    with pytest.raises(AttributeError):
+        apply_overrides(cfg, {"not_a_field": 1})
+
+
+def test_apply_overrides_does_not_mutate_base():
+    cfg = default_config()
+    new = apply_overrides(cfg, {"minion_d.size_bytes": 128})
+    assert cfg.minion_d.size_bytes == 2048
+    assert new.minion_d.size_bytes == 128
+
+
+def test_scale_env_resolved_lazily(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.125")
+    assert default_scale() == 0.125
+    points = Sweep(workloads=["hmmer"], defenses=["Unsafe"]).points()
+    assert points[0].scale == 0.125
+    monkeypatch.delenv("REPRO_SCALE")
+    assert default_scale() == 1.0
+
+
+# ---------------------------------------------------------------------------
+# cache behaviour
+# ---------------------------------------------------------------------------
+
+def test_cache_miss_then_hit(tmp_path):
+    sweep = small_sweep()
+    first = run_sweep(sweep, cache=str(tmp_path))
+    assert first.cache_hits == 0
+    assert first.executed == 4
+    second = run_sweep(sweep, cache=str(tmp_path))
+    assert second.cache_hits == 4
+    assert second.executed == 0
+    assert all(p.cached for p in second.results)
+    assert (first.results.to_json() == second.results.to_json())
+
+
+def test_cache_invalidated_by_config_change(tmp_path):
+    base = Sweep(workloads=["hmmer"], defenses=["GhostMinion"],
+                 scale=SCALE,
+                 variants=[ConfigVariant.make(
+                     "v", {"minion_d.size_bytes": 2048})])
+    changed = Sweep(workloads=["hmmer"], defenses=["GhostMinion"],
+                    scale=SCALE,
+                    variants=[ConfigVariant.make(
+                        "v", {"minion_d.size_bytes": 256})])
+    run_sweep(base, cache=str(tmp_path))
+    report = run_sweep(changed, cache=str(tmp_path))
+    assert report.cache_hits == 0
+    assert report.executed == 1
+    # ... and the unchanged config still hits.
+    again = run_sweep(base, cache=str(tmp_path))
+    assert again.cache_hits == 1
+
+
+def test_cache_invalidated_by_scale_and_defense(tmp_path):
+    run_sweep(Sweep(workloads=["hmmer"], defenses=["GhostMinion"],
+                    scale=SCALE), cache=str(tmp_path))
+    rescaled = run_sweep(
+        Sweep(workloads=["hmmer"], defenses=["GhostMinion"],
+              scale=SCALE * 2), cache=str(tmp_path))
+    assert rescaled.cache_hits == 0
+    async_gm = ghostminion(async_reload=True)
+    async_gm.name = "GhostMinion-async"
+    other_defense = run_sweep(
+        Sweep(workloads=["hmmer"], defenses=[async_gm], scale=SCALE),
+        cache=str(tmp_path))
+    assert other_defense.cache_hits == 0
+
+
+def test_cache_survives_corrupt_entry(tmp_path):
+    sweep = Sweep(workloads=["hmmer"], defenses=["Unsafe"], scale=SCALE)
+    run_sweep(sweep, cache=str(tmp_path))
+    cache = ResultCache(str(tmp_path))
+    digest = sweep.points()[0].digest()
+    with open(cache.path_for(digest), "w") as handle:
+        handle.write("not json{")
+    report = run_sweep(sweep, cache=str(tmp_path))
+    assert report.cache_hits == 0 and report.executed == 1
+    # the corrupt entry was rewritten
+    assert run_sweep(sweep, cache=str(tmp_path)).cache_hits == 1
+
+
+def test_cache_invalidated_by_code_change(tmp_path, monkeypatch):
+    """The digest folds in a source-tree fingerprint: simulator edits
+    must not serve stale cached numbers."""
+    import repro.exp.spec as spec_mod
+    sweep = Sweep(workloads=["hmmer"], defenses=["Unsafe"], scale=SCALE)
+    run_sweep(sweep, cache=str(tmp_path))
+    monkeypatch.setattr(spec_mod, "_CODE_FINGERPRINT",
+                        "0" * 64)  # simulate edited sources
+    report = run_sweep(sweep, cache=str(tmp_path))
+    assert report.cache_hits == 0 and report.executed == 1
+
+
+def test_program_memo_not_aliased_by_name(tmp_path):
+    """Distinct specs sharing a display name must not reuse each
+    other's programs within one engine invocation."""
+    from repro.workloads.spec import WorkloadSpec
+    stream = WorkloadSpec(name="dup", suite="x", kernel="stream",
+                          base_iters=400,
+                          params={"footprint_lines": 256})
+    chase = WorkloadSpec(name="dup", suite="x", kernel="pchase",
+                         base_iters=400, params={"nodes": 1024})
+    first = run_points(
+        Sweep(workloads=[stream], defenses=["Unsafe"],
+              scale=SCALE).points()).results
+    second = run_points(
+        Sweep(workloads=[stream], defenses=["Unsafe"],
+              scale=SCALE).points()
+        + Sweep(workloads=[chase], defenses=["GhostMinion"],
+                scale=SCALE).points()).results
+    chase_alone = run_points(
+        Sweep(workloads=[chase], defenses=["GhostMinion"],
+              scale=SCALE).points()).results
+    assert (second.get("dup::Unsafe::base").cycles
+            == first.get("dup::Unsafe::base").cycles)
+    assert (second.get("dup::GhostMinion::base").cycles
+            == chase_alone.get("dup::GhostMinion::base").cycles)
+
+
+def test_cache_dir_from_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+    report = run_sweep(Sweep(workloads=["hmmer"], defenses=["Unsafe"],
+                             scale=SCALE), cache=True)
+    assert report.executed == 1
+    assert os.path.isdir(str(tmp_path / "envcache"))
+
+
+# ---------------------------------------------------------------------------
+# determinism: parallel == serial, byte for byte
+# ---------------------------------------------------------------------------
+
+def test_parallel_matches_serial_byte_identical():
+    sweep = small_sweep()
+    serial = run_sweep(sweep, jobs=1)
+    parallel = run_sweep(sweep, jobs=3)
+    assert parallel.jobs == 3
+    assert serial.results.to_json() == parallel.results.to_json()
+    assert serial.results.to_json() == run_sweep(
+        sweep, jobs=2).results.to_json()
+
+
+def test_resultset_roundtrip_and_shapes():
+    report = run_sweep(small_sweep())
+    text = report.results.to_json(indent=2)
+    from repro.exp import ResultSet
+    clone = ResultSet.from_json(text)
+    assert clone.to_json() == report.results.to_json()
+    table = report.results.as_run_results()
+    assert set(table) == {"hmmer", "gamess"}
+    assert set(table["hmmer"]) == {"Unsafe", "GhostMinion"}
+    run_result = table["hmmer"]["GhostMinion"]
+    assert run_result.cycles > 0
+    assert run_result.insts > 100
+    assert 0 < run_result.ipc <= 8
+    payload = json.loads(text)
+    assert payload["format"] == 1
+
+
+def test_run_points_mixed_sweeps_single_invocation(tmp_path):
+    # figure11-style composition: several sweeps, one engine call.
+    points = (Sweep(workloads=["hmmer"], defenses=["Unsafe"],
+                    scale=SCALE).points()
+              + Sweep(workloads=["hmmer"], defenses=["GhostMinion"],
+                      variants=[ConfigVariant.make(
+                          "128B", {"minion_d.size_bytes": 128})],
+                      scale=SCALE).points())
+    report = run_points(points, cache=str(tmp_path))
+    assert report.total == 2
+    assert report.results.keys() == [
+        "hmmer::Unsafe::base", "hmmer::GhostMinion::128B"]

@@ -9,6 +9,7 @@ from repro.pipeline.program import ProgramBuilder
 from repro.sim.runner import (
     compare_defenses,
     normalised_times,
+    run_program,
     run_workload,
 )
 from repro.sim.simulator import Simulator
@@ -99,6 +100,42 @@ def test_normalise_requires_baseline():
     results = compare_defenses(["hmmer"], ["GhostMinion"], scale=0.05)
     with pytest.raises(KeyError):
         normalised_times(results)
+
+
+def test_simulator_does_not_mutate_programs():
+    """Programs are built once per workload and shared across defenses
+    (and across the engine's worker payloads), so simulation must never
+    mutate Program state."""
+    import copy
+    spec = get_workload("hmmer")
+    programs = spec.build(0.05)
+    snapshot = copy.deepcopy(programs)
+    first = run_program(list(programs), "GhostMinion")
+    second = run_program(list(programs), "Unsafe")
+    third = run_program(list(programs), "GhostMinion")
+    assert programs[0].instrs == snapshot[0].instrs
+    assert programs[0].memory == snapshot[0].memory
+    # reuse gives the same timing as a fresh build
+    fresh = run_program(spec.build(0.05), "GhostMinion")
+    assert first.cycles == third.cycles == fresh.cycles
+    assert second.finished and first.finished
+
+
+def test_compare_defenses_reuses_programs(monkeypatch):
+    """compare_defenses builds each workload's programs once, not once
+    per (workload, defense) pair."""
+    from repro.workloads.spec import WorkloadSpec
+    builds = []
+    original = WorkloadSpec.build
+
+    def counting_build(self, scale=1.0):
+        builds.append((self.name, scale))
+        return original(self, scale)
+
+    monkeypatch.setattr(WorkloadSpec, "build", counting_build)
+    compare_defenses(["hmmer"], ["Unsafe", "GhostMinion", "MuonTrap"],
+                     scale=0.05)
+    assert builds == [("hmmer", 0.05)]
 
 
 def test_registry_covers_all_figure_bars():
