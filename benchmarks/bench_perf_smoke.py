@@ -1,0 +1,92 @@
+"""Perf smoke bench: event-driven scheduler vs the dense reference loop.
+
+Times one memory-bound sweep point (the fig. 6 ``mcf`` pointer chase,
+whose wall-clock is dominated by DRAM-latency stall cycles) under both
+schedulers at tiny scale, checks they agree byte-for-byte, and writes
+``BENCH_perf.json`` — the first entry of the repo's perf trajectory, so
+future PRs can compare scheduler wall-clock numbers against it.
+
+Run directly (CI does, as a non-gating step):
+
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_perf_smoke.py
+
+Knobs: ``REPRO_BENCH_PERF_SCALE`` (workload scale, default 0.25),
+``REPRO_BENCH_PERF_OUT`` (output path, default ``BENCH_perf.json`` in
+the repo root).
+"""
+
+import json
+import os
+import time
+
+from repro.defenses import registry
+from repro.sim.simulator import Simulator
+from repro.workloads.spec import get_workload
+
+PERF_SCALE = float(os.environ.get("REPRO_BENCH_PERF_SCALE", "0.25"))
+DEFAULT_OUT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           os.pardir, "BENCH_perf.json")
+OUT_PATH = os.environ.get("REPRO_BENCH_PERF_OUT", DEFAULT_OUT)
+
+WORKLOAD = "mcf"
+DEFENSE = "GhostMinion"
+ROUNDS = 3
+
+
+def _time_run(programs, dense):
+    """Best-of-ROUNDS wall-clock for one scheduler; returns (seconds,
+    RunResult of the last round)."""
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        sim = Simulator(list(programs), registry[DEFENSE]())
+        started = time.perf_counter()
+        result = sim.run(dense=dense)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_perf_smoke():
+    programs = get_workload(WORKLOAD).build(PERF_SCALE)
+    dense_s, dense_res = _time_run(programs, dense=True)
+    event_s, event_res = _time_run(programs, dense=False)
+
+    # The speedup claim is only meaningful if both schedulers agree.
+    assert dense_res.cycles == event_res.cycles
+    assert dense_res.stats.as_dict() == event_res.stats.as_dict()
+    assert dense_res.arch_regs() == event_res.arch_regs()
+
+    speedup = dense_s / event_s if event_s > 0 else float("inf")
+    payload = {
+        "bench": "perf_smoke",
+        "workload": WORKLOAD,
+        "defense": DEFENSE,
+        "scale": PERF_SCALE,
+        "cycles": event_res.cycles,
+        "insts": event_res.insts,
+        "skipped_cycles": event_res.skipped_cycles,
+        "skipped_fraction": round(
+            event_res.skipped_cycles / max(1, event_res.cycles), 4),
+        "dense_seconds": round(dense_s, 6),
+        "event_seconds": round(event_s, 6),
+        "speedup": round(speedup, 3),
+        "rounds": ROUNDS,
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print()
+    print("perf smoke: %s/%s scale=%s: dense %.3fs, event %.3fs "
+          "(%.2fx, %d/%d cycles skipped) -> %s"
+          % (WORKLOAD, DEFENSE, PERF_SCALE, dense_s, event_s, speedup,
+             event_res.skipped_cycles, event_res.cycles, OUT_PATH))
+
+    # Acceptance bar: the event-driven scheduler must be >= 1.5x faster
+    # than the dense loop on this memory-bound point.
+    assert speedup >= 1.5, (
+        "event-driven scheduler only %.2fx faster than the dense loop"
+        % speedup)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    test_perf_smoke()

@@ -4,46 +4,100 @@ A :class:`Stats` object is a flat ``name -> value`` counter map with
 helpers for incrementing, merging (multi-core runs) and computing derived
 ratios.  Components bump well-known counter names; the full list in use is
 discoverable via :meth:`Stats.as_dict`.
+
+Hot paths do not pay for string keys: a counter name can be *interned*
+once (at component construction) into an integer slot **handle** via
+:meth:`Stats.handle`, and then bumped with :meth:`Stats.add` — a plain
+list indexing operation.  The string-keyed API (:meth:`bump`,
+:meth:`get`, ...) remains as a thin view for reports, figures and tests.
+
+Interning a handle does **not** make the counter visible: a name only
+appears in :meth:`as_dict`/:meth:`names` once it has actually been
+bumped or set, exactly as with the original dict-backed implementation,
+so pre-resolving handles for counters that never fire leaves result
+payloads unchanged.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List, Tuple
 
 
 class Stats:
-    """Flat counter map with convenience arithmetic."""
+    """Flat counter map with interned integer-slot handles."""
+
+    __slots__ = ("_index", "_values", "_touched")
 
     def __init__(self) -> None:
-        self._counters: Dict[str, float] = defaultdict(float)
+        self._index: Dict[str, int] = {}
+        self._values: List[float] = []
+        self._touched: List[bool] = []
+
+    # -- interned hot path ----------------------------------------------
+
+    def handle(self, name: str) -> int:
+        """Intern ``name`` and return its integer slot handle.
+
+        Resolve once (at construction time) and use :meth:`add` on the
+        hot path; the counter stays invisible until first bumped.
+        """
+        slot = self._index.get(name)
+        if slot is None:
+            slot = len(self._values)
+            self._index[name] = slot
+            self._values.append(0.0)
+            self._touched.append(False)
+        return slot
+
+    def add(self, slot: int, amount: float = 1) -> None:
+        """Increment the counter behind ``slot`` (from :meth:`handle`)."""
+        self._values[slot] += amount
+        self._touched[slot] = True
+
+    def value(self, slot: int) -> float:
+        """Current value behind ``slot`` (0.0 when never bumped)."""
+        return self._values[slot]
+
+    # -- string-keyed view ----------------------------------------------
 
     def bump(self, name: str, amount: float = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self._counters[name] += amount
+        slot = self.handle(name)
+        self._values[slot] += amount
+        self._touched[slot] = True
 
     def set(self, name: str, value: float) -> None:
-        self._counters[name] = value
+        slot = self.handle(name)
+        self._values[slot] = value
+        self._touched[slot] = True
 
     def get(self, name: str, default: float = 0.0) -> float:
-        return self._counters.get(name, default)
+        slot = self._index.get(name)
+        if slot is None or not self._touched[slot]:
+            return default
+        return self._values[slot]
 
     def __getitem__(self, name: str) -> float:
         return self.get(name)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._counters
+        slot = self._index.get(name)
+        return slot is not None and self._touched[slot]
 
     def merge(self, other: "Stats") -> None:
         """Accumulate another Stats object into this one."""
-        for name, value in other._counters.items():
-            self._counters[name] += value
+        for name, slot in other._index.items():
+            if other._touched[slot]:
+                self.bump(name, other._values[slot])
 
     def as_dict(self) -> Dict[str, float]:
-        return dict(self._counters)
+        return {name: self._values[slot]
+                for name, slot in self._index.items()
+                if self._touched[slot]}
 
     def names(self) -> Iterable[str]:
-        return self._counters.keys()
+        return [name for name, slot in self._index.items()
+                if self._touched[slot]]
 
     def ratio(self, numerator: str, denominator: str) -> float:
         """``numerator / denominator`` with a 0 fallback for empty runs."""
@@ -56,6 +110,6 @@ class Stats:
         return self.ratio("commit.insts", "sim.cycles")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        interesting = sorted(self._counters.items())
+        interesting = sorted(self.as_dict().items())
         return "Stats(%s)" % ", ".join(
             "%s=%g" % item for item in interesting[:12])

@@ -81,6 +81,14 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
                         help="emit machine-readable JSON on stdout")
 
 
+def _add_max_insts_arg(parser: argparse.ArgumentParser) -> None:
+    # Not offered on `figure`: paper artefacts run their workloads to
+    # completion by construction.
+    parser.add_argument("--max-insts", type=int, default=None,
+                        help="early-stop: cap each point at this many "
+                             "committed instructions")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -92,12 +100,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--defense", default="GhostMinion")
     run_p.add_argument("--scale", type=float, default=0.25)
     _add_engine_args(run_p)
+    _add_max_insts_arg(run_p)
 
     cmp_p = sub.add_parser("compare",
                            help="all defenses on the given workloads")
     cmp_p.add_argument("workloads", nargs="+")
     cmp_p.add_argument("--scale", type=float, default=0.25)
     _add_engine_args(cmp_p)
+    _add_max_insts_arg(cmp_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper artefact")
     fig_p.add_argument("which", choices=sorted(FIGURES))
@@ -120,6 +130,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="config axis swept as variants "
                             "(e.g. minion_d.size_bytes=2048,512,128)")
     _add_engine_args(swp_p)
+    _add_max_insts_arg(swp_p)
 
     atk_p = sub.add_parser("attack", help="run a transient attack")
     atk_p.add_argument("which",
@@ -147,6 +158,7 @@ def _progress_to_stderr(done: int, total: int, point) -> None:
 
 def _report_engine(report) -> None:
     print(report.summary(), file=sys.stderr)
+    print(report.timing_summary(), file=sys.stderr)
 
 
 def _json_default(obj):
@@ -170,7 +182,8 @@ def _parse_value(text: str):
 def _cmd_run(args) -> int:
     report = run_sweep(
         Sweep(name="run", workloads=[args.workload],
-              defenses=[args.defense], scale=args.scale),
+              defenses=[args.defense], scale=args.scale,
+              max_insts=args.max_insts),
         jobs=args.jobs, cache=_cache_from_args(args),
         progress=_progress_to_stderr)
     point = next(iter(report.results))
@@ -180,6 +193,7 @@ def _cmd_run(args) -> int:
                           "defense": args.defense,
                           "scale": args.scale,
                           "cache_hits": report.cache_hits,
+                          "timing": report.timing_meta(),
                           "result": point.to_json_dict()},
                          sort_keys=True, indent=2))
         return 0
@@ -200,7 +214,8 @@ def _cmd_run(args) -> int:
 def _cmd_compare(args) -> int:
     report = run_sweep(
         Sweep(name="compare", workloads=list(args.workloads),
-              defenses=["Unsafe"] + FIGURE_ORDER, scale=args.scale),
+              defenses=["Unsafe"] + FIGURE_ORDER, scale=args.scale,
+              max_insts=args.max_insts),
         jobs=args.jobs, cache=_cache_from_args(args),
         progress=_progress_to_stderr)
     _report_engine(report)
@@ -209,6 +224,7 @@ def _cmd_compare(args) -> int:
         print(json.dumps({"normalised": table,
                           "cache_hits": report.cache_hits,
                           "executed": report.executed,
+                          "timing": report.timing_meta(),
                           "points": [p.to_json_dict()
                                      for p in report.results]},
                          sort_keys=True, indent=2))
@@ -263,7 +279,7 @@ def _cmd_sweep(args) -> int:
         report = run_sweep(
             Sweep(name="sweep", workloads=list(args.workloads),
                   defenses=defenses, variants=variants,
-                  scale=args.scale),
+                  scale=args.scale, max_insts=args.max_insts),
             jobs=args.jobs, cache=_cache_from_args(args),
             progress=_progress_to_stderr)
     except AttributeError as exc:
@@ -272,7 +288,11 @@ def _cmd_sweep(args) -> int:
         return 2
     _report_engine(report)
     if args.json:
-        print(report.results.to_json(indent=2))
+        # Canonical result payload plus the (non-canonical) timing
+        # telemetry block.
+        payload = json.loads(report.results.to_json())
+        payload["timing"] = report.timing_meta()
+        print(json.dumps(payload, sort_keys=True, indent=2))
         return 0
     rows = [(p.key, p.cycles, p.insts, "%.3f" % p.ipc,
              "hit" if p.cached else "run")

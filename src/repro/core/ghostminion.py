@@ -125,6 +125,19 @@ class Minion:
         self.stats.bump(self.name + ".read_hits")
         return "hit"
 
+    def probe(self, line: int, ts: int) -> bool:
+        """Side-effect-free presence check at timestamp ``ts``.
+
+        ``True`` iff :meth:`read` would hit — but without counting an
+        access.  Used by the fetch stage's per-cycle presence poll (and
+        by the event-driven scheduler's stall analysis), which must not
+        perturb counters while a core spins on a pending miss.
+        """
+        entry = self.get(line)
+        if entry is None:
+            return False
+        return self.timeless or entry.ts <= ts
+
     # -- TimeGuarded fill (figs. 3, 4b) ----------------------------------
 
     def fill(self, line: int, ts: int, version: int = 0,

@@ -67,6 +67,7 @@ class GhostMinionHierarchy(BaseHierarchy):
                               ) if iminion else None
         # Fill functions targeted by squash-time fill dropping.
         self._minion_fill_fns = {self._fill_dminion, self._fill_iminion}
+        self._h_timeguard_loads = stats.handle("gm.timeguard_loads")
 
     def _tlb_minion_enabled(self) -> bool:
         # §4.9: GhostMinions attach to TLBs too (when the TLB is
@@ -125,7 +126,7 @@ class GhostMinionHierarchy(BaseHierarchy):
                 req.hit_level = 0
                 return cycle + port.latency
             if outcome == "timeguard":
-                self.stats.bump("gm.timeguard_loads")
+                self.stats.add(self._h_timeguard_loads)
                 # The line is invisible at this timestamp; the access
                 # proceeds as a miss, but it must not *refetch over* the
                 # younger line (handled by the fill rule).
@@ -135,8 +136,11 @@ class GhostMinionHierarchy(BaseHierarchy):
         return None
 
     def _probe_present(self, port: L1Port, line: int, ts: int) -> bool:
+        # Pure presence poll (fetch-stage spin / scheduler stall
+        # analysis): must not count Minion reads, unlike the real access
+        # path through ``_probe``.
         minion = self._minion_for(port)
-        if minion is not None and minion.read(line, ts) == "hit":
+        if minion is not None and minion.probe(line, ts):
             return True
         return port.cache.contains(line)
 

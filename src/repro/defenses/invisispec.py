@@ -22,8 +22,10 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.analysis.stats import Stats
+from repro.config import SystemConfig
 from repro.defenses.base import Defense
-from repro.memory.hierarchy import BaseHierarchy, FillFn, L1Port
+from repro.memory.hierarchy import BaseHierarchy, FillFn, L1Port, SharedMemory
 from repro.memory.request import MemRequest
 
 
@@ -37,6 +39,16 @@ class InvisiSpecHierarchy(BaseHierarchy):
     # side effects); validations — non-speculative — do, via refetch().
     speculative_prefetcher_training = False
 
+    def __init__(self, core_id: int, cfg: SystemConfig,
+                 shared: SharedMemory, stats: Stats) -> None:
+        super().__init__(core_id, cfg, shared, stats)
+        self._h_exposures = stats.handle("ivs.exposures")
+        self._h_invisible_misses = stats.handle("ivs.invisible_misses")
+
+    # Validation completion times live on the load-queue entries (the
+    # core blocks commit on them), so the base next_event_cycle — L1
+    # MSHR completions — already covers every timing source here.
+
     def _probe(self, port: L1Port, req: MemRequest, cycle: int
                ) -> Optional[int]:
         ready = super()._probe(port, req, cycle)
@@ -45,7 +57,7 @@ class InvisiSpecHierarchy(BaseHierarchy):
             # validation, at the visibility point.
             req.invisible = True
             req.needs_validation = False
-            self.stats.bump("ivs.exposures")
+            self.stats.add(self._h_exposures)
         return ready
 
     def _fill_targets(self, port: L1Port, req: MemRequest
@@ -55,7 +67,7 @@ class InvisiSpecHierarchy(BaseHierarchy):
             # cache anywhere changes state.
             req.invisible = True
             req.needs_validation = True
-            self.stats.bump("ivs.invisible_misses")
+            self.stats.add(self._h_invisible_misses)
             return []
         return super()._fill_targets(port, req)
 

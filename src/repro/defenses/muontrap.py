@@ -49,6 +49,12 @@ class MuonTrapHierarchy(BaseHierarchy):
         self.l0d = SetAssocCache(num_sets, l0_assoc, "l0d", stats)
         self.l0i = SetAssocCache(num_sets, l0_assoc, "l0i", stats)
 
+    # The L0 filter caches are plain tag stores with no cycle-based
+    # state of their own, so the base next_event_cycle (L1-side MSHR
+    # completions) remains the only autonomous wakeup source; the
+    # _probe_present override below is already side-effect-free
+    # (``contains`` probes), as the scheduler's stall analysis requires.
+
     def _l0_for(self, port: L1Port) -> SetAssocCache:
         return self.l0d if port is self.dport else self.l0i
 

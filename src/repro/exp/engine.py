@@ -18,6 +18,7 @@ import dataclasses
 import json
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -62,6 +63,9 @@ class SweepReport:
     cache_hits: int = 0
     executed: int = 0
     jobs: int = 1
+    #: Wall-clock seconds for the whole engine invocation (cache
+    #: lookups + simulation + gather), measured by :func:`run_points`.
+    wall_seconds: float = 0.0
 
     @property
     def total(self) -> int:
@@ -74,12 +78,52 @@ class SweepReport:
     def summary(self) -> str:
         return format_engine_summary(self.meta())
 
+    # -- per-point timing telemetry (scheduler tuning) ------------------
+
+    def point_timings(self) -> List[Dict]:
+        """Per-point timing rows: seconds + simulated cycles, executed
+        points only (cache hits cost no simulation time), slowest
+        first."""
+        rows = [
+            {"key": point.key, "seconds": point.wall_seconds,
+             "cycles": point.cycles,
+             "skipped_cycles": point.skipped_cycles}
+            for point in self.results if not point.cached]
+        rows.sort(key=lambda row: -row["seconds"])
+        return rows
+
+    def sim_seconds(self) -> float:
+        """Total seconds spent simulating (sums worker time, so it can
+        exceed ``wall_seconds`` for parallel runs)."""
+        return sum(point.wall_seconds for point in self.results
+                   if not point.cached)
+
+    def timing_meta(self) -> Dict:
+        """The timing block surfaced by ``--json`` consumers."""
+        return {"wall_seconds": round(self.wall_seconds, 6),
+                "sim_seconds": round(self.sim_seconds(), 6),
+                "points": self.point_timings()}
+
+    def timing_summary(self, slowest: int = 3) -> str:
+        """One-line timing summary for stderr, e.g.
+        ``timing: 1.24s wall, 3.90s simulating; slowest: k1 (2.1s), ...``
+        """
+        parts = ["timing: %.2fs wall, %.2fs simulating"
+                 % (self.wall_seconds, self.sim_seconds())]
+        rows = self.point_timings()[:max(0, slowest)]
+        if rows:
+            parts.append("slowest: " + ", ".join(
+                "%s (%.2fs, %d cycles)"
+                % (row["key"], row["seconds"], row["cycles"])
+                for row in rows))
+        return "; ".join(parts)
+
 
 # One payload per cache miss; a plain tuple so it pickles cheaply:
 # (index, key, digest, meta(workload, defense, variant, scale),
-#  workload_spec, defense, cfg, max_cycles)
+#  workload_spec, defense, cfg, max_cycles, max_insts)
 _Payload = Tuple[int, str, str, Tuple[str, str, str, float],
-                 WorkloadSpec, Defense, SystemConfig, int]
+                 WorkloadSpec, Defense, SystemConfig, int, Optional[int]]
 
 #: Per-process (workload-content, scale) -> programs memo.  In serial
 #: runs this is the only copy; each pool worker grows its own.  Safe
@@ -101,11 +145,13 @@ def _build_programs(spec: WorkloadSpec, scale: float) -> List[Program]:
 def _simulate_payload(payload: _Payload) -> Tuple[int, PointResult]:
     """Run one point (executed inline or inside a worker process)."""
     (index, key, digest, meta, spec, defense, cfg,
-     max_cycles) = payload
+     max_cycles, max_insts) = payload
     workload, defense_name, variant, scale = meta
+    started = time.perf_counter()
     programs = _build_programs(spec, scale)
     outcome = Simulator(programs, defense, cfg=cfg).run(
-        max_cycles=max_cycles)
+        max_cycles=max_cycles, max_insts=max_insts)
+    elapsed = time.perf_counter() - started
     return index, PointResult(
         key=key,
         workload=workload,
@@ -117,6 +163,8 @@ def _simulate_payload(payload: _Payload) -> Tuple[int, PointResult]:
         insts=outcome.insts,
         finished=outcome.finished,
         stats=outcome.stats.as_dict(),
+        wall_seconds=elapsed,
+        skipped_cycles=outcome.skipped_cycles,
     )
 
 
@@ -129,6 +177,7 @@ def run_points(points: Sequence[SweepPoint],
     jobs = resolve_jobs(jobs)
     store = resolve_cache(cache)
     total = len(points)
+    started = time.perf_counter()
     # Scope program reuse to this invocation (workers get their own
     # per-process memo for the lifetime of the pool).
     _PROGRAMS_MEMO.clear()
@@ -172,7 +221,7 @@ def run_points(points: Sequence[SweepPoint],
             (point.workload.name, point.defense.name,
              point.variant.label, point.scale),
             point.workload, point.defense, point.config(),
-            point.max_cycles))
+            point.max_cycles, point.max_insts))
 
     if pending:
         if jobs > 1 and len(pending) > 1:
@@ -195,7 +244,8 @@ def run_points(points: Sequence[SweepPoint],
         assert slot is not None
         results.add(slot)
     return SweepReport(results=results, cache_hits=hits,
-                       executed=len(pending), jobs=jobs)
+                       executed=len(pending), jobs=jobs,
+                       wall_seconds=time.perf_counter() - started)
 
 
 def run_sweep(sweep: Sweep,

@@ -39,6 +39,14 @@ class PointResult:
     #: True when this result came from the on-disk cache (runtime
     #: metadata: excluded from the canonical JSON form).
     cached: bool = False
+    #: Wall-clock seconds this point's simulation took in this process
+    #: (0.0 for cache hits).  Runtime metadata, like ``cached``: never
+    #: serialized, so canonical JSON stays machine-independent.
+    wall_seconds: float = 0.0
+    #: Cycles the event-driven scheduler fast-forwarded for this point.
+    #: Runtime metadata (scheduler telemetry), excluded from JSON so
+    #: dense-loop and event-driven runs stay byte-identical.
+    skipped_cycles: int = 0
 
     @property
     def ipc(self) -> float:

@@ -144,6 +144,10 @@ class SweepPoint:
     variant: ConfigVariant = BASE_VARIANT
     scale: float = 1.0
     max_cycles: int = 5_000_000
+    #: Early-stop policy: stop once this many instructions have
+    #: committed (``None`` = run to completion).  Declarative, so sweeps
+    #: can cap simulation length without touching simulator call sites.
+    max_insts: Optional[int] = None
     base_cfg: Optional[SystemConfig] = None
 
     @property
@@ -171,6 +175,7 @@ class SweepPoint:
             "config": dataclasses.asdict(self.config()),
             "scale": self.scale,
             "max_cycles": self.max_cycles,
+            "max_insts": self.max_insts,
         }
 
     def digest(self) -> str:
@@ -196,6 +201,10 @@ class Experiment:
     variants: Sequence[ConfigVariant] = (BASE_VARIANT,)
     scale: Optional[float] = None
     max_cycles: int = 5_000_000
+    #: Engine-level early-stop: cap every point at this many committed
+    #: instructions (``None`` = no cap).  Folded into point digests, so
+    #: capped and uncapped runs never share cache entries.
+    max_insts: Optional[int] = None
     base_cfg: Optional[SystemConfig] = None
 
     def points(self) -> List[SweepPoint]:
@@ -208,6 +217,7 @@ class Experiment:
         points = [
             SweepPoint(workload=spec, defense=defense, variant=variant,
                        scale=scale, max_cycles=self.max_cycles,
+                       max_insts=self.max_insts,
                        base_cfg=self.base_cfg)
             for spec in specs
             for defense in defenses

@@ -42,6 +42,12 @@ class SetAssocCache:
         self.assoc = assoc
         self.name = name
         self.stats = stats if stats is not None else Stats()
+        # Hot-path counters resolved to interned slots once (hits/misses
+        # fire on every access, fills/evictions on every miss return).
+        self._h_hits = self.stats.handle(name + ".hits")
+        self._h_misses = self.stats.handle(name + ".misses")
+        self._h_fills = self.stats.handle(name + ".fills")
+        self._h_evictions = self.stats.handle(name + ".evictions")
         # One dict per set: line -> CacheLine.  Sets are tiny (assoc<=8).
         self._sets: List[Dict[int, CacheLine]] = [
             {} for _ in range(num_sets)]
@@ -69,10 +75,10 @@ class SetAssocCache:
         """Access the cache: on hit, update recency and count a hit."""
         entry = self._sets[self.set_index(line)].get(line)
         if entry is None:
-            self.stats.bump(self.name + ".misses")
+            self.stats.add(self._h_misses)
             return False
         entry.last_used = cycle
-        self.stats.bump(self.name + ".hits")
+        self.stats.add(self._h_hits)
         return True
 
     def get(self, line: int) -> Optional[CacheLine]:
@@ -94,11 +100,11 @@ class SetAssocCache:
             victim_line = min(
                 cache_set.values(), key=lambda e: e.last_used).line
             del cache_set[victim_line]
-            self.stats.bump(self.name + ".evictions")
+            self.stats.add(self._h_evictions)
         entry = CacheLine(line, cycle)
         entry.dirty = dirty
         cache_set[line] = entry
-        self.stats.bump(self.name + ".fills")
+        self.stats.add(self._h_fills)
         return victim_line
 
     def invalidate(self, line: int) -> bool:

@@ -21,6 +21,9 @@ class DRAM:
                  ) -> None:
         self.cfg = cfg
         self.stats = stats if stats is not None else Stats()
+        self._h_accesses = self.stats.handle("dram.accesses")
+        self._h_row_hits = self.stats.handle("dram.row_hits")
+        self._h_spec_no_open = self.stats.handle("dram.spec_no_open")
         # lines per row: a row covers 2**row_bits bytes of 64-byte lines.
         self.lines_per_row = max(1, (1 << cfg.row_bits) // 64)
         self._open_rows: Dict[int, int] = {}
@@ -33,11 +36,11 @@ class DRAM:
 
     def access(self, line: int, speculative: bool = False) -> int:
         """Access latency for ``line``; updates row-buffer state."""
-        self.stats.bump("dram.accesses")
+        self.stats.add(self._h_accesses)
         row = self.row_of(line)
         bank = self.bank_of(line)
         if self.cfg.open_page and self._open_rows.get(bank) == row:
-            self.stats.bump("dram.row_hits")
+            self.stats.add(self._h_row_hits)
             latency = self.cfg.row_hit_latency
         else:
             latency = self.cfg.base_latency
@@ -48,7 +51,7 @@ class DRAM:
         elif self.cfg.nonspec_open_only and speculative:
             # A speculative access that closes the page it used leaves no
             # trace; model by not updating (previous row stays open).
-            self.stats.bump("dram.spec_no_open")
+            self.stats.add(self._h_spec_no_open)
         return latency
 
     def open_row(self, bank: int) -> Optional[int]:

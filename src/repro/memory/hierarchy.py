@@ -67,6 +67,13 @@ class SharedMemory:
 
     # -- completion -----------------------------------------------------
 
+    def next_event_cycle(self) -> float:
+        """Earliest cycle at which shared state can change on its own:
+        the next L2 MSHR completion (``inf`` when nothing is in flight).
+        DRAM, the directory and the prefetcher hold no cycle-based state,
+        so in-flight misses are the only autonomous wakeup source."""
+        return self.l2_mshrs.next_ready_cycle()
+
     def drain(self, cycle: int) -> None:
         if self._last_drain >= cycle:
             return
@@ -267,6 +274,8 @@ class BaseHierarchy:
         self.dtlb = (TLBHierarchy(cfg.tlb, stats,
                                   minion=self._tlb_minion_enabled())
                      if cfg.model_tlb else None)
+        self._h_loads_issued = stats.handle("mem.loads_issued")
+        self._h_ifetches_issued = stats.handle("mem.ifetches_issued")
         shared.register(self)
 
     def _tlb_minion_enabled(self) -> bool:
@@ -283,18 +292,32 @@ class BaseHierarchy:
             for entry in port.mshrs.drain(cycle):
                 self.shared._apply_fills(entry, cycle)
 
+    def next_event_cycle(self) -> float:
+        """Earliest cycle at which this hierarchy can change state on its
+        own (``inf`` when idle): the next L1-side MSHR completion.
+
+        The event-driven scheduler takes the minimum over every core's
+        hierarchy plus :meth:`SharedMemory.next_event_cycle`; subclasses
+        that add their own cycle-based timing state must override and
+        fold their wakeups into the minimum.  (Minions, L0 filter caches
+        and TLB-Minions are timestamp-ordered, not cycle-timed, so the
+        defenses shipped here need no extra sources.)
+        """
+        return min(self.dport.mshrs.next_ready_cycle(),
+                   self.iport.mshrs.next_ready_cycle())
+
     def load(self, addr: int, ts: int, cycle: int, speculative: bool = True,
              pc: int = 0) -> Optional[MemRequest]:
         """Issue a data load.  Returns a request handle, or ``None`` when
         MSHR backpressure means the core must retry next cycle."""
-        self.stats.bump("mem.loads_issued")
+        self.stats.add(self._h_loads_issued)
         return self._access(self.dport, "load", addr, ts, cycle,
                             speculative, pc)
 
     def ifetch(self, addr: int, ts: int, cycle: int
                ) -> Optional[MemRequest]:
         """Issue an instruction-line fetch (always speculative)."""
-        self.stats.bump("mem.ifetches_issued")
+        self.stats.add(self._h_ifetches_issued)
         return self._access(self.iport, "ifetch", addr, ts, cycle,
                             True, addr)
 
@@ -302,6 +325,14 @@ class BaseHierarchy:
         """Presence check for the fetch stage (no side effects besides
         draining due fills)."""
         self.drain(cycle)
+        return self._probe_present(self.iport, addr >> 6, ts)
+
+    def ifetch_would_hit(self, addr: int, ts: int) -> bool:
+        """Pure form of :meth:`ifetch_probe`: no drain, no counters.
+
+        Used by the event-driven scheduler's stall analysis, which runs
+        only when every due fill has already drained.
+        """
         return self._probe_present(self.iport, addr >> 6, ts)
 
     def store_commit(self, addr: int, ts: int, cycle: int) -> None:

@@ -91,6 +91,7 @@ class MSHRFile:
         self.name = name
         self.stats = stats if stats is not None else Stats()
         self.entries: List[MSHREntry] = []
+        self._h_allocs = self.stats.handle(name + ".allocs")
 
     # -- queries --------------------------------------------------------
 
@@ -112,6 +113,16 @@ class MSHRFile:
             return 0
         return min(entry.ready_cycle for entry in self.entries)
 
+    def next_ready_cycle(self) -> float:
+        """Earliest pending completion (``inf`` when the file is idle).
+
+        The event-driven scheduler uses this as a wakeup source: no fill
+        from this file can change machine state before that cycle.
+        """
+        if not self.entries:
+            return float("inf")
+        return min(entry.ready_cycle for entry in self.entries)
+
     # -- allocation -----------------------------------------------------
 
     def allocate(self, line: int, ts, ready_cycle: int,
@@ -121,7 +132,7 @@ class MSHRFile:
         entry = MSHREntry(line, ts, ready_cycle, prefetch=prefetch,
                           core=core)
         self.entries.append(entry)
-        self.stats.bump(self.name + ".allocs")
+        self.stats.add(self._h_allocs)
         return entry
 
     # -- Temporal-Order mechanisms (GhostMinion) --------------------------

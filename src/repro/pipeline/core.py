@@ -166,9 +166,34 @@ class Core:
         self.epoch_timestamps = defense.epoch_timestamps
         self.epoch = 0
         self.halted = False
+        #: Plain integer mirror of the ``commit.insts`` counter, so the
+        #: simulator's per-cycle ``max_insts`` cap costs an attribute
+        #: read instead of a string-keyed stats lookup.
+        self.committed_insts = 0
         self._oldest_unresolved = float("inf")
         self._taint_on = defense.taint_mode != "none"
         self._validation_on = defense.validation_mode != "none"
+        # Hot-path counters interned once; see repro.analysis.stats.
+        self._h_fetch_insts = stats.handle("fetch.insts")
+        self._h_fetch_off_end = stats.handle("fetch.off_end")
+        self._h_rob_full = stats.handle("dispatch.rob_full")
+        self._h_iq_full = stats.handle("dispatch.iq_full")
+        self._h_lq_full = stats.handle("dispatch.lq_full")
+        self._h_sq_full = stats.handle("dispatch.sq_full")
+        self._h_commit_insts = stats.handle("commit.insts")
+        self._h_commit_loads = stats.handle("commit.loads")
+        self._h_commit_stores = stats.handle("commit.stores")
+        self._h_commit_stall = stats.handle("commit.stall_cycles")
+        self._h_ivs_stall = stats.handle("ivs.validation_stall_cycles")
+        self._h_lsq_load_waits = stats.handle("lsq.load_waits")
+        self._h_lsq_forwards = stats.handle("lsq.forwards")
+        self._h_load_retries = stats.handle("mem.load_retries")
+        self._h_load_replays = stats.handle("mem.load_replays")
+        self._h_cond_branches = stats.handle("bp.cond_branches")
+        self._h_mispredicts = stats.handle("bp.mispredicts")
+        self._h_strict_blocked = {
+            cls: stats.handle("fu.%s.strict_blocked" % cls)
+            for cls in FUPool.CLASSES}
 
     # ==================================================================
     # cycle step
@@ -195,6 +220,153 @@ class Core:
         return self.halted
 
     # ==================================================================
+    # event-driven scheduling (cycle skipping)
+    # ==================================================================
+
+    def next_event_cycle(self, cycle):
+        """Stall analysis for the event-driven scheduler.
+
+        Returns ``None`` when ``step(cycle)`` might make progress or
+        have side effects beyond a fixed set of per-cycle stall-counter
+        bumps — the scheduler must then step densely.  Otherwise returns
+        ``(wake, bumps)``: for every cycle ``c`` in ``[cycle, wake)``,
+        ``step(c)`` is guaranteed to change *nothing* except bumping
+        each stats handle in ``bumps`` once — exactly what the dense
+        loop would do — so the scheduler may jump straight to ``wake``
+        after applying ``bumps`` once per skipped cycle.
+
+        This mirrors :meth:`step` stage by stage (commit, writeback,
+        validation issue, early commit, issue, dispatch, fetch) and must
+        be kept in lockstep with it: the ``REPRO_DENSE_LOOP=1``
+        differential tests in ``tests/test_scheduler_equivalence.py``
+        enforce the equivalence.  When in doubt, return ``None`` —
+        conservatism costs speed, never correctness.
+        """
+        if self.halted:
+            return float("inf"), ()
+        wake = self.hierarchy.next_event_cycle()
+        if wake <= cycle:
+            return None  # a fill is due: drain has work this cycle
+        bumps = []
+        # -- commit: only the ROB head can block the window ------------
+        if self.rob:
+            head = self.rob[0]
+            if head.state == ST_DONE and not head.squashed:
+                if head.commit_stall_until > cycle:
+                    wake = min(wake, head.commit_stall_until)
+                    bumps.append(self._h_commit_stall)
+                elif (self._validation_on and head.instr.is_load
+                        and head.memreq is not None
+                        and head.memreq.needs_validation
+                        and not head.validated
+                        and head.validation_done_cycle is not None
+                        and cycle < head.validation_done_cycle):
+                    wake = min(wake, head.validation_done_cycle)
+                    bumps.append(self._h_ivs_stall)
+                else:
+                    return None  # head would commit (or start work)
+        # -- writeback: every in-flight op is a wakeup source ----------
+        for di in self.executing:
+            if di.squashed:
+                return None  # writeback would clean the list
+            if di.instr.is_load and di.memreq is not None:
+                req = di.memreq
+                if req.state is not ReqState.READY:
+                    return None  # replay (or backpressure) to service
+                ready = req.ready_cycle
+            else:
+                ready = di.done_cycle
+            if ready <= cycle:
+                return None  # completes now
+            wake = min(wake, ready)
+        # -- InvisiSpec: a load at its visibility point starts work ----
+        if self._validation_on:
+            spectre_mode = self.defense.validation_mode == "spectre"
+            window = None
+            if not spectre_mode:
+                window = {di.seq for di in list(self.rob)
+                          [:2 * self.cfg.commit_width]}
+            for di in self.lq:
+                req = di.memreq
+                if (req is None or not req.needs_validation or di.validated
+                        or di.validation_done_cycle is not None):
+                    continue
+                if di.state != ST_DONE:
+                    continue
+                if spectre_mode:
+                    if di.seq < self._oldest_unresolved:
+                        return None
+                elif di.seq in window:
+                    return None
+        # -- GhostMinion §4.10: a promotable load starts work ----------
+        if self.defense.early_commit:
+            for di in self.lq:
+                if (di.promoted or di.squashed or di.state != ST_DONE
+                        or di.forwarded or di.memreq is None):
+                    continue
+                if di.seq < self._oldest_unresolved:
+                    return None
+        # -- issue: any op with ready operands may try to issue --------
+        strict_fu = self.defense.strict_fu_order
+        blocked_classes = set()
+        for di in sorted(self.iq, key=lambda d: d.seq):
+            if di.squashed or di.state != ST_WAITING:
+                return None  # issue would prune the queue
+            instr = di.instr
+            nonpipelined = not instr.pipelined
+            # `issued` stays 0 all window (nothing issues), so the
+            # issue-width gate in _issue never fires here.
+            if strict_fu and nonpipelined \
+                    and instr.fu_class in blocked_classes:
+                bumps.append(self._h_strict_blocked[instr.fu_class])
+                continue
+            if not di.operands_ready():
+                if strict_fu and nonpipelined:
+                    blocked_classes.add(instr.fu_class)
+                continue
+            return None  # would reach _try_issue_one
+        # -- dispatch: blocked head bumps one full-counter per cycle ---
+        if self.fetch_queue:
+            di = self.fetch_queue[0]
+            instr = di.instr
+            if len(self.rob) >= self.cfg.rob_entries:
+                bumps.append(self._h_rob_full)
+            else:
+                needs_iq = instr.op not in (Op.NOP, Op.HALT) and not (
+                    instr.op in (Op.JMP, Op.CALL))
+                if needs_iq and len(self.iq) >= self.cfg.iq_entries:
+                    bumps.append(self._h_iq_full)
+                elif instr.is_load and len(self.lq) >= self.cfg.lq_entries:
+                    bumps.append(self._h_lq_full)
+                elif instr.is_store \
+                        and len(self.sq) >= self.cfg.sq_entries:
+                    bumps.append(self._h_sq_full)
+                else:
+                    return None  # head would dispatch
+        # -- fetch ------------------------------------------------------
+        if not self.fetch_halted:
+            if cycle < self.fetch_stall_until:
+                wake = min(wake, self.fetch_stall_until)
+            elif len(self.fetch_queue) < 2 * self.cfg.fetch_width:
+                pc = self.fetch_pc
+                if pc < 0 or pc >= len(self.program.instrs):
+                    bumps.append(self._h_fetch_off_end)
+                else:
+                    addr = pc * INST_BYTES
+                    if self.hierarchy.ifetch_would_hit(
+                            addr, self._fetch_ts()):
+                        return None  # would fetch this cycle
+                    req = self.pending_ifetch
+                    if req is None or req.line != (addr >> 6):
+                        return None  # would issue a fresh ifetch
+                    if req.state is not ReqState.READY:
+                        return None  # replayed: would reissue
+                    if req.ready_cycle <= cycle:
+                        return None  # fill dropped: would reissue
+                    wake = min(wake, req.ready_cycle)
+        return wake, bumps
+
+    # ==================================================================
     # fetch
     # ==================================================================
 
@@ -209,7 +381,7 @@ class Core:
             if pc < 0 or pc >= len(self.program.instrs):
                 # Fell off the program (can happen transiently); treat as
                 # a stream of NOPs that will be squashed, by stalling.
-                self.stats.bump("fetch.off_end")
+                self.stats.add(self._h_fetch_off_end)
                 return
             addr = pc * INST_BYTES
             if not self._ifetch_line_ready(addr, cycle):
@@ -227,7 +399,7 @@ class Core:
                 self.epoch = self.seq_counter
             self._predict(di, cycle)
             self.fetch_queue.append(di)
-            self.stats.bump("fetch.insts")
+            self.stats.add(self._h_fetch_insts)
             self.fetch_pc = di.pred_next
             fetched += 1
             if instr.op is Op.HALT:
@@ -292,18 +464,18 @@ class Core:
             di = self.fetch_queue[0]
             instr = di.instr
             if len(self.rob) >= self.cfg.rob_entries:
-                self.stats.bump("dispatch.rob_full")
+                self.stats.add(self._h_rob_full)
                 return
             needs_iq = instr.op not in (Op.NOP, Op.HALT) and not (
                 instr.op in (Op.JMP, Op.CALL))
             if needs_iq and len(self.iq) >= self.cfg.iq_entries:
-                self.stats.bump("dispatch.iq_full")
+                self.stats.add(self._h_iq_full)
                 return
             if instr.is_load and len(self.lq) >= self.cfg.lq_entries:
-                self.stats.bump("dispatch.lq_full")
+                self.stats.add(self._h_lq_full)
                 return
             if instr.is_store and len(self.sq) >= self.cfg.sq_entries:
-                self.stats.bump("dispatch.sq_full")
+                self.stats.add(self._h_sq_full)
                 return
             self.fetch_queue.popleft()
             self._rename(di)
@@ -388,7 +560,7 @@ class Core:
                 # speculative operation once all older (timestamp-order)
                 # operations that may use the same unit have issued —
                 # including ones whose operands are not ready yet.
-                self.stats.bump("fu.%s.strict_blocked" % instr.fu_class)
+                self.stats.add(self._h_strict_blocked[instr.fu_class])
                 still_waiting.append(di)
                 continue
             if not di.operands_ready():
@@ -469,7 +641,7 @@ class Core:
         di.addr = addr
         conflict = self._older_store_conflict(di, addr)
         if conflict == "wait":
-            self.stats.bump("lsq.load_waits")
+            self.stats.add(self._h_lsq_load_waits)
             return False
         if self._taint_on and not self._address_operands_safe(di):
             self.stats.bump("stt.load_blocked_cycles")
@@ -483,12 +655,12 @@ class Core:
             di.state = ST_EXECUTING
             di.done_cycle = cycle + 1
             self.executing.append(di)
-            self.stats.bump("lsq.forwards")
+            self.stats.add(self._h_lsq_forwards)
             return True
         req = self.hierarchy.load(addr, di.ts, cycle, speculative=True,
                                   pc=di.pc)
         if req is None:
-            self.stats.bump("mem.load_retries")
+            self.stats.add(self._h_load_retries)
             return True  # consumed an issue slot but stays waiting
         di.memreq = req
         di.result = self._memory_value(addr)
@@ -575,7 +747,7 @@ class Core:
                     di.memreq = None
                     di.replays += 1
                     self.iq.append(di)
-                    self.stats.bump("mem.load_replays")
+                    self.stats.add(self._h_load_replays)
                     continue
                 if req.done(cycle):
                     di.result = self._memory_value(di.addr)
@@ -603,14 +775,14 @@ class Core:
         self._refresh_oldest_unresolved()
         instr = di.instr
         if instr.is_cond_branch:
-            self.stats.bump("bp.cond_branches")
+            self.stats.add(self._h_cond_branches)
             if not self.defense.train_predictor_at_commit:
                 self.predictor.update(di.pc, di.actual_taken, di.ghr_ckpt)
         if instr.op is Op.RET and not self.defense.train_predictor_at_commit:
             self.btb.update(di.pc, di.actual_next)
         if di.actual_next != di.pred_next:
             di.mispredicted = True
-            self.stats.bump("bp.mispredicts")
+            self.stats.add(self._h_mispredicts)
             self._squash_after(di, cycle)
 
     def _squash_after(self, br: DynInst, cycle: int) -> None:
@@ -718,7 +890,7 @@ class Core:
             if di.state != ST_DONE or di.squashed:
                 break
             if di.commit_stall_until > cycle:
-                self.stats.bump("commit.stall_cycles")
+                self.stats.add(self._h_commit_stall)
                 break
             if not self._commit_load_checks(di, cycle):
                 break
@@ -726,7 +898,7 @@ class Core:
             if instr.is_store:
                 self.memory[di.addr] = di.store_value & MASK64
                 self.hierarchy.store_commit(di.addr, di.ts, cycle)
-                self.stats.bump("commit.stores")
+                self.stats.add(self._h_commit_stores)
             dest = instr.writes_reg
             if dest is not None:
                 self.regs[dest] = di.result & MASK64
@@ -740,11 +912,12 @@ class Core:
             self.rob.popleft()
             if instr.is_load:
                 self.lq.remove(di)
-                self.stats.bump("commit.loads")
+                self.stats.add(self._h_commit_loads)
             if instr.is_store:
                 self.sq.remove(di)
             self.hierarchy.commit_ifetch(di.pc * INST_BYTES, di.ts, cycle)
-            self.stats.bump("commit.insts")
+            self.stats.add(self._h_commit_insts)
+            self.committed_insts += 1
             committed += 1
             if instr.op is Op.HALT:
                 self.halted = True
@@ -765,7 +938,7 @@ class Core:
                     req, di.ts, cycle)
                 self.stats.bump("ivs.commit_validations")
             if cycle < di.validation_done_cycle:
-                self.stats.bump("ivs.validation_stall_cycles")
+                self.stats.add(self._h_ivs_stall)
                 return False
             di.validated = True
         if di.forwarded or di.promoted:

@@ -53,14 +53,16 @@ def run_workload(workload: Union[str, WorkloadSpec],
                  defense: Union[str, Defense],
                  scale: Optional[float] = None,
                  cfg: Optional[SystemConfig] = None,
-                 max_cycles: int = 5_000_000) -> RunResult:
+                 max_cycles: int = 5_000_000,
+                 max_insts: Optional[int] = None) -> RunResult:
     """Build a named workload and simulate it under ``defense``."""
     spec = (get_workload(workload) if isinstance(workload, str)
             else workload)
     programs = spec.build(scale if scale is not None else default_scale())
     if cfg is None:
         cfg = default_config(cores=len(programs))
-    return run_program(programs, defense, cfg=cfg, max_cycles=max_cycles)
+    return run_program(programs, defense, cfg=cfg, max_cycles=max_cycles,
+                       max_insts=max_insts)
 
 
 def compare_defenses(workloads: Iterable[Union[str, WorkloadSpec]],
@@ -69,18 +71,21 @@ def compare_defenses(workloads: Iterable[Union[str, WorkloadSpec]],
                      cfg: Optional[SystemConfig] = None,
                      jobs: Optional[int] = None,
                      cache: object = None,
-                     progress: Optional[Callable] = None
+                     progress: Optional[Callable] = None,
+                     max_insts: Optional[int] = None
                      ) -> Dict[str, Dict[str, RunResult]]:
     """Run every (workload, defense) pair through the experiment engine.
 
     Returns ``{workload_name: {defense_name: RunResult}}``.  ``jobs``
     fans points out over worker processes (default serial; see
     ``REPRO_JOBS``); ``cache`` enables the on-disk result cache
-    (``True``, a directory path, or a :class:`repro.exp.ResultCache`).
+    (``True``, a directory path, or a :class:`repro.exp.ResultCache`);
+    ``max_insts`` declaratively caps every point's simulation length.
     """
     from repro.exp import Sweep, run_sweep
     sweep = Sweep(name="compare", workloads=list(workloads),
-                  defenses=list(defenses), scale=scale, base_cfg=cfg)
+                  defenses=list(defenses), scale=scale, base_cfg=cfg,
+                  max_insts=max_insts)
     report = run_sweep(sweep, jobs=jobs, cache=cache, progress=progress)
     return report.results.as_run_results()
 

@@ -1,14 +1,33 @@
-"""Multi-core cycle-driven simulator.
+"""Multi-core event-driven simulator with a dense-loop cross-check mode.
 
 One :class:`Simulator` owns the shared memory system (L2, DRAM,
 directory, prefetcher), one :class:`repro.pipeline.core.Core` per thread,
 and the shared functional memory.  Cores step round-robin each cycle
 until every program HALTs (or a cycle/instruction cap fires).
+
+Two schedulers drive the stepping:
+
+* the **event-driven** default: after each stepped cycle, every core is
+  asked for its :meth:`~repro.pipeline.core.Core.next_event_cycle` — a
+  proof that stepping it before some wakeup cycle is a no-op apart from
+  a fixed set of per-cycle stall-counter bumps.  When every core is
+  provably stalled, the clock jumps straight to the earliest wakeup
+  (pending MSHR fill, load/FU completion, commit/fetch stall release)
+  and the skipped cycles' stall bumps are applied in bulk.  Memory-bound
+  regions simulate in time proportional to *work*, not simulated
+  latency.
+* the **dense loop** (``REPRO_DENSE_LOOP=1`` or ``run(dense=True)``):
+  the original step-every-core-every-cycle loop, kept reachable for
+  differential testing.  Both schedulers are observably pure relative
+  to each other: cycles, every stats counter, and architectural
+  registers are byte-identical (see
+  ``tests/test_scheduler_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.stats import Stats
@@ -17,6 +36,14 @@ from repro.defenses.base import Defense
 from repro.memory.hierarchy import SharedMemory
 from repro.pipeline.core import Core
 from repro.pipeline.program import Program
+
+#: Environment knob: any value other than ""/"0" forces the dense loop.
+ENV_DENSE_LOOP = "REPRO_DENSE_LOOP"
+
+
+def dense_loop_forced() -> bool:
+    """Resolve ``REPRO_DENSE_LOOP`` lazily (at run time, not import)."""
+    return os.environ.get(ENV_DENSE_LOOP, "") not in ("", "0")
 
 
 @dataclass
@@ -27,6 +54,10 @@ class RunResult:
     stats: Stats
     finished: bool
     cores: List[Core]
+    #: Cycles the event-driven scheduler skipped over (0 under the dense
+    #: loop).  Runtime telemetry only — never part of result payloads,
+    #: which stay byte-identical across schedulers.
+    skipped_cycles: int = field(default=0, compare=False)
 
     @property
     def insts(self) -> int:
@@ -75,12 +106,21 @@ class Simulator:
                                    hierarchy, self.memory, self.stats,
                                    init_regs=regs))
         self.cycle = 0
+        #: Telemetry: cycles the event-driven scheduler fast-forwarded.
+        self.skipped_cycles = 0
 
     def run(self, max_cycles: int = 5_000_000,
-            max_insts: Optional[int] = None) -> RunResult:
-        """Simulate until all cores halt or a cap fires."""
+            max_insts: Optional[int] = None,
+            dense: Optional[bool] = None) -> RunResult:
+        """Simulate until all cores halt or a cap fires.
+
+        ``dense=None`` consults ``REPRO_DENSE_LOOP``; ``True`` forces
+        the per-cycle reference loop, ``False`` the event-driven
+        scheduler.  Both produce byte-identical results.
+        """
+        if dense is None:
+            dense = dense_loop_forced()
         cores = self.cores
-        stats = self.stats
         while self.cycle < max_cycles:
             all_halted = True
             for core in cores:
@@ -92,9 +132,53 @@ class Simulator:
             if all_halted:
                 break
             if max_insts is not None and \
-                    stats.get("commit.insts") >= max_insts:
+                    self._committed_insts() >= max_insts:
                 break
+            if not dense:
+                self._skip_idle_cycles(max_cycles)
         finished = all(core.halted for core in cores)
-        stats.set("sim.cycles", self.cycle)
-        return RunResult(cycles=self.cycle, stats=stats,
-                         finished=finished, cores=cores)
+        self.stats.set("sim.cycles", self.cycle)
+        return RunResult(cycles=self.cycle, stats=self.stats,
+                         finished=finished, cores=cores,
+                         skipped_cycles=self.skipped_cycles)
+
+    def _committed_insts(self) -> int:
+        """Total committed instructions, via plain integer counters (the
+        per-cycle ``max_insts`` cap must not pay for a dict lookup)."""
+        total = 0
+        for core in self.cores:
+            total += core.committed_insts
+        return total
+
+    def _skip_idle_cycles(self, max_cycles: int) -> None:
+        """Fast-forward the clock while every core is provably stalled.
+
+        Each core either vetoes the skip (``None``: it may make progress
+        at the current cycle) or contributes a wakeup cycle plus the
+        stall counters it would bump once per skipped cycle; the shared
+        L2-DRAM system contributes its next fill completion.  Jumping to
+        the minimum wakeup and applying the bumps in bulk is then
+        observably identical to stepping every intervening cycle.
+        """
+        cycle = self.cycle
+        wake = self.shared.next_event_cycle()
+        bumps: List[int] = []
+        for core in self.cores:
+            if core.halted:
+                continue
+            outcome = core.next_event_cycle(cycle)
+            if outcome is None:
+                return
+            core_wake, core_bumps = outcome
+            if core_wake < wake:
+                wake = core_wake
+            bumps.extend(core_bumps)
+        target = min(wake, max_cycles)
+        skipped = int(target - cycle)
+        if skipped <= 0:
+            return
+        stats = self.stats
+        for handle in bumps:
+            stats.add(handle, skipped)
+        self.skipped_cycles += skipped
+        self.cycle = cycle + skipped
