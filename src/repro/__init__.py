@@ -19,12 +19,18 @@ Public surface:
   gadgets run on the simulator;
 * ``repro.sim`` / ``repro.analysis`` -- drivers, stats, power, reports;
 * ``repro.exp`` -- the experiment engine: declarative sweeps, parallel
-  execution and an on-disk result cache (see docs/experiments.md).
+  execution and an on-disk result cache (see docs/experiments.md);
+* ``repro.registry`` -- the component registry: spec strings
+  (``"MuonTrap(flush=True)"``), plugins and introspection over
+  defenses, workloads, predictors and hierarchies (see
+  docs/components.md).
 """
 
 from repro.config import SystemConfig, default_config
 from repro.defenses import registry as defenses, FIGURE_ORDER
 from repro.exp import ResultSet, Sweep, run_sweep
+from repro.exp.spec import resolve_defense, resolve_workload
+from repro.registry import component_registry
 from repro.sim.runner import (
     compare_defenses,
     default_scale,
@@ -47,6 +53,9 @@ __all__ = [
     "run_sweep",
     "run_workload",
     "run_program",
+    "resolve_defense",
+    "resolve_workload",
+    "component_registry",
     "compare_defenses",
     "normalised_times",
     "Simulator",

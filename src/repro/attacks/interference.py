@@ -29,7 +29,7 @@ from repro.attacks.common import (
     attack_config,
     distinguishable,
 )
-from repro.defenses import registry
+from repro.exp.spec import resolve_defense
 from repro.defenses.base import Defense
 from repro.pipeline.isa import Op
 from repro.pipeline.program import Program, ProgramBuilder
@@ -125,8 +125,7 @@ def build_program(secret_bit: int) -> Program:
 
 
 def run(defense: Union[str, Defense], secret_bit: int) -> AttackResult:
-    if isinstance(defense, str):
-        defense = registry[defense]()
+    defense = resolve_defense(defense)
     program = build_program(secret_bit)
     sim = Simulator(program, defense, cfg=attack_config())
     result = sim.run(max_cycles=1_000_000)

@@ -24,7 +24,7 @@ from repro.attacks.common import (
     attack_config,
     distinguishable,
 )
-from repro.defenses import registry
+from repro.exp.spec import resolve_defense
 from repro.defenses.base import Defense
 from repro.pipeline.isa import Op
 from repro.pipeline.program import Program, ProgramBuilder
@@ -126,8 +126,7 @@ def build_program(secret: int) -> Program:
 
 def run(defense: Union[str, Defense], secret: int) -> AttackResult:
     """Run the attack once; the attacker guesses the fastest candidate."""
-    if isinstance(defense, str):
-        defense = registry[defense]()
+    defense = resolve_defense(defense)
     program = build_program(secret)
     sim = Simulator(program, defense, cfg=attack_config())
     result = sim.run(max_cycles=2_000_000)

@@ -2,18 +2,28 @@
 
 Commands
 --------
-``run WORKLOAD [--defense NAME] [--scale S]``
+``run [WORKLOAD] [--workload SPEC] [--defense SPEC] [--scale S]``
     Simulate one workload and print cycles/IPC/key stats.
 ``compare WORKLOAD [...] [--scale S]``
     Normalised execution time of every defense on the given workloads.
 ``figure {table1,6,7,8,9,10,11,sec49,sec65,dram} [--scale S]``
     Regenerate one paper artefact.
-``sweep WORKLOAD [...] [--defense NAME ...] [--set K=V] [--axis K=V1,V2]``
+``sweep WORKLOAD [...] [--defense SPEC ...] [--set K=V] [--axis K=V1,V2]``
     Run a declarative workloads x defenses x config sweep.
 ``attack {spectre,rewind,interference} [--defense NAME]``
     Run a transient-execution attack and report the verdict.
-``list``
-    Show available workloads and defenses.
+``list [KIND] [--tag TAG] [--json]``
+    Enumerate registered components (defenses, workloads, predictors,
+    hierarchies); with no KIND, print the classic overview.
+``describe SPEC [--kind KIND] [--json]``
+    Introspect one component or spec string: summary, parameters,
+    and — for defenses/workloads — what the spec resolves to.
+
+Everywhere a defense or workload is named, a parameterized **spec
+string** works too: ``--defense "MuonTrap(flush=True)"``,
+``--workload "pointer_chase(stride=128, footprint_kb=8192)"`` (see
+``docs/components.md``; plugins registered via ``REPRO_PLUGINS`` or a
+local ``repro_plugins.py`` are resolved the same way).
 
 ``run``/``compare``/``figure``/``sweep`` share the experiment-engine
 flags: ``--jobs N`` fans sweep points out over N worker processes
@@ -34,7 +44,7 @@ from typing import List, Optional
 
 from repro.analysis import figures
 from repro.analysis.report import format_table, normalised_series
-from repro.defenses import FIGURE_ORDER, registry
+from repro.defenses import FIGURE_ORDER
 from repro.exp import (
     BASE_VARIANT,
     ConfigVariant,
@@ -42,6 +52,14 @@ from repro.exp import (
     format_engine_summary,
     run_sweep,
     variants_for_axis,
+)
+from repro.registry import (
+    KIND_ALIASES,
+    SpecError,
+    UnknownComponentError,
+    all_registries,
+    component_registry,
+    load_plugins,
 )
 from repro.sim.runner import normalised_times
 
@@ -96,8 +114,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="simulate one workload")
-    run_p.add_argument("workload")
-    run_p.add_argument("--defense", default="GhostMinion")
+    run_p.add_argument("workload", nargs="?", default=None,
+                       help="workload name or spec string")
+    run_p.add_argument("--workload", dest="workload_flag", default=None,
+                       help="alternative to the positional (handy for "
+                            "spec strings)")
+    run_p.add_argument("--defense", default="GhostMinion",
+                       help="defense name or spec string")
     run_p.add_argument("--scale", type=float, default=0.25)
     _add_engine_args(run_p)
     _add_max_insts_arg(run_p)
@@ -138,7 +161,28 @@ def _build_parser() -> argparse.ArgumentParser:
     atk_p.add_argument("--defense", default="Unsafe")
     atk_p.add_argument("--secret", type=int, default=5)
 
-    sub.add_parser("list", help="available workloads and defenses")
+    lst_p = sub.add_parser(
+        "list", help="available components (defenses, workloads, ...)")
+    lst_p.add_argument("kind", nargs="?", default=None,
+                       choices=sorted(KIND_ALIASES),
+                       help="component kind to enumerate (default: "
+                            "overview of workloads and defenses)")
+    lst_p.add_argument("--tag", default=None,
+                       help="only components carrying this tag "
+                            "(e.g. figure, synthetic, spec2006)")
+    lst_p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON on stdout")
+
+    dsc_p = sub.add_parser(
+        "describe", help="introspect one component or spec string")
+    dsc_p.add_argument("spec",
+                       help="component name or spec string, e.g. "
+                            "'MuonTrap(flush=True)'")
+    dsc_p.add_argument("--kind", default=None,
+                       choices=sorted(KIND_ALIASES),
+                       help="restrict the lookup to one registry")
+    dsc_p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON on stdout")
     return parser
 
 
@@ -180,6 +224,17 @@ def _parse_value(text: str):
 
 
 def _cmd_run(args) -> int:
+    if args.workload_flag is not None and args.workload is not None:
+        print("error: workload given both positionally and via "
+              "--workload", file=sys.stderr)
+        return 2
+    workload = (args.workload_flag if args.workload_flag is not None
+                else args.workload)
+    if workload is None:
+        print("error: no workload given (positional or --workload)",
+              file=sys.stderr)
+        return 2
+    args.workload = workload
     report = run_sweep(
         Sweep(name="run", workloads=[args.workload],
               defenses=[args.defense], scale=args.scale,
@@ -325,16 +380,115 @@ def _cmd_attack(args) -> int:
     return 1 if verdict and args.defense != "Unsafe" else 0
 
 
-def _cmd_list(_args) -> int:
-    from repro.workloads.spec import PARSEC, SPEC2006, SPEC2017
+def _cmd_list(args) -> int:
+    load_plugins()  # plugin components must be enumerable
+    if args.kind is None and not args.json and not args.tag:
+        return _list_overview()
+    kinds = ([KIND_ALIASES[args.kind]] if args.kind
+             else sorted(all_registries()))
+    payload = {}
+    for kind in kinds:
+        reg = component_registry(kind)
+        payload[kind] = [reg.describe(name)
+                         for name in reg.names(tag=args.tag)]
+    if args.json:
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+    for kind in kinds:
+        rows = [(info["name"], ",".join(info["tags"]),
+                 info["summary"]) for info in payload[kind]]
+        print("%s components:" % kind)
+        if rows:
+            print(format_table(["name", "tags", "summary"], rows))
+        else:
+            print("  (none%s)" % (" with tag %r" % args.tag
+                                  if args.tag else ""))
+        print()
+    return 0
+
+
+def _list_overview() -> int:
+    """The classic ``repro list`` text: suites + figure defenses, plus
+    the registry kinds that hold the rest."""
+    from repro.workloads.spec import PARSEC, SPEC2006, SPEC2017, WORKLOADS
+    from repro.defenses import DEFENSES
     print("defenses:")
     for name in ["Unsafe"] + FIGURE_ORDER:
         print("  %s" % name)
+    extras = [name for name in DEFENSES
+              if name not in ["Unsafe"] + FIGURE_ORDER]
+    if extras:
+        print("  (+ %s)" % ", ".join(extras))
     for title, suite in (("SPEC CPU2006", SPEC2006),
                          ("SPECspeed 2017", SPEC2017),
                          ("Parsec (4 threads)", PARSEC)):
         print("%s:" % title)
         print("  " + ", ".join(spec.name for spec in suite))
+    synth = WORKLOADS.names(tag="synthetic")
+    print("synthetic kernels (parameterizable, e.g. "
+          "\"pointer_chase(stride=128)\"):")
+    print("  " + ", ".join(synth))
+    print("more: `repro list {defenses,workloads,predictors,"
+          "hierarchies} [--json]`, `repro describe SPEC`")
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    load_plugins()
+    kinds = ([KIND_ALIASES[args.kind]] if args.kind
+             else sorted(all_registries()))
+    info = None
+    misses = []
+    for kind in kinds:
+        reg = component_registry(kind)
+        try:
+            info = reg.describe(args.spec)
+            break
+        except UnknownComponentError as exc:
+            misses.append(exc)
+        except SpecError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+    if info is None:
+        for exc in misses:
+            if exc.suggestions:
+                print("error: %s" % exc, file=sys.stderr)
+                return 2
+        print("error: no %s component answers to %r"
+              % ("/".join(kinds), args.spec), file=sys.stderr)
+        return 2
+    # Defense/workload specs are cheap to resolve; show the result.
+    if info["kind"] in ("defense", "workload"):
+        try:
+            obj = component_registry(info["kind"]).create(args.spec)
+            if info["kind"] == "defense":
+                from repro.exp.spec import _defense_descriptor
+                info["resolved"] = _defense_descriptor(obj)
+            else:
+                info["resolved"] = dataclasses.asdict(obj)
+        except (SpecError, TypeError, ValueError) as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+    if args.json:
+        print(json.dumps(info, sort_keys=True, indent=2))
+        return 0
+    for key in ("kind", "name", "summary", "tags", "factory", "spec"):
+        if info.get(key):
+            print("%-9s %s" % (key + ":", info[key]))
+    params = info.get("params") or []
+    if params:
+        print("params:")
+        print(format_table(
+            ["name", "default"],
+            [(row["name"],
+              "(required)" if row["required"] else row["default"])
+             for row in params]))
+    if info.get("preset"):
+        print("preset:   %s" % ", ".join(
+            "%s=%s" % kv for kv in sorted(info["preset"].items())))
+    if info.get("resolved"):
+        print("resolves to:")
+        print(json.dumps(info["resolved"], sort_keys=True, indent=2))
     return 0
 
 
@@ -347,6 +501,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "attack": _cmd_attack,
         "list": _cmd_list,
+        "describe": _cmd_describe,
     }[args.command]
     return handler(args)
 

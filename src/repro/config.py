@@ -79,8 +79,17 @@ class MinionConfig:
 
 @dataclass
 class PredictorConfig:
-    """Tournament predictor sizing (Table 1)."""
+    """Branch predictor selection + sizing (Table 1).
 
+    ``kind`` names an entry of the ``predictor`` component registry
+    (:mod:`repro.pipeline.branch_predictor`), so a config variant can
+    swap the implementation (``core.predictor.kind=bimodal``) without
+    code edits.  The default is part of cache-digest stability: points
+    using it digest as if the field did not exist (see
+    ``repro.exp.spec``).
+    """
+
+    kind: str = "tournament"
     local_entries: int = 2048
     global_entries: int = 8192
     choice_entries: int = 8192

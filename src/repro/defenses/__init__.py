@@ -1,10 +1,25 @@
 """Spectre defenses evaluated in the paper (figs. 6-9).
 
 Each defense is a :class:`repro.defenses.base.Defense`: a hierarchy
-factory plus the core-side policy flags (taint tracking, load validation,
-FU issue order, predictor training point).  ``registry`` maps the names
-used in the figures to constructors.
+factory plus the core-side policy flags (taint tracking, load
+validation, FU issue order, predictor training point).
+
+Defenses live in the ``defense`` component registry
+(:data:`DEFENSES`): every figure bar is a registered name, factories
+accept keyword parameters through spec strings
+(``"MuonTrap(flush=True)"``, ``"GhostMinion(early_commit=True)"``),
+and ``Custom`` composes a scheme from any registered hierarchy plus
+policy knobs — see ``docs/components.md``.  Hierarchy classes register
+separately under the ``hierarchy`` kind (:data:`HIERARCHIES`).
+
+``registry`` is the historical dict-style view (``registry[name]()``),
+kept as a thin adapter over :data:`DEFENSES`.
 """
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, Iterator, Mapping
 
 from repro.defenses.base import Defense
 from repro.defenses.unsafe import unsafe
@@ -15,19 +30,107 @@ from repro.defenses.ghostminion import (
 )
 from repro.defenses.muontrap import muontrap, MuonTrapHierarchy
 from repro.defenses.invisispec import invisispec, InvisiSpecHierarchy
+from repro.defenses.custom import custom
 from repro.defenses.stt import stt
+from repro.memory.hierarchy import BaseHierarchy
+from repro.registry import Registry
 
-#: name -> zero-argument defense constructor, one per figure bar.
-registry = {
-    "Unsafe": unsafe,
-    "GhostMinion": ghostminion,
-    "MuonTrap": lambda: muontrap(flush=False),
-    "MuonTrap-Flush": lambda: muontrap(flush=True),
-    "InvisiSpec-Spectre": lambda: invisispec(future=False),
-    "InvisiSpec-Future": lambda: invisispec(future=True),
-    "STT-Spectre": lambda: stt(future=False),
-    "STT-Future": lambda: stt(future=True),
-}
+
+def _finalize_defense(defense: Defense, entry_name: str, spec: str,
+                      kwargs: Dict[str, object]) -> Defense:
+    """Stamp parameterized constructions with their normalized spec.
+
+    The spec string becomes part of the cache digest (two spellings of
+    the same parameterization must share results) and — when the
+    factory did not pick a more canonical name itself (e.g.
+    ``muontrap(flush=True)`` -> ``MuonTrap-Flush``) — the display name,
+    so distinct parameterizations never collide in sweep keys.
+    Plain-name constructions pass through untouched, keeping their
+    digests byte-identical to the pre-registry engine.
+    """
+    if kwargs:
+        defense.spec = spec
+        if defense.name == entry_name:
+            defense.name = spec
+    return defense
+
+
+#: The ``defense`` component registry: every figure bar by name.
+DEFENSES: Registry[Defense] = Registry("defense",
+                                       finalize=_finalize_defense)
+
+#: The ``hierarchy`` component registry: per-core hierarchy classes,
+#: referenced by ``Custom(hierarchy=...)`` spec strings and plugins.
+HIERARCHIES: Registry[BaseHierarchy] = Registry("hierarchy")
+
+HIERARCHIES.add("base", BaseHierarchy, tags=("builtin",),
+                summary="Stock L1/L2/DRAM hierarchy (no protection).")
+HIERARCHIES.add("ghostminion", GhostMinionHierarchy, tags=("builtin",),
+                summary="D/I Minions + TimeGuarded MSHRs (section 4).")
+HIERARCHIES.add("muontrap", MuonTrapHierarchy, tags=("builtin",),
+                summary="L0 filter caches in front of the L1s "
+                        "(MuonTrap, ISCA 2020).")
+HIERARCHIES.add("invisispec", InvisiSpecHierarchy, tags=("builtin",),
+                summary="Invisible speculative loads + validation "
+                        "refetches (InvisiSpec, MICRO 2018).")
+
+# -- figure defenses (figs. 6-8 bars; "figure" tag = canonical set) -----
+
+DEFENSES.add("Unsafe", unsafe, tags=("figure", "baseline"))
+DEFENSES.add("GhostMinion", ghostminion, tags=("figure",))
+DEFENSES.add("MuonTrap", muontrap, tags=("figure",))
+DEFENSES.add("MuonTrap-Flush", functools.partial(muontrap, flush=True),
+             tags=("figure",),
+             summary="MuonTrap with the L0 flushed on every squash.")
+DEFENSES.add("InvisiSpec-Spectre",
+             functools.partial(invisispec, future=False),
+             tags=("figure",),
+             summary="InvisiSpec reaching visibility at branch "
+                     "resolution.")
+DEFENSES.add("InvisiSpec-Future",
+             functools.partial(invisispec, future=True),
+             tags=("figure",),
+             summary="InvisiSpec reaching visibility only at commit.")
+DEFENSES.add("STT-Spectre", functools.partial(stt, future=False),
+             tags=("figure",),
+             summary="STT: taint clears at branch resolution.")
+DEFENSES.add("STT-Future", functools.partial(stt, future=True),
+             tags=("figure",),
+             summary="STT: taint clears only at source-load commit.")
+
+# -- fig. 9 breakdown bars + data-driven composition --------------------
+
+for _which in ("DMinion-Timeless", "DMinion", "IMinion", "Coherence",
+               "Prefetcher", "All"):
+    DEFENSES.add("GhostMinion[%s]" % _which,
+                 functools.partial(ghostminion_breakdown, which=_which),
+                 tags=("breakdown",),
+                 summary="Fig. 9 breakdown bar: %s." % _which)
+del _which
+
+DEFENSES.add("Custom", custom, tags=("composed",))
+
+
+class _DefenseRegistryView(Mapping):
+    """Dict-style adapter (``registry[name]()``) over :data:`DEFENSES`.
+
+    Kept for the historical call sites and tests; new code should use
+    :data:`DEFENSES` / ``repro.exp.spec.resolve_defense`` directly.
+    """
+
+    def __getitem__(self, name: str) -> Callable[..., Defense]:
+        DEFENSES.entry(name)  # raises UnknownComponentError if missing
+        return functools.partial(DEFENSES.create, name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(DEFENSES)
+
+    def __len__(self) -> int:
+        return len(DEFENSES)
+
+
+#: name -> defense constructor, one per figure bar (compat view).
+registry = _DefenseRegistryView()
 
 #: The bar order of figs. 6-8 (Unsafe is the normalisation baseline).
 FIGURE_ORDER = [
@@ -42,12 +145,15 @@ FIGURE_ORDER = [
 
 __all__ = [
     "Defense",
+    "DEFENSES",
+    "HIERARCHIES",
     "unsafe",
     "ghostminion",
     "ghostminion_breakdown",
     "muontrap",
     "invisispec",
     "stt",
+    "custom",
     "registry",
     "FIGURE_ORDER",
     "GhostMinionHierarchy",

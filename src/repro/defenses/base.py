@@ -25,7 +25,7 @@ implementation host every scheme:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Type
+from typing import Any, Dict, Optional, Type
 
 from repro.memory.hierarchy import BaseHierarchy, SharedMemory
 from repro.analysis.stats import Stats
@@ -53,6 +53,13 @@ class Defense:
     #: instructions within a speculation epoch may freely exchange
     #: timing (their fates are tied).
     epoch_timestamps: bool = False
+    #: The normalized spec string this defense was constructed from,
+    #: set by the registry for *parameterized* constructions only
+    #: (``"MuonTrap(flush=True)"``).  Folded into cache digests so two
+    #: spellings of one parameterization share results; ``None`` for
+    #: plain-name constructions, whose digests therefore stay identical
+    #: to the pre-registry engine.
+    spec: Optional[str] = None
 
     def build_hierarchy(self, core_id: int, cfg: SystemConfig,
                         shared: SharedMemory, stats: Stats

@@ -141,10 +141,21 @@ class MuonTrapHierarchy(BaseHierarchy):
         self.l0d.invalidate(line)
 
 
-def muontrap(flush: bool = False) -> Defense:
-    """MuonTrap baseline; ``flush=True`` gives MuonTrap-Flush."""
+def muontrap(flush: bool = False, l0_size_bytes: Optional[int] = None,
+             l0_assoc: Optional[int] = None) -> Defense:
+    """MuonTrap baseline; ``flush=True`` gives MuonTrap-Flush.
+
+    ``l0_size_bytes``/``l0_assoc`` re-size the filter cache; they fold
+    into the hierarchy kwargs (and hence cache digests) only when
+    given, so default constructions keep their historical digests.
+    """
+    kwargs = dict(flush_on_squash=flush)
+    if l0_size_bytes is not None:
+        kwargs["l0_size_bytes"] = l0_size_bytes
+    if l0_assoc is not None:
+        kwargs["l0_assoc"] = l0_assoc
     return Defense(
         name="MuonTrap-Flush" if flush else "MuonTrap",
         hierarchy_cls=MuonTrapHierarchy,
-        hierarchy_kwargs=dict(flush_on_squash=flush),
+        hierarchy_kwargs=kwargs,
     )

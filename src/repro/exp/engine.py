@@ -142,6 +142,19 @@ def _build_programs(spec: WorkloadSpec, scale: float) -> List[Program]:
     return _PROGRAMS_MEMO[memo_key]
 
 
+def _worker_init() -> None:
+    """Pool-worker initializer: re-load registry plugins.
+
+    Plugin-defined classes (hierarchies, defenses) pickle by module
+    reference; under the ``spawn`` start method a fresh worker has
+    never executed the plugin files, so the payloads would fail to
+    unpickle.  Loading is memoized, so under ``fork`` (where the
+    parent's modules are inherited) this is a no-op.
+    """
+    from repro.registry.plugins import load_plugins
+    load_plugins()
+
+
 def _simulate_payload(payload: _Payload) -> Tuple[int, PointResult]:
     """Run one point (executed inline or inside a worker process)."""
     (index, key, digest, meta, spec, defense, cfg,
@@ -225,8 +238,8 @@ def run_points(points: Sequence[SweepPoint],
 
     if pending:
         if jobs > 1 and len(pending) > 1:
-            with multiprocessing.Pool(processes=min(jobs, len(pending))
-                                      ) as pool:
+            with multiprocessing.Pool(processes=min(jobs, len(pending)),
+                                      initializer=_worker_init) as pool:
                 for index, result in pool.imap_unordered(
                         _simulate_payload, pending, chunksize=1):
                     if store is not None:

@@ -22,9 +22,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.config import SystemConfig, default_config
-from repro.defenses import registry
+from repro.defenses import DEFENSES
 from repro.defenses.base import Defense
-from repro.workloads.spec import WorkloadSpec, get_workload
+from repro.workloads.spec import WORKLOADS, WorkloadSpec
 
 #: Bump when the result summary format (or simulation semantics relevant
 #: to cached summaries) changes incompatibly; invalidates every cache
@@ -62,19 +62,25 @@ def code_fingerprint() -> str:
 
 
 def resolve_defense(defense: Union[str, Defense]) -> Defense:
-    """Look a defense up in the registry (or pass one through)."""
+    """Construct a defense from a registry name or spec string
+    (``"MuonTrap(flush=True)"``), or pass a :class:`Defense` through.
+
+    This is the single defense-resolution path: the CLI, the engine and
+    :mod:`repro.sim.runner` all funnel here.  Unknown names raise
+    :class:`repro.registry.UnknownComponentError` (a ``KeyError``) with
+    did-you-mean suggestions.
+    """
     if isinstance(defense, Defense):
         return defense
-    if defense not in registry:
-        raise KeyError("unknown defense %r (have: %s)"
-                       % (defense, ", ".join(sorted(registry))))
-    return registry[defense]()
+    return DEFENSES.create(defense)
 
 
 def resolve_workload(workload: Union[str, WorkloadSpec]) -> WorkloadSpec:
-    """Look a workload up by name (or pass a spec through)."""
-    return (get_workload(workload) if isinstance(workload, str)
-            else workload)
+    """Construct a workload from a name or spec string
+    (``"pointer_chase(stride=128)"``), or pass a spec through."""
+    if isinstance(workload, WorkloadSpec):
+        return workload
+    return WORKLOADS.create(workload)
 
 
 def apply_overrides(cfg: SystemConfig,
@@ -120,9 +126,18 @@ BASE_VARIANT = ConfigVariant.make()
 
 
 def _defense_descriptor(defense: Defense) -> Dict[str, object]:
-    """A JSON-able, digest-stable description of a defense's config."""
+    """A JSON-able, digest-stable description of a defense's config.
+
+    The normalized spec string of a *parameterized* construction is
+    folded in; plain-name constructions carry no ``spec`` key, so their
+    descriptors — and hence the input half of their digests — are
+    byte-identical to the pre-registry engine.  (Digests also fold
+    :func:`code_fingerprint`, which *any* source edit changes by
+    design; token stability is about never forking point identities
+    beyond that deliberate invalidation.)
+    """
     cls = defense.hierarchy_cls
-    return {
+    descriptor = {
         "name": defense.name,
         "hierarchy": "%s.%s" % (cls.__module__, cls.__qualname__),
         "hierarchy_kwargs": dict(sorted(defense.hierarchy_kwargs.items())),
@@ -133,6 +148,38 @@ def _defense_descriptor(defense: Defense) -> Dict[str, object]:
         "early_commit": defense.early_commit,
         "epoch_timestamps": defense.epoch_timestamps,
     }
+    if defense.spec is not None:
+        descriptor["spec"] = defense.spec
+    return descriptor
+
+
+#: Config fields introduced after ``CACHE_SCHEMA_VERSION`` was frozen,
+#: as (dotted path, default).  :func:`_config_token` drops them while
+#: they hold their default, so points not using the new knob keep the
+#: exact input token they had before the field existed.  (The full
+#: digest still turns over whenever sources change, via
+#: :func:`code_fingerprint` — this list keeps tokens from *also*
+#: drifting structurally, so digests stay stable across future
+#: non-source changes and never fork identities per knob added.)
+_POST_V1_CONFIG_DEFAULTS: Tuple[Tuple[str, object], ...] = (
+    ("core.predictor.kind", "tournament"),
+)
+
+
+def _config_token(cfg: SystemConfig) -> Dict[str, object]:
+    """``dataclasses.asdict(cfg)`` minus post-v1 fields at defaults."""
+    token = dataclasses.asdict(cfg)
+    for path, default in _POST_V1_CONFIG_DEFAULTS:
+        parts = path.split(".")
+        node = token
+        for part in parts[:-1]:
+            node = node.get(part)
+            if not isinstance(node, dict):
+                node = None
+                break
+        if node is not None and node.get(parts[-1]) == default:
+            del node[parts[-1]]
+    return token
 
 
 @dataclass
@@ -172,7 +219,7 @@ class SweepPoint:
             "code": code_fingerprint(),
             "workload": dataclasses.asdict(self.workload),
             "defense": _defense_descriptor(self.defense),
-            "config": dataclasses.asdict(self.config()),
+            "config": _config_token(self.config()),
             "scale": self.scale,
             "max_cycles": self.max_cycles,
             "max_insts": self.max_insts,

@@ -4,9 +4,13 @@ from repro.pipeline.isa import Op, Instr
 from repro.pipeline.program import Program, ProgramBuilder
 from repro.pipeline.interpreter import Interpreter, run_program
 from repro.pipeline.branch_predictor import (
+    PREDICTORS,
+    AlwaysTakenPredictor,
+    BimodalPredictor,
     TournamentPredictor,
     BranchTargetBuffer,
     ReturnAddressStack,
+    make_predictor,
 )
 from repro.pipeline.functional_units import FUPool
 from repro.pipeline.core import Core, DynInst
@@ -18,9 +22,13 @@ __all__ = [
     "ProgramBuilder",
     "Interpreter",
     "run_program",
+    "PREDICTORS",
+    "AlwaysTakenPredictor",
+    "BimodalPredictor",
     "TournamentPredictor",
     "BranchTargetBuffer",
     "ReturnAddressStack",
+    "make_predictor",
     "FUPool",
     "Core",
     "DynInst",

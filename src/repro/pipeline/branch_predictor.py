@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 
 from repro.analysis.stats import Stats
 from repro.config import PredictorConfig
+from repro.registry import Registry
 
 
 def _saturate(counter: int, taken: bool) -> int:
@@ -102,6 +103,72 @@ class TournamentPredictor:
         branch's real outcome."""
         self.ghr = ((checkpoint << 1) | (1 if actual_taken else 0)) & (
             (1 << self.GHR_BITS) - 1)
+
+
+class BimodalPredictor:
+    """Per-PC 2-bit bimodal predictor (no history).
+
+    A deliberately simple alternative to the tournament predictor,
+    swappable from a config variant (``core.predictor.kind=bimodal``)
+    to quantify how much of a defense's overhead rides on prediction
+    accuracy.  Speaks the same protocol: ``predict`` returns a
+    checkpoint (always 0 — there is no global history to restore) and
+    ``update``/``restore_ghr`` mirror the tournament signatures.
+    """
+
+    def __init__(self, cfg: Optional[PredictorConfig] = None,
+                 stats: Optional[Stats] = None) -> None:
+        cfg = cfg if cfg is not None else PredictorConfig()
+        self.cfg = cfg
+        self.stats = stats if stats is not None else Stats()
+        self.pht = [1] * cfg.local_entries
+
+    def predict(self, pc: int) -> Tuple[bool, int]:
+        self.stats.bump("bp.lookups")
+        return self.pht[pc % self.cfg.local_entries] >= 2, 0
+
+    def update(self, pc: int, taken: bool, ghr_at_predict: int) -> None:
+        idx = pc % self.cfg.local_entries
+        self.pht[idx] = _saturate(self.pht[idx], taken)
+
+    def restore_ghr(self, checkpoint: int, actual_taken: bool) -> None:
+        pass  # no speculative history state
+
+
+class AlwaysTakenPredictor:
+    """Static always-taken prediction (the no-hardware floor)."""
+
+    def __init__(self, cfg: Optional[PredictorConfig] = None,
+                 stats: Optional[Stats] = None) -> None:
+        self.stats = stats if stats is not None else Stats()
+
+    def predict(self, pc: int) -> Tuple[bool, int]:
+        self.stats.bump("bp.lookups")
+        return True, 0
+
+    def update(self, pc: int, taken: bool, ghr_at_predict: int) -> None:
+        pass
+
+    def restore_ghr(self, checkpoint: int, actual_taken: bool) -> None:
+        pass
+
+
+#: The ``predictor`` component registry; ``core.predictor.kind`` names
+#: an entry (optionally a spec string), so config variants can swap
+#: implementations per sweep point.
+PREDICTORS: Registry[object] = Registry("predictor")
+
+PREDICTORS.add("tournament", TournamentPredictor, tags=("builtin",),
+               summary="Alpha-21264-style local/global/choice "
+                       "tournament predictor (Table 1 default).")
+PREDICTORS.add("bimodal", BimodalPredictor, tags=("builtin",))
+PREDICTORS.add("always_taken", AlwaysTakenPredictor, tags=("builtin",))
+
+
+def make_predictor(cfg: PredictorConfig, stats: Stats):
+    """Construct the predictor ``cfg.kind`` names (a registry spec
+    string), sized by ``cfg`` and reporting into ``stats``."""
+    return PREDICTORS.create(cfg.kind, cfg=cfg, stats=stats)
 
 
 class BranchTargetBuffer:

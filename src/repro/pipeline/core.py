@@ -35,7 +35,7 @@ from repro.memory.request import MemRequest, ReqState
 from repro.pipeline.branch_predictor import (
     BranchTargetBuffer,
     ReturnAddressStack,
-    TournamentPredictor,
+    make_predictor,
 )
 from repro.pipeline.functional_units import FUPool
 from repro.pipeline.isa import (
@@ -139,7 +139,7 @@ class Core:
         self.regs = [0] * NUM_REGS
         for reg, value in (init_regs or {}).items():
             self.regs[reg] = value & MASK64
-        self.predictor = TournamentPredictor(self.cfg.predictor, stats)
+        self.predictor = make_predictor(self.cfg.predictor, stats)
         self.btb = BranchTargetBuffer(self.cfg.predictor.btb_entries, stats)
         self.ras = ReturnAddressStack(self.cfg.predictor.ras_entries)
         self.fu_pool = FUPool(self.cfg, stats,
@@ -309,7 +309,11 @@ class Core:
         # -- issue: any op with ready operands may try to issue --------
         strict_fu = self.defense.strict_fu_order
         blocked_classes = set()
-        for di in sorted(self.iq, key=lambda d: d.seq):
+        # Issue order (seq-sorted) only matters for the strict-FU
+        # blocked-class bumps; otherwise the loop is a pure existence
+        # check, so skip the per-cycle copy+sort on the hot path.
+        for di in (sorted(self.iq, key=lambda d: d.seq) if strict_fu
+                   else self.iq):
             if di.squashed or di.state != ST_WAITING:
                 return None  # issue would prune the queue
             instr = di.instr

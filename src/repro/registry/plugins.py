@@ -1,0 +1,131 @@
+"""Plugin loading: third-party components without touching the repo.
+
+Two discovery channels, both opt-in:
+
+* ``REPRO_PLUGINS`` — ``os.pathsep``-separated entries, each either a
+  dotted module name (imported) or a path to a ``.py`` file (executed
+  as a module);
+* a project-local ``repro_plugins.py`` in the current working
+  directory, loaded automatically when present.
+
+A plugin module registers components at import time::
+
+    # repro_plugins.py
+    from repro.registry import component_registry
+
+    DEFENSES = component_registry("defense")
+
+    @DEFENSES.register("MyDefense", tags=("plugin",))
+    def my_defense(aggressive=False):
+        from repro.defenses.base import Defense
+        return Defense(name="MyDefense", strict_fu_order=aggressive)
+
+Loading happens lazily — on the first registry miss, or eagerly via the
+CLI's ``list``/``describe`` — and exactly once per process (call
+:func:`reset` to re-arm, e.g. between tests).  Plugins execute
+arbitrary code: only point these knobs at files you trust.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import importlib.util
+import os
+import sys
+from typing import List, Optional
+
+ENV_PLUGINS = "REPRO_PLUGINS"
+PLUGIN_FILE = "repro_plugins.py"
+
+#: Loaded plugin identifiers (None until the first load attempt).
+_LOADED: Optional[List[str]] = None
+
+
+class PluginError(RuntimeError):
+    """A plugin entry that could not be imported or executed."""
+
+
+def reset() -> None:
+    """Forget that plugins were loaded (the next lookup reloads)."""
+    global _LOADED
+    _LOADED = None
+
+
+def loaded_plugins() -> List[str]:
+    """Identifiers of plugins loaded so far (empty before first load)."""
+    return list(_LOADED or [])
+
+
+def _load_file(path: str) -> str:
+    module_name = "repro_plugin_%s" % (
+        os.path.splitext(os.path.basename(path))[0])
+    # A path-keyed suffix so two files don't collide.  Must be
+    # *deterministic across processes* (hashlib, not hash()): worker
+    # processes re-load plugins and must recreate the same module name
+    # for plugin-defined classes to unpickle.
+    module_name += "_%s" % hashlib.sha1(
+        os.path.abspath(path).encode()).hexdigest()[:8]
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    if spec is None or spec.loader is None:
+        raise PluginError("cannot load plugin file %r" % path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        sys.modules.pop(module_name, None)
+        raise PluginError("error executing plugin file %r: %s"
+                          % (path, exc)) from exc
+    return path
+
+
+def _load_module(name: str) -> str:
+    try:
+        importlib.import_module(name)
+    except Exception as exc:
+        raise PluginError("error importing plugin module %r: %s"
+                          % (name, exc)) from exc
+    return name
+
+
+def load_plugins(force: bool = False) -> List[str]:
+    """Load every configured plugin (idempotent; see :func:`reset`).
+
+    Returns the identifiers loaded this process.  Raises
+    :class:`PluginError` on a broken entry — a silently dropped plugin
+    would make "unknown component" errors inexplicable.
+    """
+    global _LOADED
+    if _LOADED is not None and not force:
+        return list(_LOADED)
+    loaded: List[str] = []
+    entries = [entry for entry
+               in os.environ.get(ENV_PLUGINS, "").split(os.pathsep)
+               if entry.strip()]
+    local = os.path.join(os.getcwd(), PLUGIN_FILE)
+    if os.path.isfile(local):
+        entries.append(local)
+    seen = set()
+    for entry in entries:
+        entry = entry.strip()
+        if entry.endswith(".py") or os.path.sep in entry:
+            # Dedupe by absolute path: REPRO_PLUGINS naming the local
+            # repro_plugins.py (or repeating an entry) must not execute
+            # the file twice — re-registration would raise.
+            key = os.path.abspath(entry)
+            if key in seen:
+                continue
+            seen.add(key)
+            loaded.append(_load_file(entry))
+        else:
+            if entry in seen:
+                continue
+            seen.add(entry)
+            loaded.append(_load_module(entry))
+    _LOADED = loaded
+    return list(loaded)
+
+
+__all__ = ["ENV_PLUGINS", "PLUGIN_FILE", "PluginError", "load_plugins",
+           "loaded_plugins", "reset"]

@@ -16,9 +16,10 @@ from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from repro.config import SystemConfig, default_config
 from repro.defenses.base import Defense
+from repro.exp.spec import resolve_defense, resolve_workload
 from repro.pipeline.program import Program
 from repro.sim.simulator import RunResult, Simulator
-from repro.workloads.spec import WorkloadSpec, get_workload
+from repro.workloads.spec import WorkloadSpec
 
 
 def default_scale() -> float:
@@ -31,21 +32,19 @@ def default_scale() -> float:
     return float(os.environ.get("REPRO_SCALE", "1.0"))
 
 
-def _resolve_defense(defense: Union[str, Defense]) -> Defense:
-    # Canonical resolution lives in the engine spec (lazy import: the
-    # exp package imports this module's default_scale at expansion
-    # time).
-    from repro.exp.spec import resolve_defense
-    return resolve_defense(defense)
-
-
 def run_program(program: Union[Program, List[Program]],
                 defense: Union[str, Defense],
                 cfg: Optional[SystemConfig] = None,
                 max_cycles: int = 5_000_000,
                 max_insts: Optional[int] = None) -> RunResult:
-    """Simulate ``program`` under ``defense`` and return the result."""
-    simulator = Simulator(program, _resolve_defense(defense), cfg=cfg)
+    """Simulate ``program`` under ``defense`` and return the result.
+
+    ``defense`` accepts a :class:`Defense`, a registry name, or a spec
+    string — resolution is the registry-backed
+    :func:`repro.exp.spec.resolve_defense`, the same path the engine
+    uses.
+    """
+    simulator = Simulator(program, resolve_defense(defense), cfg=cfg)
     return simulator.run(max_cycles=max_cycles, max_insts=max_insts)
 
 
@@ -55,9 +54,9 @@ def run_workload(workload: Union[str, WorkloadSpec],
                  cfg: Optional[SystemConfig] = None,
                  max_cycles: int = 5_000_000,
                  max_insts: Optional[int] = None) -> RunResult:
-    """Build a named workload and simulate it under ``defense``."""
-    spec = (get_workload(workload) if isinstance(workload, str)
-            else workload)
+    """Build a named (or spec-string) workload and simulate it under
+    ``defense``."""
+    spec = resolve_workload(workload)
     programs = spec.build(scale if scale is not None else default_scale())
     if cfg is None:
         cfg = default_config(cores=len(programs))

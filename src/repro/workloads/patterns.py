@@ -89,6 +89,7 @@ def stream_kernel(iters: int = 2000, footprint_lines: int = 4096,
 def pointer_chase_kernel(iters: int = 1500, nodes: int = 1024,
                          work_per_node: int = 2, branchy: bool = True,
                          value_lines: int = 8192, seed: int = 7,
+                         stride: int = LINE,
                          name: str = "pchase") -> Program:
     """Chase a randomly-permuted linked list, mcf-style.
 
@@ -103,13 +104,25 @@ def pointer_chase_kernel(iters: int = 1500, nodes: int = 1024,
     fills (GhostMinion, MuonTrap-Flush) lose real prefetching, while the
     unsafe baseline and base MuonTrap keep it.  This is the mechanism
     behind mcf's overhead in §6.1.
+
+    ``stride`` spaces consecutive node slots (bytes, power of two,
+    >= 16 so the pointer and payload words fit): larger strides spread
+    the list over more cache lines per node, raising miss pressure at a
+    fixed node count.
     """
     _require_pow2(value_lines, "value_lines")
+    _require_pow2(stride, "stride")
+    if stride < 16:
+        raise ValueError("stride must be >= 16 bytes, got %d" % stride)
+    if nodes * stride > BASE_C - BASE_B:
+        raise ValueError(
+            "node array (%d nodes x %d B) overflows its data segment"
+            % (nodes, stride))
     rng = random.Random(seed)
     order = list(range(nodes))
     rng.shuffle(order)
     b = ProgramBuilder(name)
-    node_addr = [BASE_B + idx * LINE for idx in range(nodes)]
+    node_addr = [BASE_B + idx * stride for idx in range(nodes)]
     for pos in range(nodes):
         here = node_addr[order[pos]]
         succ = node_addr[order[(pos + 1) % nodes]]

@@ -11,10 +11,12 @@ preserved is *which machine structure each workload stresses*.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.pipeline.program import Program
+from repro.registry import Registry
 from repro.workloads import patterns
 
 KERNELS: Dict[str, Callable[..., Program]] = {
@@ -211,13 +213,167 @@ PARSEC: List[WorkloadSpec] = [
 ]
 
 
-_ALL: Dict[str, WorkloadSpec] = {
-    spec.name: spec for spec in SPEC2006 + SPEC2017 + PARSEC}
+# ---------------------------------------------------------------------------
+# The ``workload`` component registry
+# ---------------------------------------------------------------------------
+
+def _finalize_workload(spec: WorkloadSpec, entry_name: str,
+                       normalized: str, kwargs: Dict[str, object]
+                       ) -> WorkloadSpec:
+    """Name parameterized synthetic constructions after their
+    normalized spec string, so two parameterizations never collide in
+    sweep keys and result labels say exactly what ran."""
+    if kwargs and spec.name == entry_name:
+        spec.name = normalized
+    return spec
+
+
+#: Every named benchmark plus the parameterized synthetic kernels,
+#: tagged by suite (``spec2006``/``spec2017``/``parsec``/``synthetic``).
+WORKLOADS: Registry[WorkloadSpec] = Registry(
+    "workload", finalize=_finalize_workload)
+
+
+def _named_workload(spec: WorkloadSpec) -> WorkloadSpec:
+    """A fixed benchmark from the paper's suites (takes no
+    parameters)."""
+    if not isinstance(spec, WorkloadSpec):
+        raise ValueError("named workloads take no parameters")
+    return spec
+
+
+for _spec_obj in SPEC2006 + SPEC2017 + PARSEC:
+    WORKLOADS.add(
+        _spec_obj.name,
+        functools.partial(_named_workload, spec=_spec_obj),
+        tags=(_spec_obj.suite,),
+        summary="%s: %s kernel, %d base iters%s." % (
+            _spec_obj.suite, _spec_obj.kernel, _spec_obj.base_iters,
+            ", %d threads" % _spec_obj.threads
+            if _spec_obj.threads > 1 else ""),
+        metadata={"kernel": _spec_obj.kernel,
+                  "threads": _spec_obj.threads,
+                  "base_iters": _spec_obj.base_iters})
+del _spec_obj
 
 
 def get_workload(name: str) -> WorkloadSpec:
-    """Look a workload up by its figure name."""
-    if name not in _ALL:
-        raise KeyError("unknown workload %r (have: %s)"
-                       % (name, ", ".join(sorted(_ALL))))
-    return _ALL[name]
+    """Look a workload up by figure name (or construct a synthetic one
+    from a spec string)."""
+    return WORKLOADS.create(name)
+
+
+# ---------------------------------------------------------------------------
+# Parameterized synthetic kernels, constructible straight from spec
+# strings: ``repro run --workload "pointer_chase(stride=128)"``.
+# Byte-denominated conveniences (``stride``, ``footprint_kb``) translate
+# onto the kernels' line-denominated parameters.
+# ---------------------------------------------------------------------------
+
+_SYNTH = ("synthetic",)
+
+
+def _footprint_lines(footprint_kb: Optional[int],
+                     default_lines: int) -> int:
+    if footprint_kb is None:
+        return default_lines
+    return max(1, (footprint_kb * 1024) // patterns.LINE)
+
+
+def _synth_spec(kernel: str, iters: int, threads: int,
+                params: Dict[str, object]) -> WorkloadSpec:
+    name = {"pchase": "pointer_chase", "random": "random_access"}.get(
+        kernel, kernel)
+    return WorkloadSpec(name=name, suite="synthetic", kernel=kernel,
+                        base_iters=iters, params=params,
+                        threads=threads)
+
+
+@WORKLOADS.register("pointer_chase", tags=_SYNTH)
+def pointer_chase(iters: int = 1300, nodes: Optional[int] = None,
+                  footprint_kb: Optional[int] = None, stride: int = 64,
+                  work_per_node: int = 1, branchy: bool = True,
+                  value_lines: int = 8192, seed: int = 7,
+                  threads: int = 1) -> WorkloadSpec:
+    """mcf-like linked-list chase; ``footprint_kb``/``stride`` size the
+    node array (``nodes`` overrides the count directly)."""
+    if nodes is None:
+        nodes = ((footprint_kb * 1024) // stride
+                 if footprint_kb is not None else 8192)
+    return _synth_spec("pchase", iters, threads, dict(
+        nodes=nodes, work_per_node=work_per_node, branchy=branchy,
+        value_lines=value_lines, seed=seed, stride=stride))
+
+
+@WORKLOADS.register("stream", tags=_SYNTH)
+def stream(iters: int = 1600, footprint_kb: Optional[int] = None,
+           footprint_lines: Optional[int] = None, stride: int = 64,
+           store_every: int = 0, threads: int = 1) -> WorkloadSpec:
+    """lbm-like strided streaming; ``stride`` in bytes (a line
+    multiple), footprint via ``footprint_kb`` or ``footprint_lines``."""
+    if stride % patterns.LINE:
+        raise ValueError("stream stride must be a multiple of %d bytes"
+                         % patterns.LINE)
+    if footprint_lines is None:
+        footprint_lines = _footprint_lines(footprint_kb, 4096)
+    return _synth_spec("stream", iters, threads, dict(
+        footprint_lines=footprint_lines,
+        stride_lines=stride // patterns.LINE, store_every=store_every))
+
+
+@WORKLOADS.register("indirect", tags=_SYNTH)
+def indirect(iters: int = 1100, footprint_kb: Optional[int] = None,
+             footprint_lines: Optional[int] = None,
+             index_lines: int = 512, branch_entropy: bool = True,
+             seed: int = 11, threads: int = 1) -> WorkloadSpec:
+    """xalancbmk-like ``B[A[i]]`` gathers (tainted second-load
+    address)."""
+    if footprint_lines is None:
+        footprint_lines = _footprint_lines(footprint_kb, 2048)
+    return _synth_spec("indirect", iters, threads, dict(
+        footprint_lines=footprint_lines, index_lines=index_lines,
+        branch_entropy=branch_entropy, seed=seed))
+
+
+@WORKLOADS.register("random_access", tags=_SYNTH)
+def random_access(iters: int = 1200, footprint_kb: Optional[int] = None,
+                  footprint_lines: Optional[int] = None, seed: int = 3,
+                  branch_entropy: bool = False,
+                  threads: int = 1) -> WorkloadSpec:
+    """milc-like LCG-addressed sparse access (taint-free,
+    DRAM-bound)."""
+    if footprint_lines is None:
+        footprint_lines = _footprint_lines(footprint_kb, 16384)
+    return _synth_spec("random", iters, threads, dict(
+        footprint_lines=footprint_lines, seed=seed,
+        branch_entropy=branch_entropy))
+
+
+@WORKLOADS.register("compute", tags=_SYNTH)
+def compute(iters: int = 800, div_every: int = 4, fp: bool = True,
+            unroll: int = 4, threads: int = 1) -> WorkloadSpec:
+    """gamess-like ALU/FP kernel with periodic non-pipelined
+    divides."""
+    return _synth_spec("compute", iters, threads, dict(
+        div_every=div_every, fp=fp, unroll=unroll))
+
+
+@WORKLOADS.register("mixed", tags=_SYNTH)
+def mixed(iters: int = 1200, footprint_kb: Optional[int] = None,
+          footprint_lines: Optional[int] = None, index_lines: int = 256,
+          chase_nodes: int = 256, stream_weight: int = 1,
+          indirect_weight: int = 1, chase_weight: int = 0,
+          compute_weight: int = 1, store_weight: int = 0,
+          branch_entropy: bool = True, div_in_compute: bool = False,
+          seed: int = 23, threads: int = 1) -> WorkloadSpec:
+    """Weighted composition of stream/indirect/chase/compute
+    behaviours."""
+    if footprint_lines is None:
+        footprint_lines = _footprint_lines(footprint_kb, 4096)
+    return _synth_spec("mixed", iters, threads, dict(
+        footprint_lines=footprint_lines, index_lines=index_lines,
+        chase_nodes=chase_nodes, stream_weight=stream_weight,
+        indirect_weight=indirect_weight, chase_weight=chase_weight,
+        compute_weight=compute_weight, store_weight=store_weight,
+        branch_entropy=branch_entropy, div_in_compute=div_in_compute,
+        seed=seed))

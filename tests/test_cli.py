@@ -34,6 +34,63 @@ def test_run_unknown_workload():
         main(["run", "doom", "--scale", "0.05"])
 
 
+def test_run_spec_strings_through_engine(capsys):
+    assert main(["run",
+                 "--workload", "pointer_chase(stride=128, "
+                               "footprint_kb=64)",
+                 "--defense", "MuonTrap(flush=True)",
+                 "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "pointer_chase(stride=128" in out
+    assert "cycles" in out and "IPC" in out
+
+
+def test_run_requires_exactly_one_workload(capsys):
+    assert main(["run"]) == 2
+    assert "no workload" in capsys.readouterr().err
+    assert main(["run", "hmmer", "--workload", "mcf"]) == 2
+    assert "both" in capsys.readouterr().err
+
+
+def test_list_kind_json(capsys):
+    assert main(["list", "defenses", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    names = [info["name"] for info in payload["defense"]]
+    assert {"Unsafe", "GhostMinion", "MuonTrap-Flush",
+            "Custom"} <= set(names)
+    assert main(["list", "workloads", "--tag", "synthetic",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    names = [info["name"] for info in payload["workload"]]
+    assert "pointer_chase" in names and "mcf" not in names
+    assert main(["list", "predictors", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert {"tournament", "bimodal"} <= {
+        info["name"] for info in payload["predictor"]}
+
+
+def test_describe_spec_string(capsys):
+    assert main(["describe", "MuonTrap(flush=True)"]) == 0
+    out = capsys.readouterr().out
+    assert "MuonTrap-Flush" in out         # resolved display name
+    assert "flush_on_squash" in out
+    assert main(["describe", "pointer_chase(stride=128)",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "workload"
+    assert payload["resolved"]["params"]["stride"] == 128
+
+
+def test_describe_unknown_suggests(capsys):
+    assert main(["describe", "GhostMinon"]) == 2
+    assert "GhostMinion" in capsys.readouterr().err
+
+
+def test_describe_bad_spec_is_clean_error(capsys):
+    assert main(["describe", "MuonTrap(flush=__import__('os'))"]) == 2
+    assert "literal" in capsys.readouterr().err
+
+
 def test_compare(capsys):
     assert main(["compare", "hmmer", "--scale", "0.05"]) == 0
     out = capsys.readouterr().out

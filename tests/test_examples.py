@@ -41,6 +41,13 @@ def test_pipeline_trace():
     assert "squash_events" in out
 
 
+def test_custom_defense_plugin():
+    out = run_example("custom_defense_plugin.py", "0.04")
+    assert "FlushL1 plugin demo" in out
+    assert "FlushL1(also_l1i=True)" in out
+    assert "wipes" in out
+
+
 @pytest.mark.slow
 def test_spectre_demo():
     out = run_example("spectre_demo.py")
