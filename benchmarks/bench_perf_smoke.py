@@ -1,10 +1,15 @@
-"""Perf smoke bench: event-driven scheduler vs the dense reference loop.
+"""Perf smoke bench: scheduler speedup + store-backed replay speedup.
 
-Times one memory-bound sweep point (the fig. 6 ``mcf`` pointer chase,
-whose wall-clock is dominated by DRAM-latency stall cycles) under both
-schedulers at tiny scale, checks they agree byte-for-byte, and writes
-``BENCH_perf.json`` — the first entry of the repo's perf trajectory, so
-future PRs can compare scheduler wall-clock numbers against it.
+Two timed comparisons, both written to ``BENCH_perf.json`` (the repo's
+perf trajectory, compared across PRs):
+
+1. the event-driven scheduler vs the dense reference loop on one
+   memory-bound sweep point (the fig. 6 ``mcf`` pointer chase, whose
+   wall-clock is dominated by DRAM-latency stall cycles), checked
+   byte-identical;
+2. regenerating a small compare sweep from the sqlite result store
+   (``repro report``'s path: query + table shaping, zero simulation)
+   vs re-simulating it — the reason the store exists.
 
 Run directly (CI does, as a non-gating step):
 
@@ -17,6 +22,7 @@ the repo root).
 
 import json
 import os
+import tempfile
 import time
 
 from repro.defenses import registry
@@ -46,6 +52,29 @@ def _time_run(programs, dense):
     return best, result
 
 
+def _update_payload(section, payload):
+    """Merge one bench section into BENCH_perf.json (tests in this file
+    can run in any subset/order)."""
+    merged = {}
+    try:
+        with open(OUT_PATH, "r", encoding="utf-8") as handle:
+            merged = json.load(handle)
+    except (OSError, ValueError):
+        pass
+    if not isinstance(merged, dict):
+        merged = {}
+    # Legacy layout: the scheduler numbers lived at top level; keep
+    # them there so trajectory diffs stay comparable, and nest new
+    # sections under their own key.
+    if section is None:
+        merged.update(payload)
+    else:
+        merged[section] = payload
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def test_perf_smoke():
     programs = get_workload(WORKLOAD).build(PERF_SCALE)
     dense_s, dense_res = _time_run(programs, dense=True)
@@ -72,9 +101,7 @@ def test_perf_smoke():
         "speedup": round(speedup, 3),
         "rounds": ROUNDS,
     }
-    with open(OUT_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    _update_payload(None, payload)
     print()
     print("perf smoke: %s/%s scale=%s: dense %.3fs, event %.3fs "
           "(%.2fx, %d/%d cycles skipped) -> %s"
@@ -88,5 +115,67 @@ def test_perf_smoke():
         % speedup)
 
 
+def test_store_replay_smoke():
+    """Store-backed replay (query + report regeneration) vs
+    re-simulation of the same compare sweep."""
+    from repro.exp import Sweep, run_sweep
+    from repro.store import ResultStore, RunMeta, StoreCache
+
+    sweep = Sweep(name="bench-replay", workloads=[WORKLOAD],
+                  defenses=["Unsafe", DEFENSE], scale=PERF_SCALE)
+
+    resim_s = float("inf")
+    direct = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        direct = run_sweep(sweep)
+        resim_s = min(resim_s, time.perf_counter() - started)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(os.path.join(tmp, "bench.sqlite"),
+                            run_meta=RunMeta.capture())
+        store.insert_many(direct.results, sweep=sweep.name,
+                          source="bench")
+        best = float("inf")
+        replay = None
+        for _ in range(ROUNDS):
+            started = time.perf_counter()
+            replay = run_sweep(sweep, cache=StoreCache(store, "strict"))
+            table = replay.results.as_run_results()
+            best = min(best, time.perf_counter() - started)
+        store.close()
+
+    # The replay claim is only meaningful if the store reproduces the
+    # engine run exactly.
+    assert replay.executed == 0
+    assert replay.results.to_json() == direct.results.to_json()
+    assert set(table) == {WORKLOAD}
+
+    speedup = resim_s / best if best > 0 else float("inf")
+    _update_payload("store_replay", {
+        "bench": "store_replay",
+        "workload": WORKLOAD,
+        "defenses": ["Unsafe", DEFENSE],
+        "scale": PERF_SCALE,
+        "points": len(direct.results),
+        "resim_seconds": round(resim_s, 6),
+        "replay_seconds": round(best, 6),
+        "speedup": round(speedup, 3),
+        "rounds": ROUNDS,
+    })
+    print()
+    print("store replay: %d points scale=%s: resim %.3fs, replay "
+          "%.4fs (%.1fx) -> %s"
+          % (len(direct.results), PERF_SCALE, resim_s, best, speedup,
+             OUT_PATH))
+
+    # Acceptance bar: regenerating from accumulated history must
+    # comfortably beat re-simulation even on a tiny sweep.
+    assert speedup >= 3.0, (
+        "store-backed replay only %.2fx faster than re-simulation"
+        % speedup)
+
+
 if __name__ == "__main__":  # pragma: no cover - manual invocation
     test_perf_smoke()
+    test_store_replay_smoke()

@@ -18,6 +18,19 @@ Commands
 ``describe SPEC [--kind KIND] [--json]``
     Introspect one component or spec string: summary, parameters,
     and — for defenses/workloads — what the spec resolves to.
+``merge SHARD... --db results.sqlite``
+    Gather exported sweep shards into the sqlite result store
+    (conflicting results for the same digest are a hard error).
+``report {compare,<figure>} [WORKLOAD...] --db results.sqlite``
+    Rebuild a compare/figure table from the result store — byte
+    identical to the direct engine run, without re-simulation
+    (``--allow-sim`` simulates and records missing points instead).
+``store {stats,backfill} --db results.sqlite``
+    Result-store maintenance: summary, or ingest of an existing JSON
+    result-cache directory.
+``cache {stats,prune}``
+    JSON result-cache maintenance: entry count/bytes, and pruning by
+    age (``--older-than 30d``) or wholesale (``--all``).
 
 Everywhere a defense or workload is named, a parameterized **spec
 string** works too: ``--defense "MuonTrap(flush=True)"``,
@@ -32,6 +45,14 @@ on disk under ``REPRO_CACHE_DIR`` (``--cache-dir`` to override,
 ``--no-cache`` to disable), and ``--json`` emits the machine-readable
 payload instead of the text table.  Per-point progress and cache-hit
 counts go to stderr.
+
+``--db PATH`` on those commands swaps the JSON cache for the sqlite
+result store (write-through: hits come from the store, executed points
+are recorded into it).  ``sweep`` and ``compare`` additionally take
+``--shard I/N`` (run the I-th of N digest-partitioned slices) and
+``--export PATH`` (write the slice's results as a shard file for
+``repro merge``) — see ``docs/results-store.md`` for the distributed
+campaign workflow.
 """
 
 from __future__ import annotations
@@ -39,8 +60,10 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import math
+import re
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.analysis import figures
 from repro.analysis.report import format_table, normalised_series
@@ -48,9 +71,12 @@ from repro.defenses import FIGURE_ORDER
 from repro.exp import (
     BASE_VARIANT,
     ConfigVariant,
+    ResultCache,
     Sweep,
     format_engine_summary,
+    run_points,
     run_sweep,
+    shard_points,
     variants_for_axis,
 )
 from repro.registry import (
@@ -95,8 +121,21 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
                         help="result cache directory "
                              "(default $REPRO_CACHE_DIR or "
                              "~/.cache/repro-ghostminion)")
+    parser.add_argument("--db", default=None, metavar="PATH",
+                        help="use this sqlite result store instead of "
+                             "the JSON cache (write-through)")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON on stdout")
+
+
+def _add_shard_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shard", default=None, metavar="I/N",
+                        help="run only the I-th (0-based) of N "
+                             "digest-partitioned slices of the sweep")
+    parser.add_argument("--export", default=None, metavar="PATH",
+                        dest="export_path",
+                        help="write this invocation's results as a "
+                             "shard file for `repro merge`")
 
 
 def _add_max_insts_arg(parser: argparse.ArgumentParser) -> None:
@@ -131,6 +170,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--scale", type=float, default=0.25)
     _add_engine_args(cmp_p)
     _add_max_insts_arg(cmp_p)
+    _add_shard_args(cmp_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper artefact")
     fig_p.add_argument("which", choices=sorted(FIGURES))
@@ -154,6 +194,64 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(e.g. minion_d.size_bytes=2048,512,128)")
     _add_engine_args(swp_p)
     _add_max_insts_arg(swp_p)
+    _add_shard_args(swp_p)
+
+    mrg_p = sub.add_parser(
+        "merge", help="gather sweep shard files into a result store")
+    mrg_p.add_argument("shards", nargs="+", metavar="SHARD",
+                       help="shard files written by --export")
+    mrg_p.add_argument("--db", required=True, metavar="PATH",
+                       help="sqlite result store to merge into")
+    mrg_p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON on stdout")
+
+    rep_p = sub.add_parser(
+        "report",
+        help="rebuild a compare/figure table from the result store")
+    rep_p.add_argument("which", choices=sorted(FIGURES) + ["compare"],
+                       help="'compare' or a figure name")
+    rep_p.add_argument("workloads", nargs="*",
+                       help="workloads (compare reports only)")
+    rep_p.add_argument("--db", required=True, metavar="PATH",
+                       help="sqlite result store to read")
+    rep_p.add_argument("--scale", type=float, default=0.25)
+    rep_p.add_argument("--allow-sim", action="store_true",
+                       help="simulate (and record) missing points "
+                            "instead of failing")
+    rep_p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for --allow-sim misses")
+    rep_p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON on stdout")
+    rep_p.add_argument("--max-insts", type=int, default=None,
+                       help="early-stop cap the reported sweep ran "
+                            "with (compare reports only)")
+
+    str_p = sub.add_parser(
+        "store", help="result-store maintenance")
+    str_p.add_argument("action", choices=["stats", "backfill"])
+    str_p.add_argument("--db", required=True, metavar="PATH",
+                       help="sqlite result store")
+    str_p.add_argument("--cache-dir", default=None,
+                       help="JSON cache directory to backfill from "
+                            "(default $REPRO_CACHE_DIR or "
+                            "~/.cache/repro-ghostminion)")
+    str_p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON on stdout")
+
+    cch_p = sub.add_parser(
+        "cache", help="JSON result-cache maintenance")
+    cch_p.add_argument("action", choices=["stats", "prune"])
+    cch_p.add_argument("--cache-dir", default=None,
+                       help="cache directory (default $REPRO_CACHE_DIR "
+                            "or ~/.cache/repro-ghostminion)")
+    cch_p.add_argument("--older-than", default=None, metavar="AGE",
+                       help="prune only entries older than AGE "
+                            "(e.g. 30d, 12h, 45m, 3600s; bare numbers "
+                            "are days)")
+    cch_p.add_argument("--all", action="store_true", dest="prune_all",
+                       help="prune every entry")
+    cch_p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON on stdout")
 
     atk_p = sub.add_parser("attack", help="run a transient attack")
     atk_p.add_argument("which",
@@ -186,12 +284,63 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _open_store(path, mode="rw"):
+    """Open a result store behind the given access policy."""
+    from repro.store import ResultStore, RunMeta, StoreCache
+    return StoreCache(ResultStore(path, run_meta=RunMeta.capture()),
+                      mode=mode)
+
+
 def _cache_from_args(args):
+    if getattr(args, "db", None):
+        # The sqlite store replaces the JSON cache (write-through).
+        return _open_store(args.db)
     if args.no_cache:
         return None
     if args.cache_dir:
         return args.cache_dir
     return True
+
+
+def _parse_shard(text: str) -> Tuple[int, int]:
+    match = re.fullmatch(r"(\d+)/(\d+)", text)
+    if not match:
+        raise ValueError("--shard wants I/N, e.g. 0/4 (got %r)" % text)
+    return int(match.group(1)), int(match.group(2))
+
+
+def _apply_shard(args, sweep: Sweep):
+    """Expand ``sweep`` honouring ``--shard``; returns (points, note)."""
+    points = sweep.points()
+    if not args.shard:
+        return points, None
+    index, count = _parse_shard(args.shard)
+    selected = shard_points(points, index, count)
+    note = ("shard %d/%d: %d of %d points"
+            % (index, count, len(selected), len(points)))
+    return selected, note
+
+
+def _export_results(args, report, sweep: Sweep) -> None:
+    """Write this invocation's results as a shard file (--export)."""
+    from repro.store import RunMeta, write_shard
+    index = count = None
+    if args.shard:
+        index, count = _parse_shard(args.shard)
+    write_shard(args.export_path, report.results, sweep=sweep.name,
+                index=index, count=count,
+                total_points=len(sweep.points()),
+                run_meta=RunMeta.capture())
+    print("exported %d point(s) -> %s"
+          % (len(report.results), args.export_path), file=sys.stderr)
+
+
+def _results_json(report) -> str:
+    """Canonical result payload plus the (non-canonical) timing
+    telemetry block — the `sweep --json` shape."""
+    payload = json.loads(report.results.to_json())
+    payload["timing"] = report.timing_meta()
+    return json.dumps(payload, sort_keys=True, indent=2)
 
 
 def _progress_to_stderr(done: int, total: int, point) -> None:
@@ -266,14 +415,14 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_compare(args) -> int:
-    report = run_sweep(
-        Sweep(name="compare", workloads=list(args.workloads),
-              defenses=["Unsafe"] + FIGURE_ORDER, scale=args.scale,
-              max_insts=args.max_insts),
-        jobs=args.jobs, cache=_cache_from_args(args),
-        progress=_progress_to_stderr)
-    _report_engine(report)
+def _compare_sweep(args) -> Sweep:
+    return Sweep(name="compare", workloads=list(args.workloads),
+                 defenses=["Unsafe"] + FIGURE_ORDER, scale=args.scale,
+                 max_insts=args.max_insts)
+
+
+def _print_compare(report, args) -> int:
+    """Emit the compare artefact (shared by `compare` and `report`)."""
     table = normalised_times(report.results.as_run_results())
     if args.json:
         print(json.dumps({"normalised": table,
@@ -289,10 +438,34 @@ def _cmd_compare(args) -> int:
     return 0
 
 
-def _cmd_figure(args) -> int:
-    result = FIGURES[args.which](args.scale, jobs=args.jobs,
-                                 cache=_cache_from_args(args),
-                                 progress=_progress_to_stderr)
+def _cmd_compare(args) -> int:
+    sweep = _compare_sweep(args)
+    try:
+        points, note = _apply_shard(args, sweep)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if note:
+        print(note, file=sys.stderr)
+    report = run_points(points, jobs=args.jobs,
+                        cache=_cache_from_args(args),
+                        progress=_progress_to_stderr)
+    _report_engine(report)
+    if args.export_path:
+        _export_results(args, report, sweep)
+    if args.shard:
+        # A slice cannot be normalised against baselines it may not
+        # hold, so there is no compare table here (it comes from
+        # `repro merge` + `repro report`); --json still gets the
+        # slice's canonical results, like a sharded `sweep` would.
+        if args.json:
+            print(_results_json(report))
+        return 0
+    return _print_compare(report, args)
+
+
+def _print_figure(result, args) -> int:
+    """Emit a figure artefact (shared by `figure` and `report`)."""
     if result.meta:
         print(format_engine_summary(result.meta), file=sys.stderr)
     if args.json:
@@ -305,6 +478,13 @@ def _cmd_figure(args) -> int:
     print("=" * len(result.name))
     print(result.text)
     return 0
+
+
+def _cmd_figure(args) -> int:
+    result = FIGURES[args.which](args.scale, jobs=args.jobs,
+                                 cache=_cache_from_args(args),
+                                 progress=_progress_to_stderr)
+    return _print_figure(result, args)
 
 
 def _cmd_sweep(args) -> int:
@@ -330,30 +510,190 @@ def _cmd_sweep(args) -> int:
             ConfigVariant.make(v.label, {**v.as_dict(), **overrides})
             for v in variants]
     defenses = args.defense or ["Unsafe", "GhostMinion"]
-    try:
-        report = run_sweep(
-            Sweep(name="sweep", workloads=list(args.workloads),
+    sweep = Sweep(name="sweep", workloads=list(args.workloads),
                   defenses=defenses, variants=variants,
-                  scale=args.scale, max_insts=args.max_insts),
-            jobs=args.jobs, cache=_cache_from_args(args),
-            progress=_progress_to_stderr)
+                  scale=args.scale, max_insts=args.max_insts)
+    try:
+        points, note = _apply_shard(args, sweep)
+        if note:
+            print(note, file=sys.stderr)
+        report = run_points(points, jobs=args.jobs,
+                            cache=_cache_from_args(args),
+                            progress=_progress_to_stderr)
+    except ValueError as exc:
+        # malformed --shard, or out-of-range shard index
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
     except AttributeError as exc:
         # apply_overrides rejects typo'd/unknown config paths.
         print("error: %s" % exc, file=sys.stderr)
         return 2
     _report_engine(report)
+    if args.export_path:
+        _export_results(args, report, sweep)
     if args.json:
-        # Canonical result payload plus the (non-canonical) timing
-        # telemetry block.
-        payload = json.loads(report.results.to_json())
-        payload["timing"] = report.timing_meta()
-        print(json.dumps(payload, sort_keys=True, indent=2))
+        print(_results_json(report))
         return 0
     rows = [(p.key, p.cycles, p.insts, "%.3f" % p.ipc,
              "hit" if p.cached else "run")
             for p in report.results]
     print(format_table(["point", "cycles", "insts", "IPC", "cache"],
                        rows))
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    from repro.store import (
+        ResultStore, RunMeta, StoreError, merge_shards)
+    try:
+        with ResultStore(args.db,
+                         run_meta=RunMeta.capture()) as store:
+            report = merge_shards(store, args.shards)
+            stats = store.stats()
+    except StoreError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    for warning in report.warnings:
+        print("warning: %s" % warning, file=sys.stderr)
+    if args.json:
+        print(json.dumps({"inserted": report.inserted,
+                          "duplicates": report.duplicates,
+                          "shards": report.shards,
+                          "warnings": report.warnings,
+                          "store": stats},
+                         sort_keys=True, indent=2))
+        return 0
+    print(report.summary())
+    print("store: %(points)d points, %(bytes)d bytes at %(path)s"
+          % stats)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.store import MissingStoreResultError, StoreError
+    mode = "rw" if args.allow_sim else "strict"
+    try:
+        cache = _open_store(args.db, mode=mode)
+    except StoreError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    try:
+        if args.which == "compare":
+            if not args.workloads:
+                print("error: `report compare` needs at least one "
+                      "workload", file=sys.stderr)
+                return 2
+            report = run_sweep(_compare_sweep(args), jobs=args.jobs,
+                               cache=cache,
+                               progress=_progress_to_stderr)
+            _report_engine(report)
+            return _print_compare(report, args)
+        if args.workloads:
+            print("error: figure reports take no workload arguments",
+                  file=sys.stderr)
+            return 2
+        result = FIGURES[args.which](args.scale, jobs=args.jobs,
+                                     cache=cache,
+                                     progress=_progress_to_stderr)
+        return _print_figure(result, args)
+    except MissingStoreResultError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+def _cmd_store(args) -> int:
+    from repro.store import (
+        ResultStore, RunMeta, StoreError, backfill_from_cache)
+    try:
+        with ResultStore(args.db,
+                         run_meta=RunMeta.capture()) as store:
+            if args.action == "stats":
+                payload = store.stats()
+                if args.json:
+                    print(json.dumps(payload, sort_keys=True, indent=2))
+                    return 0
+                print("store:     %s" % payload["path"])
+                print("schema:    v%d" % payload["schema_version"])
+                print("points:    %d" % payload["points"])
+                print("bytes:     %d" % payload["bytes"])
+                print("workloads: %d" % payload["workloads"])
+                print("defenses:  %d" % payload["defenses"])
+                print("sweeps:    %d" % payload["sweeps"])
+                return 0
+            cache = ResultCache(args.cache_dir)
+            report = backfill_from_cache(store, cache)
+            if args.json:
+                print(json.dumps({"scanned": report.scanned,
+                                  "inserted": report.inserted,
+                                  "duplicates": report.duplicates,
+                                  "skipped": report.skipped,
+                                  "store": store.stats()},
+                                 sort_keys=True, indent=2))
+                return 0
+            print(report.summary())
+            return 0
+    except StoreError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0,
+              "w": 7 * 86400.0}
+
+
+def _parse_age(text: str) -> float:
+    """``30d``/``12h``/``45m``/``3600s``/``2w`` (bare number = days)."""
+    text = text.strip().lower()
+    unit = 86400.0
+    if text and text[-1] in _AGE_UNITS:
+        unit = _AGE_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError("--older-than wants AGE like 30d, 12h, 45m, "
+                         "3600s (got %r)" % text)
+    # NaN would disable the age filter entirely (every comparison is
+    # False), turning an age prune into --all.
+    if not math.isfinite(value) or value < 0:
+        raise ValueError("--older-than must be a finite, non-negative "
+                         "AGE")
+    return value * unit
+
+
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        payload = cache.stats()
+        if args.json:
+            print(json.dumps(payload, sort_keys=True, indent=2))
+            return 0
+        print("cache:   %s" % payload["directory"])
+        print("entries: %d" % payload["entries"])
+        print("bytes:   %d" % payload["bytes"])
+        return 0
+    if args.prune_all and args.older_than is not None:
+        print("error: give either --older-than or --all, not both",
+              file=sys.stderr)
+        return 2
+    if not args.prune_all and args.older_than is None:
+        print("error: `cache prune` needs --older-than AGE or --all",
+              file=sys.stderr)
+        return 2
+    try:
+        older_than = (None if args.prune_all
+                      else _parse_age(args.older_than))
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    payload = cache.prune(older_than=older_than)
+    if args.json:
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+    print("pruned %d entr%s (%d bytes) from %s"
+          % (payload["removed"],
+             "y" if payload["removed"] == 1 else "ies",
+             payload["bytes"], payload["directory"]))
     return 0
 
 
@@ -499,6 +839,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "figure": _cmd_figure,
         "sweep": _cmd_sweep,
+        "merge": _cmd_merge,
+        "report": _cmd_report,
+        "store": _cmd_store,
+        "cache": _cmd_cache,
         "attack": _cmd_attack,
         "list": _cmd_list,
         "describe": _cmd_describe,

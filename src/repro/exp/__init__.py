@@ -34,6 +34,7 @@ from repro.exp.spec import (
     SweepPoint,
     apply_overrides,
     code_fingerprint,
+    shard_points,
     variants_for_axis,
 )
 
@@ -56,5 +57,6 @@ __all__ = [
     "resolve_jobs",
     "run_points",
     "run_sweep",
+    "shard_points",
     "variants_for_axis",
 ]

@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import tempfile
-from typing import Optional, Union
+import time
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.exp.resultset import PointResult
 from repro.exp.spec import CACHE_SCHEMA_VERSION
@@ -51,27 +53,133 @@ class ResultCache:
     def lookup(self, digest: str) -> Optional[PointResult]:
         """Return the cached summary for ``digest`` or ``None``.
 
-        Unreadable/corrupt/version-mismatched entries count as misses
-        (and will be overwritten by the next :meth:`store`).
+        Unreadable or version-mismatched entries count as misses (and
+        will be overwritten by the next :meth:`store`).  Corrupt or
+        partial entries — invalid JSON, missing fields — are
+        additionally *quarantined*: renamed to ``<entry>.corrupt`` with
+        a warning on stderr, so a damaged file can neither crash a
+        sweep mid-run nor keep shadowing the digest it sits on.
         """
         path = self.path_for(digest)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
+            # Missing (the common miss) or unreadable; nothing to do.
+            self.misses += 1
+            return None
+        except ValueError:
+            self._quarantine(path, "invalid JSON")
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path, "not a cache entry")
             self.misses += 1
             return None
         if payload.get("cache_version") != CACHE_SCHEMA_VERSION:
+            # Stale but well-formed: a miss, not corruption.
             self.misses += 1
             return None
         try:
             result = PointResult.from_json_dict(payload["result"],
                                                 cached=True)
         except (KeyError, TypeError):
+            self._quarantine(path, "missing/invalid result fields")
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Rename a damaged entry aside so it stops masking its slot."""
+        aside = path + ".corrupt"
+        try:
+            os.replace(path, aside)
+        except OSError:
+            return
+        print("warning: quarantined corrupt result-cache entry (%s): "
+              "%s -> %s" % (reason, path, aside), file=sys.stderr)
+
+    # -- maintenance (repro cache stats/prune, store backfill) ----------
+
+    def _walk(self, suffix: str) -> Iterator[Tuple[str, str]]:
+        """Yield ``(name-minus-suffix, path)`` under the two-hex shard
+        directories for files ending in ``suffix``."""
+        if not os.path.isdir(self.directory):
+            return
+        for shard in sorted(os.listdir(self.directory)):
+            subdir = os.path.join(self.directory, shard)
+            if len(shard) != 2 or not os.path.isdir(subdir):
+                continue
+            for name in sorted(os.listdir(subdir)):
+                if name.endswith(suffix):
+                    yield (name[:-len(suffix)],
+                           os.path.join(subdir, name))
+
+    def entries(self) -> Iterator[Tuple[str, str]]:
+        """Yield ``(digest, path)`` for every entry on disk."""
+        for digest, path in self._walk(".json"):
+            if digest[:2] == os.path.basename(os.path.dirname(path)):
+                yield digest, path
+
+    def _quarantined(self) -> Iterator[str]:
+        """Paths of entries :meth:`lookup` has renamed aside."""
+        for _stem, path in self._walk(".json.corrupt"):
+            yield path
+
+    def stats(self) -> Dict[str, object]:
+        """Entry count and total size of the cache directory (plus how
+        many quarantined ``*.corrupt`` files are lying around)."""
+        count = 0
+        size = 0
+        for _digest, path in self.entries():
+            try:
+                size += os.path.getsize(path)
+            except OSError:
+                continue
+            count += 1
+        return {"directory": self.directory, "entries": count,
+                "bytes": size,
+                "corrupt": sum(1 for _ in self._quarantined())}
+
+    def prune(self, older_than: Optional[float] = None,
+              now: Optional[float] = None) -> Dict[str, object]:
+        """Delete entries (all, or only those whose mtime is more than
+        ``older_than`` seconds before ``now``); returns removal counts.
+
+        Quarantined ``*.corrupt`` files are pruned under the same age
+        filter, and empty two-hex subdirectories are removed
+        afterwards, so a full prune leaves the directory as ``store``
+        would recreate it.
+        """
+        now = time.time() if now is None else now
+        removed = 0
+        freed = 0
+        victims = [path for _digest, path in self.entries()]
+        victims.extend(self._quarantined())
+        for path in victims:
+            try:
+                if older_than is not None:
+                    age = now - os.path.getmtime(path)
+                    if age < older_than:
+                        continue
+                size = os.path.getsize(path)
+                os.unlink(path)
+            except OSError:
+                continue
+            # count only after the unlink actually succeeded
+            freed += size
+            removed += 1
+        if os.path.isdir(self.directory):
+            for shard in os.listdir(self.directory):
+                subdir = os.path.join(self.directory, shard)
+                if len(shard) == 2 and os.path.isdir(subdir):
+                    try:
+                        os.rmdir(subdir)
+                    except OSError:
+                        pass  # not empty
+        return {"directory": self.directory, "removed": removed,
+                "bytes": freed}
 
     def store(self, result: PointResult) -> None:
         """Atomically persist one summary (tmp file + rename)."""
@@ -95,17 +203,21 @@ class ResultCache:
             raise
 
 
-def resolve_cache(cache: Union[None, bool, str, ResultCache]
-                  ) -> Optional[ResultCache]:
+def resolve_cache(cache):
     """Normalise the ``cache`` argument accepted across the API.
 
     ``None``/``False`` -> disabled; ``True`` -> default directory; a
-    string/path -> that directory; a :class:`ResultCache` passes through.
+    string/path -> that directory; a :class:`ResultCache` — or anything
+    else answering the ``lookup(digest)``/``store(result)`` protocol,
+    such as a :class:`repro.store.ResultStore` or
+    :class:`repro.store.StoreCache` (write-through recording into the
+    sqlite result store) — passes through.
     """
     if cache is None or cache is False:
         return None
     if cache is True:
         return ResultCache()
-    if isinstance(cache, ResultCache):
+    if callable(getattr(cache, "lookup", None)) and callable(
+            getattr(cache, "store", None)):
         return cache
     return ResultCache(cache)

@@ -183,10 +183,16 @@ def _simulate_payload(payload: _Payload) -> Tuple[int, PointResult]:
 
 def run_points(points: Sequence[SweepPoint],
                jobs: Optional[int] = None,
-               cache: Union[None, bool, str, ResultCache] = None,
+               cache: Union[None, bool, str, ResultCache,
+                            object] = None,
                progress: Optional[ProgressFn] = None) -> SweepReport:
     """Execute ``points``, consulting/filling the cache, and return a
-    report whose :class:`ResultSet` preserves the input point order."""
+    report whose :class:`ResultSet` preserves the input point order.
+
+    ``cache`` accepts anything :func:`repro.exp.cache.resolve_cache`
+    does — including a :class:`repro.store.ResultStore` (or
+    :class:`repro.store.StoreCache`), which records executed points
+    into the sqlite result store write-through as they complete."""
     jobs = resolve_jobs(jobs)
     store = resolve_cache(cache)
     total = len(points)
@@ -263,7 +269,8 @@ def run_points(points: Sequence[SweepPoint],
 
 def run_sweep(sweep: Sweep,
               jobs: Optional[int] = None,
-              cache: Union[None, bool, str, ResultCache] = None,
+              cache: Union[None, bool, str, ResultCache,
+                           object] = None,
               progress: Optional[ProgressFn] = None) -> SweepReport:
     """Expand ``sweep`` and execute every point."""
     return run_points(sweep.points(), jobs=jobs, cache=cache,

@@ -1,0 +1,63 @@
+"""The result store: sqlite-backed results + distributed sweep shards.
+
+This package promotes the engine's flat JSON cache to campaign
+infrastructure (see ``docs/results-store.md``):
+
+- :class:`ResultStore` (``db.py``) — one sqlite file of point results
+  keyed by engine digest, with run metadata and a small query API;
+  quacks like the engine cache, so ``cache=ResultStore(...)`` gives
+  write-through recording.
+- :class:`StoreCache` — the same store behind an access policy
+  (``rw`` write-through / ``ro`` / ``strict`` replay-only).
+- ``shard.py`` — export one machine's slice of a sweep
+  (``repro sweep --shard i/n --export``) and gather shards with
+  conflict detection (``repro merge``).
+- ``backfill.py`` — ingest a pre-existing JSON cache directory.
+
+Typical distributed campaign::
+
+    # machine A                       # machine B
+    repro sweep ... --shard 0/2 \\     repro sweep ... --shard 1/2 \\
+        --export shard0.json              --export shard1.json
+
+    # gather + regenerate, no re-simulation
+    repro merge shard0.json shard1.json --db results.sqlite
+    repro report compare mcf hmmer --db results.sqlite
+"""
+
+from repro.store.backfill import BackfillReport, backfill_from_cache
+from repro.store.db import (
+    STORE_SCHEMA_VERSION,
+    MissingStoreResultError,
+    ResultStore,
+    RunMeta,
+    StoreCache,
+    StoreConflictError,
+    StoreError,
+)
+from repro.store.shard import (
+    SHARD_FORMAT,
+    MergeReport,
+    ShardFile,
+    load_shard,
+    merge_shards,
+    write_shard,
+)
+
+__all__ = [
+    "BackfillReport",
+    "MergeReport",
+    "MissingStoreResultError",
+    "ResultStore",
+    "RunMeta",
+    "SHARD_FORMAT",
+    "STORE_SCHEMA_VERSION",
+    "ShardFile",
+    "StoreCache",
+    "StoreConflictError",
+    "StoreError",
+    "backfill_from_cache",
+    "load_shard",
+    "merge_shards",
+    "write_shard",
+]

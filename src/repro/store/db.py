@@ -1,0 +1,395 @@
+"""The sqlite-backed result store.
+
+A :class:`ResultStore` promotes the flat per-point JSON cache
+(:class:`repro.exp.cache.ResultCache`) to a durable, queryable database:
+one row per simulated point, keyed by the engine's content digest, with
+the canonical result payload plus run metadata (wall seconds, host,
+repro version, timestamp) that the JSON cache never records.  Figures
+and EXPERIMENTS tables regenerate from accumulated history instead of
+re-simulation (``repro report``), and distributed sweep shards gather
+into one store with conflict detection (``repro merge``).
+
+Identity and conflicts
+----------------------
+Rows are keyed by :meth:`repro.exp.spec.SweepPoint.digest` — the sha256
+of everything the simulation is a pure function of.  Two records with
+the same digest must therefore agree on the *simulation outcome*
+(cycles, insts, finished, stats); a mismatch means non-deterministic
+simulators or a tampered shard and is a hard
+:class:`StoreConflictError`.  Display fields (``key``, ``variant``
+label) are a sweep's *view* of a point and may legitimately differ
+between producers — first write wins, and the engine re-keys lookups
+per sweep, exactly as the JSON cache does.
+
+Write-through
+-------------
+A :class:`ResultStore` (or a :class:`StoreCache` wrapper) quacks like
+the engine's cache — ``lookup(digest)`` / ``store(result)`` — so
+passing one as ``cache=`` to :func:`repro.exp.engine.run_sweep` records
+points into the database as they complete.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.exp.resultset import PointResult, ResultSet
+
+#: Bump on incompatible changes to the table layout below.  Opening a
+#: store written by a different schema version is a hard error: result
+#: databases are long-lived artefacts and must never be reinterpreted
+#: silently.
+STORE_SCHEMA_VERSION = 1
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS results (
+    digest        TEXT PRIMARY KEY,
+    key           TEXT NOT NULL,
+    workload      TEXT NOT NULL,
+    defense       TEXT NOT NULL,
+    variant       TEXT NOT NULL,
+    scale         REAL NOT NULL,
+    cycles        INTEGER NOT NULL,
+    insts         INTEGER NOT NULL,
+    finished      INTEGER NOT NULL,
+    stats         TEXT NOT NULL,
+    payload       TEXT NOT NULL,
+    sweep         TEXT,
+    source        TEXT,
+    wall_seconds  REAL,
+    host          TEXT,
+    repro_version TEXT,
+    recorded_at   REAL
+);
+CREATE INDEX IF NOT EXISTS idx_results_workload ON results (workload);
+CREATE INDEX IF NOT EXISTS idx_results_defense  ON results (defense);
+CREATE INDEX IF NOT EXISTS idx_results_sweep    ON results (sweep);
+"""
+
+#: Columns surfaced by :meth:`ResultStore.rows`, in schema order.
+ROW_COLUMNS = ("digest", "key", "workload", "defense", "variant",
+               "scale", "cycles", "insts", "finished", "sweep",
+               "source", "wall_seconds", "host", "repro_version",
+               "recorded_at")
+
+
+class StoreError(RuntimeError):
+    """Generic result-store failure (bad schema, unusable file)."""
+
+
+class StoreConflictError(StoreError):
+    """Same digest, different simulation payload: refusing to merge.
+
+    This is always a hard error — it means two producers disagree about
+    the outcome of the *same* simulation, so one of them is wrong
+    (non-deterministic build, tampered shard, hand-edited store).
+    """
+
+    def __init__(self, digest: str, existing_source: Optional[str],
+                 new_source: Optional[str]) -> None:
+        self.digest = digest
+        super().__init__(
+            "conflicting results for digest %s: existing record (from "
+            "%s) disagrees with new record (from %s) on the simulation "
+            "outcome" % (digest, existing_source or "unknown",
+                         new_source or "unknown"))
+
+
+class MissingStoreResultError(StoreError):
+    """Strict replay asked the store for a point it does not hold."""
+
+    def __init__(self, digest: str) -> None:
+        self.digest = digest
+        super().__init__(
+            "result store holds no record for digest %s — run the "
+            "sweep with --db first (or pass --allow-sim to simulate "
+            "missing points)" % digest)
+
+
+@dataclass(frozen=True)
+class RunMeta:
+    """Provenance recorded alongside each stored result.
+
+    The caller supplies the values (the store never calls the clock
+    itself) so ingest is reproducible;  :meth:`capture` is the
+    convenience constructor the CLI uses.
+    """
+
+    host: str = ""
+    repro_version: str = ""
+    recorded_at: float = 0.0
+
+    @classmethod
+    def capture(cls) -> "RunMeta":
+        import repro
+        return cls(host=socket.gethostname(),
+                   repro_version=repro.__version__,
+                   recorded_at=time.time())
+
+
+def sim_payload(payload: Dict[str, object]) -> str:
+    """The digest-covered half of a canonical result payload.
+
+    ``key``/``variant`` (and through them nothing else) are a sweep's
+    display view of a point; everything the digest pins — workload,
+    defense, scale and the simulation outcome — must agree between any
+    two records sharing a digest.  Conflict detection compares this
+    canonical string.
+    """
+    body = {name: payload[name] for name in payload
+            if name not in ("key", "variant")}
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """One sqlite file of point results, keyed by engine digest."""
+
+    def __init__(self, path: str,
+                 run_meta: Optional[RunMeta] = None) -> None:
+        self.path = os.path.expanduser(str(path))
+        self.run_meta = run_meta or RunMeta()
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        self._ensure_schema()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _ensure_schema(self) -> None:
+        try:
+            self._conn.executescript(_TABLES)
+            row = self._conn.execute(
+                "SELECT value FROM store_meta WHERE key='schema_version'"
+            ).fetchone()
+        except sqlite3.DatabaseError as exc:
+            raise StoreError("%s is not a result store: %s"
+                             % (self.path, exc)) from exc
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO store_meta (key, value) VALUES "
+                "('schema_version', ?)", (str(STORE_SCHEMA_VERSION),))
+            self._conn.commit()
+        elif row["value"] != str(STORE_SCHEMA_VERSION):
+            raise StoreError(
+                "%s uses store schema version %s; this build speaks %d"
+                % (self.path, row["value"], STORE_SCHEMA_VERSION))
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def commit(self) -> None:
+        self._conn.commit()
+
+    def rollback(self) -> None:
+        self._conn.rollback()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- writes ---------------------------------------------------------
+
+    def insert(self, result: PointResult, *,
+               sweep: Optional[str] = None,
+               source: Optional[str] = None,
+               run_meta: Optional[RunMeta] = None,
+               commit: bool = True) -> bool:
+        """Record one result; returns True if a new row was written.
+
+        An existing row with the same digest and the same simulation
+        outcome is a no-op duplicate (first write wins, including its
+        run metadata); a disagreeing row raises
+        :class:`StoreConflictError`.
+        """
+        payload = result.to_json_dict()
+        meta = run_meta or self.run_meta
+        # A single conflict-tolerant INSERT (rather than check-then-
+        # insert) so two processes writing through to the same store
+        # file cannot race into an IntegrityError: the loser simply
+        # falls through to the agreement check below.
+        cursor = self._conn.execute(
+            "INSERT INTO results (digest, key, workload, defense, "
+            "variant, scale, cycles, insts, finished, stats, payload, "
+            "sweep, source, wall_seconds, host, repro_version, "
+            "recorded_at) VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?) "
+            "ON CONFLICT (digest) DO NOTHING",
+            (result.digest, result.key, result.workload, result.defense,
+             result.variant, result.scale, result.cycles, result.insts,
+             int(result.finished),
+             json.dumps(payload["stats"], sort_keys=True,
+                        separators=(",", ":")),
+             json.dumps(payload, sort_keys=True, separators=(",", ":")),
+             sweep, source, result.wall_seconds, meta.host,
+             meta.repro_version, meta.recorded_at))
+        if cursor.rowcount == 0:
+            existing = self._conn.execute(
+                "SELECT payload, source FROM results WHERE digest=?",
+                (result.digest,)).fetchone()
+            if (existing is not None
+                    and sim_payload(json.loads(existing["payload"]))
+                    == sim_payload(payload)):
+                return False
+            raise StoreConflictError(
+                result.digest,
+                existing["source"] if existing is not None else None,
+                source)
+        if commit:
+            self._conn.commit()
+        return True
+
+    def insert_many(self, results: Iterable[PointResult], *,
+                    sweep: Optional[str] = None,
+                    source: Optional[str] = None,
+                    run_meta: Optional[RunMeta] = None) -> int:
+        """Insert a batch in one transaction; returns new-row count."""
+        inserted = 0
+        try:
+            for result in results:
+                if self.insert(result, sweep=sweep, source=source,
+                               run_meta=run_meta, commit=False):
+                    inserted += 1
+        except BaseException:
+            self._conn.rollback()
+            raise
+        self._conn.commit()
+        return inserted
+
+    # -- engine-cache protocol (write-through mode) ---------------------
+
+    def lookup(self, digest: str) -> Optional[PointResult]:
+        """Engine-cache hit path: rehydrate the canonical payload."""
+        row = self._conn.execute(
+            "SELECT payload FROM results WHERE digest=?",
+            (digest,)).fetchone()
+        if row is None:
+            return None
+        return PointResult.from_json_dict(json.loads(row["payload"]),
+                                          cached=True)
+
+    def store(self, result: PointResult) -> None:
+        """Engine-cache fill path: record an executed point."""
+        self.insert(result, source="engine")
+
+    # -- queries --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def has(self, digest: str) -> bool:
+        return self._conn.execute(
+            "SELECT 1 FROM results WHERE digest=?",
+            (digest,)).fetchone() is not None
+
+    def digests(self) -> List[str]:
+        return [row[0] for row in self._conn.execute(
+            "SELECT digest FROM results ORDER BY rowid")]
+
+    def _where(self, filters: Dict[str, object]) -> tuple:
+        clauses, params = [], []
+        for column, value in filters.items():
+            if value is None:
+                continue
+            clauses.append("%s=?" % column)
+            params.append(value)
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        return where, params
+
+    def rows(self, workload: Optional[str] = None,
+             defense: Optional[str] = None,
+             variant: Optional[str] = None,
+             sweep: Optional[str] = None,
+             scale: Optional[float] = None) -> List[Dict[str, object]]:
+        """Raw result rows (insertion order) including run metadata."""
+        where, params = self._where({
+            "workload": workload, "defense": defense,
+            "variant": variant, "sweep": sweep, "scale": scale})
+        cursor = self._conn.execute(
+            "SELECT %s FROM results%s ORDER BY rowid"
+            % (", ".join(ROW_COLUMNS), where), params)
+        return [dict(row) for row in cursor]
+
+    def select(self, workload: Optional[str] = None,
+               defense: Optional[str] = None,
+               variant: Optional[str] = None,
+               sweep: Optional[str] = None,
+               scale: Optional[float] = None) -> ResultSet:
+        """Query matching points into a :class:`ResultSet`.
+
+        Points come back in insertion order under their stored keys;
+        two stored views of distinct simulations can share a key (e.g.
+        the same sweep at two scales), in which case ``ResultSet.add``
+        raises — narrow the filters (``scale=``, ``sweep=``) to
+        disambiguate.
+        """
+        where, params = self._where({
+            "workload": workload, "defense": defense,
+            "variant": variant, "sweep": sweep, "scale": scale})
+        results = ResultSet()
+        for row in self._conn.execute(
+                "SELECT payload FROM results%s ORDER BY rowid" % where,
+                params):
+            results.add(PointResult.from_json_dict(
+                json.loads(row["payload"]), cached=True))
+        return results
+
+    def stats(self) -> Dict[str, object]:
+        """Store-level summary: row counts and file size."""
+        count = len(self)
+        distinct = {}
+        for column in ("workload", "defense", "sweep"):
+            distinct[column + "s"] = self._conn.execute(
+                "SELECT COUNT(DISTINCT %s) FROM results WHERE %s IS "
+                "NOT NULL" % (column, column)).fetchone()[0]
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            size = 0
+        return {"path": self.path, "schema_version": STORE_SCHEMA_VERSION,
+                "points": count, "bytes": size, **distinct}
+
+
+class StoreCache:
+    """Engine-cache adapter over a :class:`ResultStore` with a policy.
+
+    ``mode`` is one of:
+
+    - ``"rw"``: hits come from the store, executed points are recorded
+      (write-through — the default for ``--db``);
+    - ``"ro"``: hits come from the store, executed points are *not*
+      recorded;
+    - ``"strict"``: replay only — a miss raises
+      :class:`MissingStoreResultError` before any simulation runs
+      (``repro report`` without ``--allow-sim``).
+    """
+
+    MODES = ("rw", "ro", "strict")
+
+    def __init__(self, db: ResultStore, mode: str = "rw") -> None:
+        if mode not in self.MODES:
+            raise ValueError("mode must be one of %r" % (self.MODES,))
+        self.db = db
+        self.mode = mode
+
+    def lookup(self, digest: str) -> Optional[PointResult]:
+        hit = self.db.lookup(digest)
+        if hit is None and self.mode == "strict":
+            raise MissingStoreResultError(digest)
+        return hit
+
+    def store(self, result: PointResult) -> None:
+        if self.mode == "rw":
+            self.db.insert(result, source="engine")

@@ -1,0 +1,207 @@
+"""Shard files: the unit of distributed-sweep gathering.
+
+A shard file is what one machine exports after running its slice of a
+sweep (``repro sweep ... --shard i/n --export shard.json``): the
+canonical :class:`~repro.exp.resultset.ResultSet` JSON — so any
+``ResultSet.from_json`` consumer can read it directly — plus two
+non-canonical sections:
+
+- ``"shard"``: which slice of which sweep this is (index, count, the
+  sweep name, and the full sweep's point total for sanity checks);
+- ``"run_meta"``: per-digest provenance (wall seconds, cache-hit flag,
+  host, repro version, timestamp) carried into the store on merge.
+
+``repro merge shard*.json --db results.sqlite`` gathers shards through
+:func:`merge_shards`, which delegates conflict detection to
+:meth:`repro.store.db.ResultStore.insert` — same digest with a
+different simulation payload is a hard error, duplicates (overlapping
+shards, re-merges) are counted and skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.exp.resultset import RESULT_FORMAT, ResultSet
+from repro.store.db import ResultStore, RunMeta, StoreError
+
+#: Version of the shard-file envelope (the canonical ``points`` part is
+#: separately versioned by ``repro.exp.resultset.RESULT_FORMAT``).
+SHARD_FORMAT = 1
+
+
+@dataclass
+class ShardFile:
+    """One parsed shard file."""
+
+    path: str
+    results: ResultSet
+    sweep: str = "sweep"
+    index: Optional[int] = None
+    count: Optional[int] = None
+    total_points: Optional[int] = None
+    run_meta: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def label(self) -> str:
+        if self.index is None or self.count is None:
+            return os.path.basename(self.path)
+        return "%s [shard %d/%d]" % (os.path.basename(self.path),
+                                     self.index, self.count)
+
+
+def write_shard(path: str, results: ResultSet, *,
+                sweep: str = "sweep",
+                index: Optional[int] = None,
+                count: Optional[int] = None,
+                total_points: Optional[int] = None,
+                run_meta: Optional[RunMeta] = None) -> None:
+    """Write one shard file (canonical points + provenance)."""
+    meta = run_meta or RunMeta()
+    payload = json.loads(results.to_json())
+    payload["shard"] = {
+        "format": SHARD_FORMAT,
+        "sweep": sweep,
+        "index": index,
+        "count": count,
+        "total_points": total_points,
+    }
+    payload["run_meta"] = {
+        point.digest: {
+            "wall_seconds": round(point.wall_seconds, 6),
+            "cached": point.cached,
+            "host": meta.host,
+            "repro_version": meta.repro_version,
+            "recorded_at": meta.recorded_at,
+        }
+        for point in results
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+
+
+def load_shard(path: str) -> ShardFile:
+    """Parse one shard (or plain ``ResultSet.to_json``) file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise StoreError("cannot read shard %s: %s" % (path, exc))
+    if not isinstance(payload, dict):
+        raise StoreError("%s is not a shard file (expected a JSON "
+                         "object)" % path)
+    if payload.get("format") != RESULT_FORMAT:
+        raise StoreError("unsupported result format %r in %s"
+                         % (payload.get("format"), path))
+    envelope = payload.get("shard") or {}
+    if envelope and envelope.get("format") != SHARD_FORMAT:
+        raise StoreError("unsupported shard format %r in %s"
+                         % (envelope.get("format"), path))
+    try:
+        results = ResultSet.from_json(json.dumps(
+            {"format": payload["format"], "points": payload["points"]}))
+        run_meta = dict(payload.get("run_meta") or {})
+        shard = ShardFile(
+            path=path,
+            results=results,
+            sweep=str(envelope.get("sweep", "sweep")),
+            index=envelope.get("index"),
+            count=envelope.get("count"),
+            total_points=envelope.get("total_points"),
+            run_meta=run_meta,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StoreError("malformed shard file %s: %r" % (path, exc))
+    return shard
+
+
+@dataclass
+class MergeReport:
+    """Outcome of one gather: how many rows were new vs already held."""
+
+    inserted: int = 0
+    duplicates: int = 0
+    shards: int = 0
+    #: Human-readable anomalies worth surfacing (incomplete shard
+    #: families, short shards) — never fatal, since gathering a sweep
+    #: incrementally across several merge invocations is legitimate.
+    warnings: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return ("merge: %d points inserted, %d duplicates skipped, "
+                "%d shard file(s)" % (self.inserted, self.duplicates,
+                                      self.shards))
+
+
+def _coverage_warnings(shards: Sequence[ShardFile]) -> List[str]:
+    """Flag shard families this merge leaves visibly incomplete."""
+    families: Dict[tuple, set] = {}
+    warnings = []
+    for shard in shards:
+        if shard.index is None or shard.count is None:
+            continue
+        if not 0 <= shard.index < shard.count:
+            warnings.append("%s: shard index %d out of range for "
+                            "count %d" % (shard.path, shard.index,
+                                          shard.count))
+            continue
+        families.setdefault((shard.sweep, shard.count),
+                            set()).add(shard.index)
+    for (sweep, count), indices in sorted(families.items()):
+        missing = sorted(set(range(count)) - indices)
+        if missing:
+            warnings.append(
+                "sweep %r: merged %d of %d shards (missing indices: "
+                "%s) — the store does not yet cover the full sweep"
+                % (sweep, len(indices), count,
+                   ", ".join(map(str, missing))))
+    return warnings
+
+
+def merge_shards(store: ResultStore,
+                 paths: Sequence[str]) -> MergeReport:
+    """Gather shard files into ``store`` with conflict detection.
+
+    Raises :class:`~repro.store.db.StoreConflictError` (before any row
+    of the offending shard is committed) when a shard disagrees with
+    the store — or with an earlier shard — about a digest's simulation
+    outcome.
+    """
+    report = MergeReport()
+    loaded = []
+    for path in paths:
+        shard = load_shard(path)
+        loaded.append(shard)
+        inserted = 0
+        try:
+            for point in shard.results:
+                meta = shard.run_meta.get(point.digest) or {}
+                try:
+                    run_meta = RunMeta(
+                        host=str(meta.get("host", "")),
+                        repro_version=str(meta.get("repro_version",
+                                                   "")),
+                        recorded_at=float(meta.get("recorded_at", 0.0)
+                                          or 0.0))
+                    point.wall_seconds = float(
+                        meta.get("wall_seconds", 0.0) or 0.0)
+                except (AttributeError, TypeError, ValueError) as exc:
+                    raise StoreError("malformed run_meta for digest %s "
+                                     "in %s: %r"
+                                     % (point.digest, path, exc))
+                if store.insert(point, sweep=shard.sweep,
+                                source=shard.label(), run_meta=run_meta,
+                                commit=False):
+                    inserted += 1
+        except BaseException:
+            store.rollback()
+            raise
+        store.commit()
+        report.inserted += inserted
+        report.duplicates += len(shard.results) - inserted
+        report.shards += 1
+    report.warnings = _coverage_warnings(loaded)
+    return report

@@ -10,10 +10,12 @@ from repro.defenses.ghostminion import ghostminion
 from repro.exp import (
     ConfigVariant,
     ResultCache,
+    ResultSet,
     Sweep,
     apply_overrides,
     run_points,
     run_sweep,
+    shard_points,
     variants_for_axis,
 )
 from repro.sim.runner import default_scale
@@ -223,7 +225,6 @@ def test_parallel_matches_serial_byte_identical():
 def test_resultset_roundtrip_and_shapes():
     report = run_sweep(small_sweep())
     text = report.results.to_json(indent=2)
-    from repro.exp import ResultSet
     clone = ResultSet.from_json(text)
     assert clone.to_json() == report.results.to_json()
     table = report.results.as_run_results()
@@ -235,6 +236,35 @@ def test_resultset_roundtrip_and_shapes():
     assert 0 < run_result.ipc <= 8
     payload = json.loads(text)
     assert payload["format"] == 1
+
+
+def test_resultset_roundtrip_with_cache_hit_flags(tmp_path):
+    """The cached flag is runtime metadata: a fully cache-hit sweep
+    serializes byte-identically to the original run, and the canonical
+    form survives a from_json/to_json round trip either way."""
+    sweep = small_sweep()
+    executed = run_sweep(sweep, cache=str(tmp_path))
+    cached = run_sweep(sweep, cache=str(tmp_path))
+    assert not any(p.cached for p in executed.results)
+    assert all(p.cached for p in cached.results)
+    assert executed.results.to_json() == cached.results.to_json()
+    clone = ResultSet.from_json(cached.results.to_json(indent=2))
+    assert clone.to_json() == cached.results.to_json()
+    # deserialized points are fresh canonical data, not cache hits
+    assert not any(p.cached for p in clone)
+    assert clone.cache_hits() == 0 and cached.results.cache_hits() == 4
+
+
+def test_shard_partition_determinism():
+    """All shards disjoint, union == full sweep, stable across runs."""
+    points = small_sweep().points()
+    shards = [shard_points(points, i, 3) for i in range(3)]
+    keys = [p.key for shard in shards for p in shard]
+    assert len(keys) == len(points)
+    assert set(keys) == {p.key for p in points}
+    again = [[p.key for p in shard_points(small_sweep().points(), i, 3)]
+             for i in range(3)]
+    assert again == [[p.key for p in shard] for shard in shards]
 
 
 def test_run_points_mixed_sweeps_single_invocation(tmp_path):
