@@ -1,13 +1,19 @@
-"""Perf smoke bench: scheduler speedup + store-backed replay speedup.
+"""Perf smoke bench: scheduler speedups + store-backed replay speedup.
 
-Two timed comparisons, both written to ``BENCH_perf.json`` (the repo's
+Three timed comparisons, all written to ``BENCH_perf.json`` (the repo's
 perf trajectory, compared across PRs):
 
 1. the event-driven scheduler vs the dense reference loop on one
    memory-bound sweep point (the fig. 6 ``mcf`` pointer chase, whose
    wall-clock is dominated by DRAM-latency stall cycles), checked
    byte-identical;
-2. regenerating a small compare sweep from the sqlite result store
+2. the same comparison on an MSHR-starved ``mcf`` point under a
+   prefetcher-training hierarchy (MuonTrap) — the configuration the
+   issue-side stall skips (STT taint, LSQ store-address waits,
+   MSHR-backpressure retries; docs/performance.md) were built for:
+   before them, backpressure retry cycles vetoed the skip and the
+   speedup here sat near 1.5x;
+3. regenerating a small compare sweep from the sqlite result store
    (``repro report``'s path: query + table shaping, zero simulation)
    vs re-simulating it — the reason the store exists.
 
@@ -25,6 +31,7 @@ import os
 import tempfile
 import time
 
+from repro.config import default_config
 from repro.defenses import registry
 from repro.sim.simulator import Simulator
 from repro.workloads.spec import get_workload
@@ -39,13 +46,15 @@ DEFENSE = "GhostMinion"
 ROUNDS = 3
 
 
-def _time_run(programs, dense):
+def _time_run(programs, dense, defense=None, cfg=None):
     """Best-of-ROUNDS wall-clock for one scheduler; returns (seconds,
     RunResult of the last round)."""
+    defense = DEFENSE if defense is None else defense
     best = float("inf")
     result = None
     for _ in range(ROUNDS):
-        sim = Simulator(list(programs), registry[DEFENSE]())
+        sim = Simulator(list(programs), registry[defense](),
+                        cfg=None if cfg is None else cfg.copy())
         started = time.perf_counter()
         result = sim.run(dense=dense)
         best = min(best, time.perf_counter() - started)
@@ -75,10 +84,14 @@ def _update_payload(section, payload):
         handle.write("\n")
 
 
-def test_perf_smoke():
+def _scheduler_smoke(section, label, defense, cfg=None,
+                     extra_payload=None, floor=2.0):
+    """One dense-vs-event scheduler comparison: assert byte-identity,
+    merge a payload section into BENCH_perf.json, gate the speedup.
+    Returns the event-scheduler RunResult."""
     programs = get_workload(WORKLOAD).build(PERF_SCALE)
-    dense_s, dense_res = _time_run(programs, dense=True)
-    event_s, event_res = _time_run(programs, dense=False)
+    dense_s, dense_res = _time_run(programs, True, defense, cfg)
+    event_s, event_res = _time_run(programs, False, defense, cfg)
 
     # The speedup claim is only meaningful if both schedulers agree.
     assert dense_res.cycles == event_res.cycles
@@ -86,33 +99,65 @@ def test_perf_smoke():
     assert dense_res.arch_regs() == event_res.arch_regs()
 
     speedup = dense_s / event_s if event_s > 0 else float("inf")
+    by_class = {cls: event_res.skipped_by_class[cls]
+                for cls in sorted(event_res.skipped_by_class)}
     payload = {
-        "bench": "perf_smoke",
+        "bench": section if section is not None else "perf_smoke",
         "workload": WORKLOAD,
-        "defense": DEFENSE,
+        "defense": defense,
         "scale": PERF_SCALE,
         "cycles": event_res.cycles,
         "insts": event_res.insts,
         "skipped_cycles": event_res.skipped_cycles,
         "skipped_fraction": round(
             event_res.skipped_cycles / max(1, event_res.cycles), 4),
+        "skipped_by_class": by_class,
         "dense_seconds": round(dense_s, 6),
         "event_seconds": round(event_s, 6),
         "speedup": round(speedup, 3),
         "rounds": ROUNDS,
     }
-    _update_payload(None, payload)
+    payload.update(extra_payload or {})
+    _update_payload(section, payload)
     print()
-    print("perf smoke: %s/%s scale=%s: dense %.3fs, event %.3fs "
+    print("%s: %s/%s scale=%s: dense %.3fs, event %.3fs "
           "(%.2fx, %d/%d cycles skipped) -> %s"
-          % (WORKLOAD, DEFENSE, PERF_SCALE, dense_s, event_s, speedup,
-             event_res.skipped_cycles, event_res.cycles, OUT_PATH))
+          % (label, WORKLOAD, defense, PERF_SCALE, dense_s, event_s,
+             speedup, event_res.skipped_cycles, event_res.cycles,
+             OUT_PATH))
+    print("skipped by class: %s" % by_class)
+    assert speedup >= floor, (
+        "%s only %.2fx faster than the dense loop (floor %.1fx)"
+        % (label, speedup, floor))
+    return event_res
 
-    # Acceptance bar: the event-driven scheduler must be >= 1.5x faster
-    # than the dense loop on this memory-bound point.
-    assert speedup >= 1.5, (
-        "event-driven scheduler only %.2fx faster than the dense loop"
-        % speedup)
+
+def test_perf_smoke():
+    # Acceptance bar >= 2x (was 1.5x before the issue-side stall skips
+    # widened the windows).
+    _scheduler_smoke(None, "perf smoke", DEFENSE)
+
+
+def test_perf_smoke_issue_stalls():
+    """Scheduler speedup where issue-side stalls dominate: an
+    MSHR-starved ``mcf`` under MuonTrap, whose speculatively trained
+    prefetcher makes every backpressure retry cycle side-effectful.
+    Skippable only since the issue-side stall classes (STT taint, LSQ
+    store-address waits, MSHR-backpressure retries; before them this
+    point sat near 1.5x) learned to prove and bulk-apply those
+    effects."""
+    programs = get_workload(WORKLOAD).build(PERF_SCALE)
+    cfg = default_config(cores=len(programs))
+    cfg.l1d.mshrs = 2
+    cfg.l1i.mshrs = 2
+    cfg.l2.mshrs = 4
+    event_res = _scheduler_smoke(
+        "issue_stall_skip", "issue-stall smoke", "MuonTrap", cfg,
+        extra_payload={"mshrs": {"l1d": cfg.l1d.mshrs,
+                                 "l1i": cfg.l1i.mshrs,
+                                 "l2": cfg.l2.mshrs}})
+    # Non-vacuous: the new stall class must carry real weight here.
+    assert event_res.skipped_by_class.get("mshr-backpressure", 0) > 0
 
 
 def test_store_replay_smoke():
@@ -178,4 +223,5 @@ def test_store_replay_smoke():
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation
     test_perf_smoke()
+    test_perf_smoke_issue_stalls()
     test_store_replay_smoke()

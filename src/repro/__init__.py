@@ -27,6 +27,10 @@ Public surface:
   (``"MuonTrap(flush=True)"``), plugins and introspection over
   defenses, workloads, predictors and hierarchies (see
   docs/components.md).
+
+docs/architecture.md maps these subsystems on one page (with the flow
+of a sweep point through the stack); docs/performance.md documents the
+event-driven scheduler and its stall taxonomy.
 """
 
 from repro.config import SystemConfig, default_config

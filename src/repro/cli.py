@@ -149,7 +149,12 @@ def _add_max_insts_arg(parser: argparse.ArgumentParser) -> None:
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="GhostMinion (MICRO 2021) reproduction toolkit")
+        description="GhostMinion (MICRO 2021) reproduction toolkit",
+        epilog="docs/architecture.md maps the subsystems; see also "
+               "docs/experiments.md (sweeps, caching, parallelism), "
+               "docs/components.md (spec strings, plugins), "
+               "docs/performance.md (scheduler, stall taxonomy) and "
+               "docs/results-store.md (sqlite store, shards).")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="simulate one workload")

@@ -138,6 +138,21 @@ class Minion:
             return False
         return self.timeless or entry.ts <= ts
 
+    def probe_outcome(self, line: int, ts: int) -> str:
+        """Side-effect-free form of :meth:`read`: the same
+        ``'hit'``/``'timeguard'``/``'miss'`` verdict, no counters.
+
+        The scheduler's stall analysis needs the full three-way outcome
+        (not just presence) to predict which counters a blocked access
+        would bump each cycle it retries.
+        """
+        entry = self.get(line)
+        if entry is None:
+            return "miss"
+        if not self.timeless and entry.ts > ts:
+            return "timeguard"
+        return "hit"
+
     # -- TimeGuarded fill (figs. 3, 4b) ----------------------------------
 
     def fill(self, line: int, ts: int, version: int = 0,

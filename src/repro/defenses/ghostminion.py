@@ -144,6 +144,26 @@ class GhostMinionHierarchy(BaseHierarchy):
             return True
         return port.cache.contains(line)
 
+    def _probe_stall_bumps(self, port: L1Port, line: int, ts: int):
+        # Pure mirror of _probe's miss path for the scheduler's
+        # MSHR-backpressure dry-run: the Minion read outcome decides
+        # which counters a retrying access bumps each cycle.
+        bumps = []
+        minion = self._minion_for(port)
+        if minion is not None:
+            outcome = minion.probe_outcome(line, ts)
+            if outcome == "hit":
+                return None
+            if outcome == "timeguard":
+                bumps.append(minion.name + ".timeguard_blocks")
+                bumps.append("gm.timeguard_loads")
+            else:
+                bumps.append(minion.name + ".misses")
+        if port.cache.contains(line):
+            return None
+        bumps.append(port.cache.name + ".misses")
+        return bumps
+
     # ------------------------------------------------------------------
     # Temporal-Order MSHR mechanisms
     # ------------------------------------------------------------------

@@ -76,10 +76,21 @@ class MuonTrapHierarchy(BaseHierarchy):
         return (self._l0_for(port).contains(line)
                 or port.cache.contains(line))
 
+    def _probe_stall_bumps(self, port: L1Port, line: int, ts: int):
+        # Pure mirror of the serial L0 -> L1 probe's miss path for the
+        # scheduler's MSHR-backpressure dry-run.
+        l0 = self._l0_for(port)
+        if l0.contains(line) or port.cache.contains(line):
+            return None
+        return [l0.name + ".misses", port.cache.name + ".misses"]
+
     # -- L0 miss latency also applies on the miss path --------------------
 
     def _l2_access(self, req: MemRequest, start: int, train: bool):
         return super()._l2_access(req, start + L0_ACCESS_CYCLES, train)
+
+    def _l2_access_lookahead(self, port: L1Port) -> int:
+        return super()._l2_access_lookahead(port) + L0_ACCESS_CYCLES
 
     def _fills_l2(self, req: MemRequest) -> bool:
         # Speculative lines live in the L0 filter cache only until commit.

@@ -87,10 +87,24 @@ class SweepReport:
         rows = [
             {"key": point.key, "seconds": point.wall_seconds,
              "cycles": point.cycles,
-             "skipped_cycles": point.skipped_cycles}
+             "skipped_cycles": point.skipped_cycles,
+             "skipped_by_class": dict(point.skipped_by_class)}
             for point in self.results if not point.cached]
         rows.sort(key=lambda row: -row["seconds"])
         return rows
+
+    def skipped_by_class(self) -> Dict[str, int]:
+        """Aggregate skipped-cycles-per-stall-class telemetry over the
+        executed points (cache hits carry none).  A skip window counts
+        toward every class active in it, so the values can sum to more
+        than the total skipped cycles."""
+        totals: Dict[str, int] = {}
+        for point in self.results:
+            if point.cached:
+                continue
+            for cls, cycles in point.skipped_by_class.items():
+                totals[cls] = totals.get(cls, 0) + cycles
+        return totals
 
     def sim_seconds(self) -> float:
         """Total seconds spent simulating (sums worker time, so it can
@@ -102,6 +116,7 @@ class SweepReport:
         """The timing block surfaced by ``--json`` consumers."""
         return {"wall_seconds": round(self.wall_seconds, 6),
                 "sim_seconds": round(self.sim_seconds(), 6),
+                "skipped_by_class": self.skipped_by_class(),
                 "points": self.point_timings()}
 
     def timing_summary(self, slowest: int = 3) -> str:
@@ -178,6 +193,7 @@ def _simulate_payload(payload: _Payload) -> Tuple[int, PointResult]:
         stats=outcome.stats.as_dict(),
         wall_seconds=elapsed,
         skipped_cycles=outcome.skipped_cycles,
+        skipped_by_class=dict(outcome.skipped_by_class),
     )
 
 

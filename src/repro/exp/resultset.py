@@ -47,6 +47,11 @@ class PointResult:
     #: Runtime metadata (scheduler telemetry), excluded from JSON so
     #: dense-loop and event-driven runs stay byte-identical.
     skipped_cycles: int = 0
+    #: Skipped cycles per stall class (see
+    #: :data:`repro.pipeline.core.SKIP_CLASSES`; a window counts toward
+    #: every class active in it, so values can sum past
+    #: ``skipped_cycles``).  Runtime metadata, like ``skipped_cycles``.
+    skipped_by_class: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:

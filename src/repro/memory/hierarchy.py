@@ -32,6 +32,35 @@ from repro.memory.tlb import TLBHierarchy
 FillFn = Callable[[int, int, int], None]
 
 
+class LoadBlockProof:
+    """Proof that a load/ifetch would hit MSHR backpressure this cycle
+    — and every cycle until the next memory-system event.
+
+    Produced by the side-effect-free dry-runs
+    :meth:`BaseHierarchy.load_block_proof` /
+    :meth:`BaseHierarchy.ifetch_block_proof` for the event-driven
+    scheduler.  ``bumps`` is the list of stat *names* the retrying
+    access would bump once per cycle; ``replays`` is a tuple of
+    ``fn(cycle, k)`` callables that reproduce the non-counter
+    side effects of ``k`` back-to-back retries (today: prefetcher
+    training) and are invoked once when a skip window is committed.
+    ``wake`` caps the skip window: the first cycle at which the retry
+    might stop blocking.  For L2-side backpressure this is *earlier*
+    than the next L2 completion, because the dense retry path drains
+    the L2 MSHRs at its access cycle ``cycle + L1 latency`` — a slot
+    frees (and the load allocates) that many cycles before the entry's
+    ready cycle.
+    """
+
+    __slots__ = ("bumps", "replays", "wake")
+
+    def __init__(self, bumps: List[str], replays: Tuple = (),
+                 wake: float = float("inf")) -> None:
+        self.bumps = bumps
+        self.replays = replays
+        self.wake = wake
+
+
 class SharedMemory:
     """The shared part of the machine: L2, its MSHRs, DRAM, directory,
     and the L2 stride prefetcher."""
@@ -152,6 +181,95 @@ class SharedMemory:
         if fill_l2:
             entry.fill_actions.append((self._fill_l2, None))
         return ready, 3, entry
+
+    def access_block_proof(self, line: int, ts: int, pc: int, cycle: int,
+                           lookahead: int, speculative: bool,
+                           temporal_order: bool, train: bool, core: int):
+        """Side-effect-free dry-run of :meth:`access` for the scheduler.
+
+        Returns ``(bump_names, replays, wake)`` when an access to
+        ``line`` would *provably* hit L2-MSHR backpressure (quota or
+        full file) this cycle and on every subsequent cycle before
+        ``wake`` — or ``None`` when the access might succeed (or the
+        block is not provable), in which case the scheduler must step
+        densely.
+
+        ``lookahead`` is how far ahead of the core's cycle the dense
+        retry path accesses the L2 (the L1 latency, plus the L0 cycle
+        under MuonTrap): :meth:`access` drains completions up to its
+        ``start`` cycle, so a pending L2 entry frees its slot
+        ``lookahead`` cycles *before* its ready cycle.  ``wake`` is
+        therefore ``next_ready_cycle() - lookahead``; a proof is only
+        issued when that lies strictly in the future.
+
+        The proof's stability rests on the skip-window invariant: no
+        fill drains, no commit/squash runs and no other core acts
+        before the window's wake cycle, so cache contents, MSHR
+        occupancy and the per-core quota are all frozen.  The one
+        mutable participant is the stride prefetcher, which the dense
+        loop would train once per retry cycle; that is handled by a
+        replay callable (see :meth:`_replay_trains`), and cases where
+        repeated training could *issue* a prefetch (new MSHR state
+        mid-window) return ``None`` instead.
+        """
+        if self.l2.contains(line):
+            return None  # L2 hit: the access would complete
+        if self.l2_mshrs.find(line) is not None:
+            return None  # would attach / promote / timeleap: progress
+        wake = self.l2_mshrs.next_ready_cycle() - lookahead
+        if wake <= cycle:
+            return None  # dense's drain-ahead would free a slot now
+        if self._over_quota(core):
+            retry_bump = "l2.mshr.quota_retry"
+        elif self.l2_mshrs.full():
+            if temporal_order and \
+                    self.l2_mshrs.leapfrog_victim(ts, core) is not None:
+                return None  # would steal a slot: progress
+            retry_bump = "l2.mshr.retry_full"
+        else:
+            return None  # a free slot: the access would allocate
+        bumps = ["l2.misses", retry_bump]
+        replays: Tuple = ()
+        if train and self.prefetcher is not None:
+            entry = self.prefetcher.peek(pc)
+            if entry is None or entry.last_line != line:
+                return None  # first-touch training: step densely once
+            # Repeated same-line training decays confidence, so a
+            # prediction can only fire on the window's first train
+            # (confidence 3 -> 2).  With a full MSHR file every fired
+            # prefetch is provably dropped (deterministic counter
+            # bumps); otherwise it could allocate -> not skippable.
+            if entry.confidence >= 3 and entry.stride != 0 \
+                    and not self.l2_mshrs.full():
+                return None
+            replays = (lambda start, k: self._replay_trains(
+                pc, line, speculative, start, k),)
+        return bumps, replays, wake
+
+    def _replay_trains(self, pc: int, line: int, speculative: bool,
+                       cycle: int, k: int) -> None:
+        """Reproduce ``k`` back-to-back retry-cycle prefetcher trains.
+
+        Real :meth:`StridePrefetcher.train` calls are made until the
+        RPT entry reaches its same-line fixed point (stride 0,
+        confidence 0 — at most four calls), then the remaining
+        ``k - steps`` trains collapse to a bulk ``pf.trains`` bump.
+        Any predictions fired by the real calls go through
+        :meth:`_issue_prefetch` exactly as in the dense loop;
+        :meth:`access_block_proof` only emits this replay when every
+        such prefetch is provably dropped or skipped.
+        """
+        steps = 0
+        while steps < k:
+            entry = self.prefetcher.peek(pc)
+            if entry is not None and entry.last_line == line \
+                    and entry.stride == 0 and entry.confidence == 0:
+                break
+            for pf_line in self.prefetcher.train(pc, line):
+                self._issue_prefetch(pf_line, cycle, speculative)
+            steps += 1
+        if steps < k:
+            self.stats.bump("pf.trains", k - steps)
 
     def timeleap_restart(self, line: int, start: int, ts: int,
                          speculative: bool, core: int = 0) -> int:
@@ -335,6 +453,103 @@ class BaseHierarchy:
         """
         return self._probe_present(self.iport, addr >> 6, ts)
 
+    # ------------------------------------------------------------------
+    # MSHR-backpressure dry-runs (event-driven scheduler)
+    # ------------------------------------------------------------------
+
+    def load_block_proof(self, addr: int, ts: int, pc: int, cycle: int
+                         ) -> Optional[LoadBlockProof]:
+        """Side-effect-free dry-run of :meth:`load` for the scheduler.
+
+        Returns a :class:`LoadBlockProof` when issuing this load now
+        would *provably* return ``None`` (MSHR backpressure) — and
+        keep doing so, with an identical per-cycle side-effect set,
+        until the next MSHR completion anywhere in the hierarchy.
+        Returns ``None`` whenever the load might succeed or the block
+        is not provable; the scheduler then steps densely, which is
+        always safe.
+
+        Must be kept in lockstep with :meth:`load`/:meth:`_access`;
+        subclasses that add impure probe or leapfrog behaviour must
+        override :meth:`_probe_stall_bumps` (or this method) so the
+        dry-run stays side-effect-free.
+        """
+        if self.dtlb is not None:
+            # Translation has per-cycle state of its own (TLB fills,
+            # recency); retries under a modelled TLB step densely.
+            return None
+        port = self.dport
+        line = addr >> 6
+        probe_bumps = self._probe_stall_bumps(port, line, ts)
+        if probe_bumps is None:
+            return None  # the L1-side probe would hit: load completes
+        if port.mshrs.find(line) is not None:
+            return None  # would attach (or timeleap): progress
+        bumps = ["mem.loads_issued"] + probe_bumps
+        if port.mshrs.full():
+            req = MemRequest("load", addr, ts, self.core_id, 0, True, pc)
+            if self._leapfrog_victim(port, req) is not None:
+                return None  # would steal a slot: progress
+            bumps.append(port.cache.name + ".mshr_retry_full")
+            return LoadBlockProof(bumps)
+        shared = self.shared.access_block_proof(
+            line, ts, pc, cycle, self._l2_access_lookahead(port), True,
+            self.temporal_order, self.speculative_prefetcher_training,
+            self.core_id)
+        if shared is None:
+            return None
+        shared_bumps, replays, wake = shared
+        return LoadBlockProof(bumps + shared_bumps, replays, wake)
+
+    def ifetch_block_proof(self, addr: int, ts: int, cycle: int
+                           ) -> Optional[LoadBlockProof]:
+        """Side-effect-free dry-run of :meth:`ifetch`, as
+        :meth:`load_block_proof` (instruction fetches never translate
+        through the data TLB and never train the L2 prefetcher)."""
+        port = self.iport
+        line = addr >> 6
+        probe_bumps = self._probe_stall_bumps(port, line, ts)
+        if probe_bumps is None:
+            return None
+        if port.mshrs.find(line) is not None:
+            return None
+        bumps = ["mem.ifetches_issued"] + probe_bumps
+        if port.mshrs.full():
+            req = MemRequest("ifetch", addr, ts, self.core_id, 0, True)
+            if self._leapfrog_victim(port, req) is not None:
+                return None
+            bumps.append(port.cache.name + ".mshr_retry_full")
+            return LoadBlockProof(bumps)
+        shared = self.shared.access_block_proof(
+            line, ts, addr, cycle, self._l2_access_lookahead(port), True,
+            self.temporal_order, False, self.core_id)
+        if shared is None:
+            return None
+        shared_bumps, replays, wake = shared
+        return LoadBlockProof(bumps + shared_bumps, replays, wake)
+
+    def _l2_access_lookahead(self, port: L1Port) -> int:
+        """How far ahead of the core's cycle a retrying access reaches
+        the L2 (``start - cycle`` in :meth:`_access`): the dense path
+        drains L2 completions up to that cycle, so the block proofs
+        must wake that many cycles early.  Kept in lockstep with
+        :meth:`_l2_access` overrides (MuonTrap adds its L0 cycle)."""
+        return port.latency
+
+    def _probe_stall_bumps(self, port: L1Port, line: int, ts: int
+                           ) -> Optional[List[str]]:
+        """Pure companion to :meth:`_probe` for the stall dry-runs.
+
+        ``None`` when :meth:`_probe` would hit (the access would
+        complete without MSHR pressure); otherwise the stat names the
+        probe's miss path bumps once per retry cycle.  Defense
+        hierarchies with extra probe structures override this alongside
+        :meth:`_probe`.
+        """
+        if port.cache.contains(line):
+            return None
+        return [port.cache.name + ".misses"]
+
     def store_commit(self, addr: int, ts: int, cycle: int) -> None:
         """A store retires: functional memory is updated by the core; here
         we update caches and coherence.  Stores are off the critical path
@@ -409,6 +624,11 @@ class BaseHierarchy:
         if result is None:
             return None
         ready, level, l2_entry = result
+        if victim is not None and victim not in port.mshrs.entries:
+            # The L2 access just leapfrogged/timelept an entry whose
+            # dependent cascade cancelled our chosen victim: its slot
+            # is already free, so a plain allocation suffices.
+            victim = None
         if victim is not None:
             entry = port.mshrs.steal(victim, line, ts, ready,
                                      core=self.core_id)

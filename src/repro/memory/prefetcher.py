@@ -85,6 +85,15 @@ class StridePrefetcher:
             entry.front = lines[-1]
         return [pf for pf in lines if pf >= 0]
 
+    def peek(self, pc: int) -> Optional[_RPTEntry]:
+        """Side-effect-free RPT entry lookup (no LRU move, no stats).
+
+        Used by the event-driven scheduler's stall analysis to reason
+        about what a window of repeated :meth:`train` calls would do
+        without perturbing the table.
+        """
+        return self._table.get(pc)
+
     def snapshot(self) -> List[Tuple[int, int, int]]:
         """(pc, stride, confidence) rows, for tests and debugging."""
         return [(pc, e.stride, e.confidence)

@@ -55,6 +55,84 @@ ST_WAITING = 0
 ST_EXECUTING = 1
 ST_DONE = 2
 
+# ======================================================================
+# stall taxonomy (event-driven scheduler)
+#
+# Every outcome of Core.next_event_cycle is named here, and the names
+# are load-bearing: docs/performance.md documents the same table, the
+# simulator's per-class skipped-cycles telemetry keys off SKIP_*, and
+# tests/test_stall_taxonomy.py fails if code and docs drift apart.
+# ======================================================================
+
+#: Skippable stall classes: conditions whose per-cycle effect is a
+#: provable, fixed set of counter bumps (applied in bulk over a window).
+SKIP_COMMIT_STALL = "commit-stall"
+SKIP_VALIDATION_WAIT = "validation-wait"
+SKIP_MEM_WAIT = "mem-wait"
+SKIP_STT_TAINT = "stt-taint"
+SKIP_LSQ_STORE_ADDR = "lsq-store-addr"
+SKIP_MSHR_BACKPRESSURE = "mshr-backpressure"
+SKIP_STRICT_FU = "strict-fu-order"
+SKIP_DISPATCH_FULL = "dispatch-full"
+SKIP_FETCH_STALL = "fetch-stall"
+SKIP_IDLE = "idle"
+
+SKIP_CLASSES = frozenset({
+    SKIP_COMMIT_STALL, SKIP_VALIDATION_WAIT, SKIP_MEM_WAIT,
+    SKIP_STT_TAINT, SKIP_LSQ_STORE_ADDR, SKIP_MSHR_BACKPRESSURE,
+    SKIP_STRICT_FU, SKIP_DISPATCH_FULL, SKIP_FETCH_STALL, SKIP_IDLE,
+})
+
+#: Veto reasons: conditions under which stepping this cycle might make
+#: progress or have unproven side effects, so the scheduler must step
+#: densely.  Vetoing is always safe — it costs speed, never correctness.
+VETO_MEM_EVENT_DUE = "mem-event-due"
+VETO_COMMIT_READY = "commit-ready"
+VETO_WRITEBACK_DUE = "writeback-due"
+VETO_VALIDATION_START = "validation-start"
+VETO_EARLY_COMMIT_READY = "early-commit-ready"
+VETO_ISSUE_READY = "issue-ready"
+VETO_DISPATCH_READY = "dispatch-ready"
+VETO_FETCH_READY = "fetch-ready"
+
+VETO_REASONS = frozenset({
+    VETO_MEM_EVENT_DUE, VETO_COMMIT_READY, VETO_WRITEBACK_DUE,
+    VETO_VALIDATION_START, VETO_EARLY_COMMIT_READY, VETO_ISSUE_READY,
+    VETO_DISPATCH_READY, VETO_FETCH_READY,
+})
+
+
+class StallVeto:
+    """``next_event_cycle`` outcome: step densely, for ``reason``."""
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "StallVeto(%s)" % self.reason
+
+
+class StallProof:
+    """``next_event_cycle`` outcome: a provable stall window.
+
+    For every cycle in ``[cycle, wake)``, stepping this core changes
+    nothing except bumping each stats handle in ``bumps`` once per
+    cycle and the effects reproduced by the ``replays`` callables
+    (``fn(cycle, k)``, invoked once per committed window).  ``classes``
+    is the subset of :data:`SKIP_CLASSES` active in the window, for the
+    per-class skipped-cycles telemetry.
+    """
+
+    __slots__ = ("wake", "bumps", "replays", "classes")
+
+    def __init__(self, wake, bumps, replays, classes) -> None:
+        self.wake = wake
+        self.bumps = bumps
+        self.replays = replays
+        self.classes = classes
+
 
 class DynInst:
     """One dynamic (possibly transient) instruction."""
@@ -194,6 +272,13 @@ class Core:
         self._h_strict_blocked = {
             cls: stats.handle("fu.%s.strict_blocked" % cls)
             for cls in FUPool.CLASSES}
+        self._h_stt_load_blocked = stats.handle("stt.load_blocked_cycles")
+        self._h_stt_store_blocked = stats.handle(
+            "stt.store_blocked_cycles")
+        self._h_stt_branch_blocked = stats.handle(
+            "stt.branch_blocked_cycles")
+        self._h_stt_fu_blocked = stats.handle("stt.fu_blocked_cycles")
+        self._h_fu_int_issued = stats.handle("fu.int.issued")
 
     # ==================================================================
     # cycle step
@@ -226,28 +311,36 @@ class Core:
     def next_event_cycle(self, cycle):
         """Stall analysis for the event-driven scheduler.
 
-        Returns ``None`` when ``step(cycle)`` might make progress or
-        have side effects beyond a fixed set of per-cycle stall-counter
-        bumps — the scheduler must then step densely.  Otherwise returns
-        ``(wake, bumps)``: for every cycle ``c`` in ``[cycle, wake)``,
-        ``step(c)`` is guaranteed to change *nothing* except bumping
-        each stats handle in ``bumps`` once — exactly what the dense
-        loop would do — so the scheduler may jump straight to ``wake``
-        after applying ``bumps`` once per skipped cycle.
+        Returns a :class:`StallVeto` when ``step(cycle)`` might make
+        progress or have side effects the analysis cannot prove and
+        bulk-apply — the scheduler must then step densely.  Otherwise
+        returns a :class:`StallProof`: for every cycle ``c`` in
+        ``[cycle, wake)``, ``step(c)`` is guaranteed to change
+        *nothing* except bumping each stats handle in ``bumps`` once
+        per cycle, plus the per-cycle side effects reproduced by the
+        ``replays`` callables — exactly what the dense loop would do —
+        so the scheduler may jump straight to ``wake`` after applying
+        them in bulk.
 
         This mirrors :meth:`step` stage by stage (commit, writeback,
         validation issue, early commit, issue, dispatch, fetch) and must
         be kept in lockstep with it: the ``REPRO_DENSE_LOOP=1``
         differential tests in ``tests/test_scheduler_equivalence.py``
-        enforce the equivalence.  When in doubt, return ``None`` —
+        enforce the equivalence, and every outcome is named in the
+        stall taxonomy (:data:`SKIP_CLASSES` / :data:`VETO_REASONS`,
+        documented in docs/performance.md and pinned by
+        ``tests/test_stall_taxonomy.py``).  When in doubt, veto —
         conservatism costs speed, never correctness.
         """
         if self.halted:
-            return float("inf"), ()
+            return StallProof(float("inf"), (), (), ())
         wake = self.hierarchy.next_event_cycle()
         if wake <= cycle:
-            return None  # a fill is due: drain has work this cycle
+            # A fill is due: drain has work this cycle.
+            return StallVeto(VETO_MEM_EVENT_DUE)
         bumps = []
+        replays = []
+        classes = set()
         # -- commit: only the ROB head can block the window ------------
         if self.rob:
             head = self.rob[0]
@@ -255,6 +348,7 @@ class Core:
                 if head.commit_stall_until > cycle:
                     wake = min(wake, head.commit_stall_until)
                     bumps.append(self._h_commit_stall)
+                    classes.add(SKIP_COMMIT_STALL)
                 elif (self._validation_on and head.instr.is_load
                         and head.memreq is not None
                         and head.memreq.needs_validation
@@ -263,22 +357,26 @@ class Core:
                         and cycle < head.validation_done_cycle):
                     wake = min(wake, head.validation_done_cycle)
                     bumps.append(self._h_ivs_stall)
+                    classes.add(SKIP_VALIDATION_WAIT)
                 else:
-                    return None  # head would commit (or start work)
+                    # Head would commit (or start commit-point work).
+                    return StallVeto(VETO_COMMIT_READY)
         # -- writeback: every in-flight op is a wakeup source ----------
         for di in self.executing:
             if di.squashed:
-                return None  # writeback would clean the list
+                return StallVeto(VETO_WRITEBACK_DUE)  # would clean list
             if di.instr.is_load and di.memreq is not None:
                 req = di.memreq
                 if req.state is not ReqState.READY:
-                    return None  # replay (or backpressure) to service
+                    # Replay (or backpressure) to service.
+                    return StallVeto(VETO_WRITEBACK_DUE)
                 ready = req.ready_cycle
             else:
                 ready = di.done_cycle
             if ready <= cycle:
-                return None  # completes now
+                return StallVeto(VETO_WRITEBACK_DUE)  # completes now
             wake = min(wake, ready)
+            classes.add(SKIP_MEM_WAIT)
         # -- InvisiSpec: a load at its visibility point starts work ----
         if self._validation_on:
             spectre_mode = self.defense.validation_mode == "spectre"
@@ -295,9 +393,9 @@ class Core:
                     continue
                 if spectre_mode:
                     if di.seq < self._oldest_unresolved:
-                        return None
+                        return StallVeto(VETO_VALIDATION_START)
                 elif di.seq in window:
-                    return None
+                    return StallVeto(VETO_VALIDATION_START)
         # -- GhostMinion §4.10: a promotable load starts work ----------
         if self.defense.early_commit:
             for di in self.lq:
@@ -305,70 +403,186 @@ class Core:
                         or di.forwarded or di.memreq is None):
                     continue
                 if di.seq < self._oldest_unresolved:
-                    return None
-        # -- issue: any op with ready operands may try to issue --------
+                    return StallVeto(VETO_EARLY_COMMIT_READY)
+        # -- issue: walk candidates in seq order, as _issue does -------
+        # Ops with ready operands no longer veto unconditionally: the
+        # three issue-side stall classes (STT taint blocking, LSQ
+        # store-address waits, MSHR-backpressure retries) are provable
+        # per-cycle no-ops-plus-bumps, because nothing that could
+        # unblock them (commit, squash, branch resolution, address
+        # generation, an MSHR drain) can happen before `wake` — every
+        # such event is itself a veto or a wakeup source above.
+        # Retrying loads do consume issue slots and int-FU ports each
+        # cycle, so slot accounting mirrors _issue exactly.
         strict_fu = self.defense.strict_fu_order
+        taint_on = self._taint_on
         blocked_classes = set()
-        # Issue order (seq-sorted) only matters for the strict-FU
-        # blocked-class bumps; otherwise the loop is a pure existence
-        # check, so skip the per-cycle copy+sort on the hot path.
-        for di in (sorted(self.iq, key=lambda d: d.seq) if strict_fu
-                   else self.iq):
+        issued = 0
+        int_used = 0
+        issue_width = self.cfg.issue_width
+        int_ports = self.fu_pool.ports("int")
+        for di in sorted(self.iq, key=lambda d: d.seq):
             if di.squashed or di.state != ST_WAITING:
-                return None  # issue would prune the queue
+                # Issue would prune the queue.
+                return StallVeto(VETO_ISSUE_READY)
             instr = di.instr
             nonpipelined = not instr.pipelined
-            # `issued` stays 0 all window (nothing issues), so the
-            # issue-width gate in _issue never fires here.
+            if issued >= issue_width:
+                # Width exhausted by retrying loads: younger ops wait
+                # silently (dense: still_waiting, no bumps).
+                if strict_fu and nonpipelined:
+                    blocked_classes.add(instr.fu_class)
+                continue
             if strict_fu and nonpipelined \
                     and instr.fu_class in blocked_classes:
                 bumps.append(self._h_strict_blocked[instr.fu_class])
+                classes.add(SKIP_STRICT_FU)
                 continue
             if not di.operands_ready():
                 if strict_fu and nonpipelined:
                     blocked_classes.add(instr.fu_class)
                 continue
-            return None  # would reach _try_issue_one
+            # Operands ready: mirror _try_issue_one's blocking checks.
+            if instr.is_load:
+                values = di.operand_values()
+                base = values[0] if instr.rs1 is not None else 0
+                addr = (base + instr.imm) & ADDR_MASK
+                conflict = self._older_store_conflict(di, addr)
+                if conflict == "wait":
+                    # The blocking store cannot generate its address
+                    # before `wake`: it is either mid-execution (its
+                    # completion bounds the window via the writeback
+                    # scan) or blocked on producers that are.
+                    bumps.append(self._h_lsq_load_waits)
+                    classes.add(SKIP_LSQ_STORE_ADDR)
+                    continue
+                if taint_on and not self._address_operands_safe(di):
+                    # Untainting needs a commit, squash or branch
+                    # resolution; none can happen before `wake`.
+                    bumps.append(self._h_stt_load_blocked)
+                    classes.add(SKIP_STT_TAINT)
+                    continue
+                if int_used >= int_ports:
+                    continue  # try_issue would fail silently
+                if conflict is not None:
+                    # Would forward from the store and complete.
+                    return StallVeto(VETO_ISSUE_READY)
+                proof = self.hierarchy.load_block_proof(
+                    addr, di.ts, di.pc, cycle)
+                if proof is None:
+                    return StallVeto(VETO_ISSUE_READY)
+                # MSHR backpressure: the dense loop re-issues this load
+                # every cycle — consuming an issue slot and an int FU
+                # port, probing the L1 side, training the prefetcher
+                # (replayed in bulk) and bumping the retry counters.
+                issued += 1
+                int_used += 1
+                wake = min(wake, proof.wake)
+                bumps.append(self._h_fu_int_issued)
+                bumps.append(self._h_load_retries)
+                for name in proof.bumps:
+                    bumps.append(self.stats.handle(name))
+                replays.extend(proof.replays)
+                classes.add(SKIP_MSHR_BACKPRESSURE)
+                continue
+            if instr.is_store:
+                if taint_on and di.operand_taints and any(
+                        not self._taint_source_safe(s)
+                        for s in di.operand_taints[0]):
+                    bumps.append(self._h_stt_store_blocked)
+                    classes.add(SKIP_STT_TAINT)
+                    continue
+                if int_used >= int_ports:
+                    continue  # try_issue would fail silently
+                return StallVeto(VETO_ISSUE_READY)
+            if taint_on and di.operand_taints:
+                if instr.is_branch:
+                    if any(not self._taint_source_safe(s)
+                           for s in di.operand_taints[0]):
+                        bumps.append(self._h_stt_branch_blocked)
+                        classes.add(SKIP_STT_TAINT)
+                        continue
+                elif nonpipelined:
+                    if any(not self._taint_source_safe(s)
+                           for taint in di.operand_taints
+                           for s in taint):
+                        bumps.append(self._h_stt_fu_blocked)
+                        classes.add(SKIP_STT_TAINT)
+                        if strict_fu:
+                            blocked_classes.add(instr.fu_class)
+                        continue
+            if instr.fu_class == "int" and int_used >= int_ports:
+                if strict_fu and nonpipelined:
+                    blocked_classes.add(instr.fu_class)
+                continue  # try_issue would fail silently
+            return StallVeto(VETO_ISSUE_READY)
         # -- dispatch: blocked head bumps one full-counter per cycle ---
         if self.fetch_queue:
             di = self.fetch_queue[0]
             instr = di.instr
             if len(self.rob) >= self.cfg.rob_entries:
                 bumps.append(self._h_rob_full)
+                classes.add(SKIP_DISPATCH_FULL)
             else:
                 needs_iq = instr.op not in (Op.NOP, Op.HALT) and not (
                     instr.op in (Op.JMP, Op.CALL))
                 if needs_iq and len(self.iq) >= self.cfg.iq_entries:
                     bumps.append(self._h_iq_full)
+                    classes.add(SKIP_DISPATCH_FULL)
                 elif instr.is_load and len(self.lq) >= self.cfg.lq_entries:
                     bumps.append(self._h_lq_full)
+                    classes.add(SKIP_DISPATCH_FULL)
                 elif instr.is_store \
                         and len(self.sq) >= self.cfg.sq_entries:
                     bumps.append(self._h_sq_full)
+                    classes.add(SKIP_DISPATCH_FULL)
                 else:
-                    return None  # head would dispatch
+                    # Head would dispatch.
+                    return StallVeto(VETO_DISPATCH_READY)
         # -- fetch ------------------------------------------------------
         if not self.fetch_halted:
             if cycle < self.fetch_stall_until:
                 wake = min(wake, self.fetch_stall_until)
+                classes.add(SKIP_FETCH_STALL)
             elif len(self.fetch_queue) < 2 * self.cfg.fetch_width:
                 pc = self.fetch_pc
                 if pc < 0 or pc >= len(self.program.instrs):
                     bumps.append(self._h_fetch_off_end)
+                    classes.add(SKIP_FETCH_STALL)
                 else:
                     addr = pc * INST_BYTES
                     if self.hierarchy.ifetch_would_hit(
                             addr, self._fetch_ts()):
-                        return None  # would fetch this cycle
+                        # Would fetch this cycle.
+                        return StallVeto(VETO_FETCH_READY)
                     req = self.pending_ifetch
-                    if req is None or req.line != (addr >> 6):
-                        return None  # would issue a fresh ifetch
-                    if req.state is not ReqState.READY:
-                        return None  # replayed: would reissue
-                    if req.ready_cycle <= cycle:
-                        return None  # fill dropped: would reissue
-                    wake = min(wake, req.ready_cycle)
-        return wake, bumps
+                    if req is None:
+                        # Dense would re-issue the ifetch each cycle;
+                        # skippable iff that is a provable MSHR-
+                        # backpressure retry.
+                        proof = self.hierarchy.ifetch_block_proof(
+                            addr, self._fetch_ts(), cycle)
+                        if proof is None:
+                            return StallVeto(VETO_FETCH_READY)
+                        wake = min(wake, proof.wake)
+                        for name in proof.bumps:
+                            bumps.append(self.stats.handle(name))
+                        replays.extend(proof.replays)
+                        classes.add(SKIP_MSHR_BACKPRESSURE)
+                    elif req.line != (addr >> 6):
+                        # Would issue a fresh ifetch (and drop the old
+                        # pending request): step densely.
+                        return StallVeto(VETO_FETCH_READY)
+                    elif req.state is not ReqState.READY:
+                        # Replayed: would reissue.
+                        return StallVeto(VETO_FETCH_READY)
+                    elif req.ready_cycle <= cycle:
+                        # Fill dropped: would reissue.
+                        return StallVeto(VETO_FETCH_READY)
+                    else:
+                        wake = min(wake, req.ready_cycle)
+                        classes.add(SKIP_FETCH_STALL)
+        return StallProof(wake, bumps, replays, classes)
 
     # ==================================================================
     # fetch
@@ -595,7 +809,7 @@ class Core:
                 # transmitter and may not execute until the taint clears.
                 if any(not self._taint_source_safe(s)
                        for s in di.operand_taints[0]):
-                    self.stats.bump("stt.branch_blocked_cycles")
+                    self.stats.add(self._h_stt_branch_blocked)
                     return False
             elif not instr.pipelined:
                 # Non-pipelined FU ops on tainted data transmit through
@@ -603,7 +817,7 @@ class Core:
                 # delays them like any other transmitter.
                 if any(not self._taint_source_safe(s)
                        for taint in di.operand_taints for s in taint):
-                    self.stats.bump("stt.fu_blocked_cycles")
+                    self.stats.add(self._h_stt_fu_blocked)
                     return False
         if not self.fu_pool.try_issue(instr.fu_class, cycle, instr.latency,
                                       instr.pipelined):
@@ -648,7 +862,7 @@ class Core:
             self.stats.add(self._h_lsq_load_waits)
             return False
         if self._taint_on and not self._address_operands_safe(di):
-            self.stats.bump("stt.load_blocked_cycles")
+            self.stats.add(self._h_stt_load_blocked)
             return False
         if not self.fu_pool.try_issue("int", cycle, 1, True):
             return False
@@ -720,7 +934,7 @@ class Core:
             if di.operand_taints and any(
                     not self._taint_source_safe(s)
                     for s in di.operand_taints[0]):
-                self.stats.bump("stt.store_blocked_cycles")
+                self.stats.add(self._h_stt_store_blocked)
                 return False
         if not self.fu_pool.try_issue("int", cycle, 1, True):
             return False

@@ -34,7 +34,12 @@ from repro.analysis.stats import Stats
 from repro.config import SystemConfig, default_config
 from repro.defenses.base import Defense
 from repro.memory.hierarchy import SharedMemory
-from repro.pipeline.core import Core
+from repro.pipeline.core import (
+    SKIP_IDLE,
+    VETO_MEM_EVENT_DUE,
+    Core,
+    StallVeto,
+)
 from repro.pipeline.program import Program
 
 #: Environment knob: any value other than ""/"0" forces the dense loop.
@@ -58,6 +63,17 @@ class RunResult:
     #: loop).  Runtime telemetry only — never part of result payloads,
     #: which stay byte-identical across schedulers.
     skipped_cycles: int = field(default=0, compare=False)
+    #: Skipped cycles broken down by stall class
+    #: (:data:`repro.pipeline.core.SKIP_CLASSES` names).  A window is
+    #: attributed to *every* class active in it, so values can sum to
+    #: more than ``skipped_cycles``.  Runtime telemetry only.
+    skipped_by_class: Dict[str, int] = field(default_factory=dict,
+                                             compare=False)
+    #: Dense-stepped cycles by veto reason
+    #: (:data:`repro.pipeline.core.VETO_REASONS` names).  Runtime
+    #: telemetry only.
+    veto_counts: Dict[str, int] = field(default_factory=dict,
+                                        compare=False)
 
     @property
     def insts(self) -> int:
@@ -108,6 +124,11 @@ class Simulator:
         self.cycle = 0
         #: Telemetry: cycles the event-driven scheduler fast-forwarded.
         self.skipped_cycles = 0
+        #: Telemetry: skipped cycles per stall class (a window counts
+        #: toward every class active in it).
+        self.skipped_by_class: Dict[str, int] = {}
+        #: Telemetry: dense-stepped cycles per veto reason.
+        self.veto_counts: Dict[str, int] = {}
 
     def run(self, max_cycles: int = 5_000_000,
             max_insts: Optional[int] = None,
@@ -140,7 +161,9 @@ class Simulator:
         self.stats.set("sim.cycles", self.cycle)
         return RunResult(cycles=self.cycle, stats=self.stats,
                          finished=finished, cores=cores,
-                         skipped_cycles=self.skipped_cycles)
+                         skipped_cycles=self.skipped_cycles,
+                         skipped_by_class=dict(self.skipped_by_class),
+                         veto_counts=dict(self.veto_counts))
 
     def _committed_insts(self) -> int:
         """Total committed instructions, via plain integer counters (the
@@ -153,32 +176,55 @@ class Simulator:
     def _skip_idle_cycles(self, max_cycles: int) -> None:
         """Fast-forward the clock while every core is provably stalled.
 
-        Each core either vetoes the skip (``None``: it may make progress
-        at the current cycle) or contributes a wakeup cycle plus the
-        stall counters it would bump once per skipped cycle; the shared
-        L2-DRAM system contributes its next fill completion.  Jumping to
-        the minimum wakeup and applying the bumps in bulk is then
+        Each core either vetoes the skip (:class:`StallVeto`: it may
+        make progress at the current cycle) or contributes a
+        :class:`~repro.pipeline.core.StallProof` — a wakeup cycle, the
+        stall counters it would bump once per skipped cycle, replay
+        callables for per-cycle side effects that are state changes
+        rather than counter bumps (MSHR-retry prefetcher training), and
+        the stall classes active in the window.  The shared L2-DRAM
+        system contributes its next fill completion.  Jumping to the
+        minimum wakeup and applying bumps and replays in bulk is then
         observably identical to stepping every intervening cycle.
         """
         cycle = self.cycle
         wake = self.shared.next_event_cycle()
         bumps: List[int] = []
+        replays: List = []
+        classes: set = set()
         for core in self.cores:
             if core.halted:
                 continue
             outcome = core.next_event_cycle(cycle)
-            if outcome is None:
+            if type(outcome) is StallVeto:
+                reason = outcome.reason
+                self.veto_counts[reason] = \
+                    self.veto_counts.get(reason, 0) + 1
                 return
-            core_wake, core_bumps = outcome
-            if core_wake < wake:
-                wake = core_wake
-            bumps.extend(core_bumps)
+            if outcome.wake < wake:
+                wake = outcome.wake
+            bumps.extend(outcome.bumps)
+            replays.extend(outcome.replays)
+            classes.update(outcome.classes)
         target = min(wake, max_cycles)
         skipped = int(target - cycle)
         if skipped <= 0:
+            if wake <= cycle:
+                # Every core is stalled but a shared-system event (an
+                # undrained L2 fill) is due this cycle: count it so the
+                # veto profile accounts for every dense-stepped cycle.
+                self.veto_counts[VETO_MEM_EVENT_DUE] = \
+                    self.veto_counts.get(VETO_MEM_EVENT_DUE, 0) + 1
             return
         stats = self.stats
         for handle in bumps:
             stats.add(handle, skipped)
+        for replay in replays:
+            replay(cycle, skipped)
         self.skipped_cycles += skipped
+        if not classes:
+            classes.add(SKIP_IDLE)
+        by_class = self.skipped_by_class
+        for cls in classes:
+            by_class[cls] = by_class.get(cls, 0) + skipped
         self.cycle = cycle + skipped

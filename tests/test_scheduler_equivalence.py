@@ -10,6 +10,7 @@ architectural registers — for every defense and workload shape.
 
 import pytest
 
+from repro.config import default_config
 from repro.defenses import registry
 from repro.defenses.ghostminion import ghostminion, ghostminion_breakdown
 from repro.sim.simulator import Simulator, dense_loop_forced
@@ -22,14 +23,17 @@ from repro.workloads.spec import get_workload
 WORKLOADS = [("mcf", 0.04), ("hmmer", 0.05), ("canneal", 0.03)]
 
 
-def _run(workload, scale, defense, dense):
+def _run(workload, scale, defense, dense, cfg_fn=None):
     programs = get_workload(workload).build(scale)
-    return Simulator(programs, defense).run(dense=dense)
+    cfg = None
+    if cfg_fn is not None:
+        cfg = cfg_fn(default_config(cores=len(programs)))
+    return Simulator(programs, defense, cfg=cfg).run(dense=dense)
 
 
-def assert_equivalent(workload, scale, defense):
-    ref = _run(workload, scale, defense, dense=True)
-    evt = _run(workload, scale, defense, dense=False)
+def assert_equivalent(workload, scale, defense, cfg_fn=None):
+    ref = _run(workload, scale, defense, dense=True, cfg_fn=cfg_fn)
+    evt = _run(workload, scale, defense, dense=False, cfg_fn=cfg_fn)
     assert ref.cycles == evt.cycles
     assert ref.finished == evt.finished
     assert ref.stats.as_dict() == evt.stats.as_dict()
@@ -37,6 +41,7 @@ def assert_equivalent(workload, scale, defense):
     for core in range(len(ref.cores)):
         assert ref.arch_regs(core) == evt.arch_regs(core)
     assert ref.skipped_cycles == 0
+    return evt
 
 
 @pytest.mark.parametrize("defense_name", sorted(registry))
@@ -56,6 +61,57 @@ def test_ghostminion_variants_match_dense_loop(defense):
     # early-commit promotions, epoch timestamps, and the per-cycle
     # strict-order FU blocking counters.
     assert_equivalent("mcf", 0.04, defense)
+
+
+def _starved_mshrs(cfg):
+    """One L1 MSHR per port + two shared ones: every parallel-miss
+    window hits backpressure, so retrying loads and ifetches dominate."""
+    cfg.l1d.mshrs = 1
+    cfg.l1i.mshrs = 1
+    cfg.l2.mshrs = 2
+    return cfg
+
+
+#: Issue-side stall-class stress matrix: MSHR-starved configs on
+#: workloads with parallel misses (stream/random_access), stores whose
+#: addresses resolve late (canneal's 4-thread mix), and taint chains
+#: (mcf under STT).  Every point must both match the dense loop
+#: byte-for-byte *and* actually exercise the advertised skip class —
+#: equivalence over a never-firing path would be vacuous.
+ISSUE_STALL_POINTS = [
+    ("stream", 0.04, "Unsafe", "mshr-backpressure"),
+    ("stream", 0.04, "MuonTrap", "mshr-backpressure"),
+    ("random_access", 0.04, "GhostMinion", "mshr-backpressure"),
+    ("random_access", 0.04, "InvisiSpec-Future", "mshr-backpressure"),
+    ("mcf", 0.04, "STT-Future", "stt-taint"),
+    ("mcf", 0.04, "STT-Spectre", "stt-taint"),
+    ("canneal", 0.03, "Unsafe", "lsq-store-addr"),
+    ("canneal", 0.03, "GhostMinion", "lsq-store-addr"),
+    ("canneal", 0.03, "STT-Future", "lsq-store-addr"),
+    ("canneal", 0.03, "MuonTrap-Flush", "lsq-store-addr"),
+    ("canneal", 0.03, "InvisiSpec-Spectre", "lsq-store-addr"),
+]
+
+
+@pytest.mark.parametrize(
+    "workload,scale,defense_name,skip_class", ISSUE_STALL_POINTS,
+    ids=["%s-%s" % (w, d) for w, _s, d, _c in ISSUE_STALL_POINTS])
+def test_issue_stall_skips_match_dense_loop(workload, scale,
+                                            defense_name, skip_class):
+    evt = assert_equivalent(workload, scale, registry[defense_name](),
+                            cfg_fn=_starved_mshrs)
+    assert evt.skipped_by_class.get(skip_class, 0) > 0, (
+        "point never exercised the %r stall class" % skip_class)
+
+
+def test_every_defense_survives_starved_mshrs():
+    """The full defense registry over the 4-thread interference mix
+    with starved MSHRs: the heaviest leapfrog/timeleap cascade traffic
+    (this configuration caught a latent L1-victim-cancelled-by-L2-steal
+    crash in the dense path)."""
+    for defense_name in sorted(registry):
+        assert_equivalent("canneal", 0.03, registry[defense_name](),
+                          cfg_fn=_starved_mshrs)
 
 
 def test_max_insts_cap_matches_dense_loop():
