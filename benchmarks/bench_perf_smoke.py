@@ -221,7 +221,96 @@ def test_store_replay_smoke():
         % speedup)
 
 
+def test_warm_start_smoke():
+    """Checkpointed warm-start vs cold simulation of the same point.
+
+    A two-point sweep sharing a 90% warm-up prefix: the lead point
+    simulates the prefix once and snapshots it, the measured point
+    restores the snapshot and only simulates its tail — byte-identical
+    to the cold run, gated >= 3x faster (it skips ~90% of the work)."""
+    from repro.exp import ConfigVariant, SweepPoint, run_points
+    from repro.exp.spec import resolve_defense, resolve_workload
+    from repro.store import ResultStore
+
+    workload = resolve_workload(WORKLOAD)
+
+    def point(label, max_insts, warmup=None):
+        return SweepPoint(workload=workload,
+                          defense=resolve_defense(DEFENSE),
+                          variant=ConfigVariant.make(label, {}),
+                          scale=PERF_SCALE, max_insts=max_insts,
+                          warmup_insts=warmup)
+
+    # Size the horizon from the workload itself so scale knobs cannot
+    # push the warm-up boundary past the program's end.
+    probe = run_points([point("probe", None)], cache=False)
+    total = next(iter(probe.results)).insts
+    horizon = int(total * 0.95)
+    warmup = int(horizon * 0.9)
+    lead = point("lead", warmup + max(1, (horizon - warmup) // 10),
+                 warmup)
+    measured = point("measured", horizon, warmup)
+
+    cold_s = float("inf")
+    cold = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        cold = run_points([point("measured", horizon)], cache=False)
+        cold_s = min(cold_s, time.perf_counter() - started)
+    cold_res = next(iter(cold.results))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ck = os.path.join(tmp, "ck.sqlite")
+        seed = run_points([lead, measured], cache=False,
+                          checkpoints=ck)
+        seeded = {r.key: r for r in seed.results}
+        assert seeded[lead.key].warm_insts == 0
+        assert seeded[measured.key].warm_insts >= warmup
+        warm_s = float("inf")
+        warm = None
+        for _ in range(ROUNDS):
+            started = time.perf_counter()
+            warm = run_points([measured], cache=False, checkpoints=ck)
+            warm_s = min(warm_s, time.perf_counter() - started)
+        stored = ResultStore(ck).checkpoint_stats()
+    warm_res = next(iter(warm.results))
+
+    # The speedup claim is only meaningful if warm == cold exactly.
+    assert warm_res.cycles == cold_res.cycles
+    assert warm_res.insts == cold_res.insts
+    assert warm_res.stats == cold_res.stats
+    assert warm.warm_insts() >= warmup
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    _update_payload("warm_start", {
+        "bench": "warm_start",
+        "workload": WORKLOAD,
+        "defense": DEFENSE,
+        "scale": PERF_SCALE,
+        "total_insts": total,
+        "horizon_insts": horizon,
+        "warmup_insts": warmup,
+        "checkpoints": stored["checkpoints"],
+        "checkpoint_bytes": stored["checkpoint_bytes"],
+        "cold_seconds": round(cold_s, 6),
+        "warm_seconds": round(warm_s, 6),
+        "speedup": round(speedup, 3),
+        "rounds": ROUNDS,
+    })
+    print()
+    print("warm start: %s/%s scale=%s warmup=%d/%d: cold %.3fs, warm "
+          "%.3fs (%.1fx) -> %s"
+          % (WORKLOAD, DEFENSE, PERF_SCALE, warmup, horizon, cold_s,
+             warm_s, speedup, OUT_PATH))
+
+    # Acceptance bar: restoring a 90% prefix must comfortably beat
+    # re-simulating it.
+    assert speedup >= 3.0, (
+        "warm start only %.2fx faster than cold simulation" % speedup)
+
+
 if __name__ == "__main__":  # pragma: no cover - manual invocation
     test_perf_smoke()
     test_perf_smoke_issue_stalls()
     test_store_replay_smoke()
+    test_warm_start_smoke()

@@ -22,9 +22,17 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
+from repro.snapshot import SnapshotMixin
 
-class Stats:
-    """Flat counter map with interned integer-slot handles."""
+
+class Stats(SnapshotMixin):
+    """Flat counter map with interned integer-slot handles.
+
+    The whole object is mutable state (interning table plus values), so
+    the :class:`~repro.snapshot.SnapshotMixin` contract captures it with
+    no exclusions — a restore brings back both the counter values *and*
+    the slot numbering, keeping previously handed-out handles valid.
+    """
 
     __slots__ = ("_index", "_values", "_touched")
 

@@ -25,9 +25,11 @@ Commands
     Rebuild a compare/figure table from the result store — byte
     identical to the direct engine run, without re-simulation
     (``--allow-sim`` simulates and records missing points instead).
-``store {stats,backfill} --db results.sqlite``
-    Result-store maintenance: summary, or ingest of an existing JSON
-    result-cache directory.
+``store {stats,backfill,prune} --db results.sqlite``
+    Result-store maintenance: summary (points + checkpoints), ingest
+    of an existing JSON result-cache directory, or checkpoint pruning
+    by age/prefix (``--older-than 30d``, ``--prefix DIGEST``,
+    ``--all``).
 ``cache {stats,prune}``
     JSON result-cache maintenance: entry count/bytes, and pruning by
     age (``--older-than 30d``) or wholesale (``--all``).
@@ -48,7 +50,10 @@ counts go to stderr.
 
 ``--db PATH`` on those commands swaps the JSON cache for the sqlite
 result store (write-through: hits come from the store, executed points
-are recorded into it).  ``sweep`` and ``compare`` additionally take
+are recorded into it).  ``--warmup-insts N`` and ``--sample-regions K
+--sample-window N`` add warm-start / region-sampling policies backed
+by a checkpoint database (``--checkpoint-db``, ``$REPRO_CHECKPOINT_DB``
+or the ``--db`` store itself) — see ``docs/checkpoints.md``.  ``sweep`` and ``compare`` additionally take
 ``--shard I/N`` (run the I-th of N digest-partitioned slices) and
 ``--export PATH`` (write the slice's results as a shard file for
 ``repro merge``) — see ``docs/results-store.md`` for the distributed
@@ -63,6 +68,7 @@ import json
 import math
 import re
 import sys
+import time
 from typing import List, Optional, Tuple
 
 from repro.analysis import figures
@@ -71,6 +77,7 @@ from repro.defenses import FIGURE_ORDER
 from repro.exp import (
     BASE_VARIANT,
     ConfigVariant,
+    RegionSampling,
     ResultCache,
     Sweep,
     format_engine_summary,
@@ -144,6 +151,26 @@ def _add_max_insts_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-insts", type=int, default=None,
                         help="early-stop: cap each point at this many "
                              "committed instructions")
+    # Warm-start / region-sampling policies ride on the same commands
+    # (see docs/checkpoints.md).
+    parser.add_argument("--warmup-insts", type=int, default=None,
+                        help="treat the first N committed instructions "
+                             "as warm-up; with a checkpoint database, "
+                             "later runs sharing the prefix restore it "
+                             "instead of re-simulating")
+    parser.add_argument("--sample-regions", type=int, default=None,
+                        metavar="K",
+                        help="SimPoint-style sampling: cut the "
+                             "--max-insts horizon into K regions and "
+                             "simulate only a window of each")
+    parser.add_argument("--sample-window", type=int, default=10_000,
+                        metavar="N",
+                        help="instructions measured per sampled region "
+                             "(default 10000; clamped to the region)")
+    parser.add_argument("--checkpoint-db", default=None, metavar="PATH",
+                        help="sqlite checkpoint database for "
+                             "--warmup-insts/--sample-regions (default "
+                             "$REPRO_CHECKPOINT_DB, or the --db store)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -233,9 +260,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
     str_p = sub.add_parser(
         "store", help="result-store maintenance")
-    str_p.add_argument("action", choices=["stats", "backfill"])
+    str_p.add_argument("action", choices=["stats", "backfill", "prune"])
     str_p.add_argument("--db", required=True, metavar="PATH",
                        help="sqlite result store")
+    str_p.add_argument("--older-than", default=None, metavar="AGE",
+                       help="`store prune`: drop checkpoints recorded "
+                            "more than AGE ago (30d, 12h, 45m, 3600s)")
+    str_p.add_argument("--prefix", default=None, metavar="DIGEST",
+                       help="`store prune`: drop checkpoints whose "
+                            "prefix digest starts with DIGEST")
+    str_p.add_argument("--all", action="store_true", dest="prune_all",
+                       help="`store prune`: drop every checkpoint")
     str_p.add_argument("--cache-dir", default=None,
                        help="JSON cache directory to backfill from "
                             "(default $REPRO_CACHE_DIR or "
@@ -305,6 +340,26 @@ def _cache_from_args(args):
     if args.cache_dir:
         return args.cache_dir
     return True
+
+
+def _sampling_from_args(args):
+    """``--sample-regions``/``--sample-window`` -> RegionSampling."""
+    if getattr(args, "sample_regions", None) is None:
+        return None
+    if args.max_insts is None:
+        raise ValueError("--sample-regions requires --max-insts "
+                         "(the sampled horizon)")
+    if getattr(args, "warmup_insts", None) is not None:
+        raise ValueError("--warmup-insts and --sample-regions are "
+                         "mutually exclusive")
+    return RegionSampling(regions=args.sample_regions,
+                          window_insts=args.sample_window)
+
+
+def _checkpoints_from_args(args):
+    """``--checkpoint-db`` -> the engine's ``checkpoints=`` argument
+    (None defers to $REPRO_CHECKPOINT_DB / a store-backed --db)."""
+    return getattr(args, "checkpoint_db", None)
 
 
 def _parse_shard(text: str) -> Tuple[int, int]:
@@ -389,12 +444,19 @@ def _cmd_run(args) -> int:
               file=sys.stderr)
         return 2
     args.workload = workload
+    try:
+        sampling = _sampling_from_args(args)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
     report = run_sweep(
         Sweep(name="run", workloads=[args.workload],
               defenses=[args.defense], scale=args.scale,
-              max_insts=args.max_insts),
+              max_insts=args.max_insts,
+              warmup_insts=args.warmup_insts, sampling=sampling),
         jobs=args.jobs, cache=_cache_from_args(args),
-        progress=_progress_to_stderr)
+        progress=_progress_to_stderr,
+        checkpoints=_checkpoints_from_args(args))
     point = next(iter(report.results))
     _report_engine(report)
     if args.json:
@@ -423,7 +485,9 @@ def _cmd_run(args) -> int:
 def _compare_sweep(args) -> Sweep:
     return Sweep(name="compare", workloads=list(args.workloads),
                  defenses=["Unsafe"] + FIGURE_ORDER, scale=args.scale,
-                 max_insts=args.max_insts)
+                 max_insts=args.max_insts,
+                 warmup_insts=getattr(args, "warmup_insts", None),
+                 sampling=_sampling_from_args(args))
 
 
 def _print_compare(report, args) -> int:
@@ -444,8 +508,8 @@ def _print_compare(report, args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    sweep = _compare_sweep(args)
     try:
+        sweep = _compare_sweep(args)
         points, note = _apply_shard(args, sweep)
     except ValueError as exc:
         print("error: %s" % exc, file=sys.stderr)
@@ -454,7 +518,8 @@ def _cmd_compare(args) -> int:
         print(note, file=sys.stderr)
     report = run_points(points, jobs=args.jobs,
                         cache=_cache_from_args(args),
-                        progress=_progress_to_stderr)
+                        progress=_progress_to_stderr,
+                        checkpoints=_checkpoints_from_args(args))
     _report_engine(report)
     if args.export_path:
         _export_results(args, report, sweep)
@@ -515,16 +580,19 @@ def _cmd_sweep(args) -> int:
             ConfigVariant.make(v.label, {**v.as_dict(), **overrides})
             for v in variants]
     defenses = args.defense or ["Unsafe", "GhostMinion"]
-    sweep = Sweep(name="sweep", workloads=list(args.workloads),
-                  defenses=defenses, variants=variants,
-                  scale=args.scale, max_insts=args.max_insts)
     try:
+        sweep = Sweep(name="sweep", workloads=list(args.workloads),
+                      defenses=defenses, variants=variants,
+                      scale=args.scale, max_insts=args.max_insts,
+                      warmup_insts=args.warmup_insts,
+                      sampling=_sampling_from_args(args))
         points, note = _apply_shard(args, sweep)
         if note:
             print(note, file=sys.stderr)
         report = run_points(points, jobs=args.jobs,
                             cache=_cache_from_args(args),
-                            progress=_progress_to_stderr)
+                            progress=_progress_to_stderr,
+                            checkpoints=_checkpoints_from_args(args))
     except ValueError as exc:
         # malformed --shard, or out-of-range shard index
         print("error: %s" % exc, file=sys.stderr)
@@ -617,13 +685,52 @@ def _cmd_store(args) -> int:
                 if args.json:
                     print(json.dumps(payload, sort_keys=True, indent=2))
                     return 0
-                print("store:     %s" % payload["path"])
-                print("schema:    v%d" % payload["schema_version"])
-                print("points:    %d" % payload["points"])
-                print("bytes:     %d" % payload["bytes"])
-                print("workloads: %d" % payload["workloads"])
-                print("defenses:  %d" % payload["defenses"])
-                print("sweeps:    %d" % payload["sweeps"])
+                print("store:       %s" % payload["path"])
+                print("schema:      v%d" % payload["schema_version"])
+                print("points:      %d" % payload["points"])
+                print("bytes:       %d" % payload["bytes"])
+                print("workloads:   %d" % payload["workloads"])
+                print("defenses:    %d" % payload["defenses"])
+                print("sweeps:      %d" % payload["sweeps"])
+                print("checkpoints: %d (%d bytes, %d prefixes)"
+                      % (payload["checkpoints"],
+                         payload["checkpoint_bytes"],
+                         payload["checkpoint_prefixes"]))
+                return 0
+            if args.action == "prune":
+                if not (args.prune_all or args.older_than is not None
+                        or args.prefix is not None):
+                    print("error: `store prune` needs --older-than "
+                          "AGE, --prefix DIGEST or --all",
+                          file=sys.stderr)
+                    return 2
+                if args.prune_all and (args.older_than is not None
+                                       or args.prefix is not None):
+                    print("error: give either --all or a filter "
+                          "(--older-than/--prefix), not both",
+                          file=sys.stderr)
+                    return 2
+                try:
+                    # The store wants an absolute recorded_at cutoff;
+                    # the flag speaks ages (like `cache prune`).
+                    older_than = (
+                        None if args.older_than is None
+                        else time.time() - _parse_age(args.older_than))
+                except ValueError as exc:
+                    print("error: %s" % exc, file=sys.stderr)
+                    return 2
+                removed = store.checkpoint_prune(
+                    older_than=older_than, prefix=args.prefix,
+                    all_rows=args.prune_all)
+                payload = store.checkpoint_stats()
+                payload["removed"] = removed
+                if args.json:
+                    print(json.dumps(payload, sort_keys=True, indent=2))
+                    return 0
+                print("pruned %d checkpoint%s; %d left (%d bytes)"
+                      % (removed, "" if removed == 1 else "s",
+                         payload["checkpoints"],
+                         payload["checkpoint_bytes"]))
                 return 0
             cache = ResultCache(args.cache_dir)
             report = backfill_from_cache(store, cache)

@@ -37,6 +37,13 @@ from repro.memory.request import MemRequest
 class GhostMinionHierarchy(BaseHierarchy):
     """Per-core hierarchy with D/I Minions and TimeGuarded MSHRs."""
 
+    #: ``_minion_fill_fns`` holds bound methods of this hierarchy — pure
+    #: wiring (recomputed in ``__init__``), excluded from component
+    #: snapshots so capturing a hierarchy never drags the whole machine
+    #: graph along behind a bound ``self``.
+    _SNAPSHOT_EXCLUDE = BaseHierarchy._SNAPSHOT_EXCLUDE + (
+        "_minion_fill_fns",)
+
     def __init__(self, core_id: int, cfg: SystemConfig,
                  shared: SharedMemory, stats: Stats,
                  dminion: bool = True, iminion: bool = True,

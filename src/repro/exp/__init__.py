@@ -20,6 +20,7 @@ from repro.exp.cache import ResultCache, default_cache_dir, resolve_cache
 from repro.exp.engine import (
     SweepReport,
     format_engine_summary,
+    resolve_checkpoints,
     resolve_jobs,
     run_points,
     run_sweep,
@@ -30,6 +31,7 @@ from repro.exp.spec import (
     CACHE_SCHEMA_VERSION,
     ConfigVariant,
     Experiment,
+    RegionSampling,
     Sweep,
     SweepPoint,
     apply_overrides,
@@ -44,6 +46,7 @@ __all__ = [
     "ConfigVariant",
     "Experiment",
     "PointResult",
+    "RegionSampling",
     "ResultCache",
     "ResultSet",
     "Sweep",
@@ -54,6 +57,7 @@ __all__ = [
     "default_cache_dir",
     "format_engine_summary",
     "resolve_cache",
+    "resolve_checkpoints",
     "resolve_jobs",
     "run_points",
     "run_sweep",

@@ -22,16 +22,22 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.stats import Stats
 from repro.config import SystemConfig
 from repro.defenses.base import Defense
 from repro.exp.cache import ResultCache, resolve_cache
 from repro.exp.resultset import PointResult, ResultSet
-from repro.exp.spec import Sweep, SweepPoint
+from repro.exp.spec import RegionSampling, Sweep, SweepPoint
 from repro.pipeline.program import Program
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import RunResult, Simulator
 from repro.workloads.spec import WorkloadSpec
 
 ENV_JOBS = "REPRO_JOBS"
+
+#: Default checkpoint database for warm-start/sampling policies when
+#: the engine is not handed one explicitly (and cannot derive one from
+#: a store-backed ``cache=``).
+ENV_CHECKPOINT_DB = "REPRO_CHECKPOINT_DB"
 
 #: ``progress(done, total, result)`` — invoked once per finished point.
 ProgressFn = Callable[[int, int, PointResult], None]
@@ -81,17 +87,28 @@ class SweepReport:
     # -- per-point timing telemetry (scheduler tuning) ------------------
 
     def point_timings(self) -> List[Dict]:
-        """Per-point timing rows: seconds + simulated cycles, executed
-        points only (cache hits cost no simulation time), slowest
-        first."""
+        """Per-point timing rows: seconds + simulated cycles for every
+        point, slowest first.  Store-replayed (cached) points appear
+        with ``seconds`` 0.0 and ``cached`` True — one row per point,
+        so timing tables keep a fixed column count across mixed
+        cached/fresh sweeps."""
         rows = [
-            {"key": point.key, "seconds": point.wall_seconds,
+            {"key": point.key,
+             "seconds": 0.0 if point.cached else point.wall_seconds,
              "cycles": point.cycles,
+             "cached": point.cached,
+             "warm_insts": point.warm_insts,
              "skipped_cycles": point.skipped_cycles,
              "skipped_by_class": dict(point.skipped_by_class)}
-            for point in self.results if not point.cached]
+            for point in self.results]
         rows.sort(key=lambda row: -row["seconds"])
         return rows
+
+    def warm_insts(self) -> int:
+        """Total warm-up instructions avoided by checkpoint restores
+        across the executed points (0 when warm-start never fired)."""
+        return sum(point.warm_insts for point in self.results
+                   if not point.cached)
 
     def skipped_by_class(self) -> Dict[str, int]:
         """Aggregate skipped-cycles-per-stall-class telemetry over the
@@ -116,6 +133,7 @@ class SweepReport:
         """The timing block surfaced by ``--json`` consumers."""
         return {"wall_seconds": round(self.wall_seconds, 6),
                 "sim_seconds": round(self.sim_seconds(), 6),
+                "warm_insts": self.warm_insts(),
                 "skipped_by_class": self.skipped_by_class(),
                 "points": self.point_timings()}
 
@@ -125,7 +143,11 @@ class SweepReport:
         """
         parts = ["timing: %.2fs wall, %.2fs simulating"
                  % (self.wall_seconds, self.sim_seconds())]
-        rows = self.point_timings()[:max(0, slowest)]
+        warm = self.warm_insts()
+        if warm:
+            parts.append("warm-start avoided %d warm-up insts" % warm)
+        rows = [row for row in self.point_timings()[:max(0, slowest)]
+                if not row["cached"]]
         if rows:
             parts.append("slowest: " + ", ".join(
                 "%s (%.2fs, %d cycles)"
@@ -136,9 +158,12 @@ class SweepReport:
 
 # One payload per cache miss; a plain tuple so it pickles cheaply:
 # (index, key, digest, meta(workload, defense, variant, scale),
-#  workload_spec, defense, cfg, max_cycles, max_insts)
+#  workload_spec, defense, cfg, max_cycles, max_insts,
+#  warmup_insts, sampling, prefix_digest, checkpoint_db_path)
 _Payload = Tuple[int, str, str, Tuple[str, str, str, float],
-                 WorkloadSpec, Defense, SystemConfig, int, Optional[int]]
+                 WorkloadSpec, Defense, SystemConfig, int, Optional[int],
+                 Optional[int], Optional[RegionSampling], Optional[str],
+                 Optional[str]]
 
 #: Per-process (workload-content, scale) -> programs memo.  In serial
 #: runs this is the only copy; each pool worker grows its own.  Safe
@@ -157,6 +182,25 @@ def _build_programs(spec: WorkloadSpec, scale: float) -> List[Program]:
     return _PROGRAMS_MEMO[memo_key]
 
 
+#: Per-process checkpoint-store memo.  Payloads carry the database
+#: *path*, not a live store: sqlite connections cannot cross process
+#: boundaries, so each worker opens (and keeps) its own.
+_CKPT_STORES: Dict[str, object] = {}
+
+
+def _checkpoint_store(path: Optional[str]):
+    if path is None:
+        return None
+    store = _CKPT_STORES.get(path)
+    if store is None:
+        from repro.store.db import ResultStore, RunMeta
+        # Real timestamps, so `store prune --older-than` can age
+        # checkpoints out.
+        store = ResultStore(path, run_meta=RunMeta.capture())
+        _CKPT_STORES[path] = store
+    return store
+
+
 def _worker_init() -> None:
     """Pool-worker initializer: re-load registry plugins.
 
@@ -168,17 +212,239 @@ def _worker_init() -> None:
     """
     from repro.registry.plugins import load_plugins
     load_plugins()
+    # Under ``fork`` the parent's open sqlite connections are inherited
+    # but must never be used from the child: drop the memo so each
+    # worker opens its own.
+    _CKPT_STORES.clear()
+
+
+def _halted(sim: Simulator) -> bool:
+    return all(core.halted for core in sim.cores)
+
+
+def _result_of(sim: Simulator) -> RunResult:
+    """The :class:`RunResult` ``sim.run()`` would return *without*
+    stepping — for targets a previous ``run`` leg already reached
+    (calling ``run`` again would step one spurious cycle)."""
+    sim.stats.set("sim.cycles", sim.cycle)
+    return RunResult(cycles=sim.cycle, stats=sim.stats,
+                     finished=_halted(sim), cores=sim.cores,
+                     skipped_cycles=sim.skipped_cycles,
+                     skipped_by_class=dict(sim.skipped_by_class),
+                     veto_counts=dict(sim.veto_counts))
+
+
+def _save_checkpoint(store, prefix_digest: str, inst_count: int,
+                     sim: Simulator, max_cycles: int,
+                     workload: str, defense: str) -> None:
+    """Persist ``sim`` at the ``inst_count`` boundary — but only when
+    the boundary was genuinely reached: a run that halted or hit the
+    cycle cap before committing ``inst_count`` instructions is a
+    complete result, not a warm-up prefix, and restoring it as one
+    would diverge from a cold run with a longer horizon."""
+    from repro.sim.checkpoint import CHECKPOINT_FORMAT
+    if _halted(sim) or sim.cycle >= max_cycles:
+        return
+    if sim.committed_insts() < inst_count:
+        return
+    store.checkpoint_save(
+        prefix_digest, inst_count, sim.snapshot(),
+        fmt=CHECKPOINT_FORMAT, insts=sim.committed_insts(),
+        cycles=sim.cycle, workload=workload, defense=defense)
+
+
+def _run_cold(spec: WorkloadSpec, defense: Defense, cfg: SystemConfig,
+              scale: float, max_cycles: int, max_insts: Optional[int]
+              ) -> Tuple[RunResult, int]:
+    programs = _build_programs(spec, scale)
+    outcome = Simulator(programs, defense, cfg=cfg).run(
+        max_cycles=max_cycles, max_insts=max_insts)
+    return outcome, 0
+
+
+def _run_warm(spec: WorkloadSpec, defense: Defense, cfg: SystemConfig,
+              scale: float, max_cycles: int, max_insts: Optional[int],
+              warmup: int, prefix_digest: str, ckpt_path: Optional[str],
+              workload: str, defense_name: str
+              ) -> Tuple[RunResult, int]:
+    """Warm-start policy: restore the warm-up prefix from a checkpoint
+    when one exists, create it (once) when it does not.
+
+    Both paths are byte-identical to a cold run of the same point:
+    ``Simulator.run`` may be split at any committed-instruction
+    boundary, and the snapshot blob round-trips exactly (regression:
+    the checkpoint-equivalence matrix in
+    ``tests/test_scheduler_equivalence.py``).
+    """
+    store = _checkpoint_store(ckpt_path)
+    if store is None or \
+            (max_insts is not None and warmup >= max_insts):
+        # No checkpoint database, or the warm-up prefix covers the
+        # whole measured horizon — nothing to warm-start.
+        return _run_cold(spec, defense, cfg, scale, max_cycles,
+                         max_insts)
+    record = store.checkpoint_lookup(prefix_digest, warmup)
+    if record is not None:
+        sim = Simulator.restore(record.blob)
+        if _halted(sim) or sim.cycle >= max_cycles or (
+                max_insts is not None
+                and sim.committed_insts() >= max_insts):
+            return _result_of(sim), record.insts
+        return sim.run(max_cycles=max_cycles,
+                       max_insts=max_insts), record.insts
+    # Miss: warm up cold, snapshot the boundary for every later run
+    # that shares this prefix, then finish the measured region.
+    programs = _build_programs(spec, scale)
+    sim = Simulator(programs, defense, cfg=cfg)
+    leg = sim.run(max_cycles=max_cycles, max_insts=warmup)
+    _save_checkpoint(store, prefix_digest, warmup, sim, max_cycles,
+                     workload, defense_name)
+    if leg.finished or sim.cycle >= max_cycles or (
+            max_insts is not None
+            and sim.committed_insts() >= max_insts):
+        return leg, 0
+    return sim.run(max_cycles=max_cycles, max_insts=max_insts), 0
+
+
+def _run_window(sim: Simulator, end: int, max_cycles: int
+                ) -> Tuple[int, Dict[str, float], int]:
+    """Simulate ``sim`` up to the ``end`` instruction boundary and
+    return ``(cycle_delta, stats_delta, inst_delta)`` for the window.
+    ``sim.cycles`` is excluded from the stats delta (it is a snapshot,
+    not a counter); the cycle delta carries that information."""
+    before_cycle = sim.cycle
+    before_insts = sim.committed_insts()
+    before = sim.stats.as_dict()
+    if not _halted(sim) and sim.cycle < max_cycles and \
+            sim.committed_insts() < end:
+        sim.run(max_cycles=max_cycles, max_insts=end)
+    after = sim.stats.as_dict()
+    delta: Dict[str, float] = {}
+    for name in sorted(after):
+        if name == "sim.cycles":
+            continue
+        change = after[name] - before.get(name, 0.0)
+        if change:
+            delta[name] = change
+    return (sim.cycle - before_cycle, delta,
+            sim.committed_insts() - before_insts)
+
+
+def _run_sampled(spec: WorkloadSpec, defense: Defense,
+                 cfg: SystemConfig, scale: float, max_cycles: int,
+                 max_insts: int, sampling: RegionSampling,
+                 prefix_digest: Optional[str],
+                 ckpt_path: Optional[str], workload: str,
+                 defense_name: str) -> Tuple[RunResult, int]:
+    """SimPoint-style region sampling over the ``max_insts`` horizon.
+
+    The horizon is cut into ``sampling.regions`` equal regions; only a
+    ``sampling.window_insts``-instruction window at the head of each is
+    simulated, and each window's stat deltas are scaled by
+    ``region_insts / window_insts`` before summing into one synthetic
+    result.  A window larger than its region is clamped (weight 1.0),
+    so a huge window degenerates to the exact, unsampled run.
+
+    Two execution paths produce *identical* window deltas: a generator
+    pass (one simulator runs the whole horizon, snapshotting each
+    region boundary into the checkpoint store) and a restore pass
+    (each window starts from its boundary checkpoint, paying nothing
+    for the instructions before it).  The restore pass is used when
+    every boundary checkpoint is already present.
+    """
+    count = sampling.regions
+    window = sampling.window_insts
+    starts = [(i * max_insts) // count for i in range(count)]
+    region_ends = starts[1:] + [max_insts]
+    ends = [min(start + window, region_end)
+            for start, region_end in zip(starts, region_ends)]
+    store = _checkpoint_store(ckpt_path)
+
+    records = None
+    if store is not None and count > 1:
+        found = [store.checkpoint_lookup(prefix_digest, start)
+                 for start in starts[1:]]
+        if all(record is not None for record in found):
+            records = found
+
+    windows: List[Tuple[int, Dict[str, float], int]] = []
+    warm_insts = 0
+    if records is not None:
+        # Restore pass: region 0 starts cold, every later window from
+        # its boundary checkpoint.
+        for i in range(count):
+            if i == 0:
+                programs = _build_programs(spec, scale)
+                sim = Simulator(programs, defense, cfg=cfg)
+            else:
+                record = records[i - 1]
+                sim = Simulator.restore(record.blob)
+                warm_insts += record.insts
+            windows.append(_run_window(sim, ends[i], max_cycles))
+    else:
+        # Generator pass: one simulator sweeps the horizon; the gaps
+        # between windows are simulated (and their boundaries
+        # snapshotted) but excluded from every measurement.
+        programs = _build_programs(spec, scale)
+        sim = Simulator(programs, defense, cfg=cfg)
+        for i in range(count):
+            if not _halted(sim) and sim.cycle < max_cycles and \
+                    sim.committed_insts() < starts[i]:
+                sim.run(max_cycles=max_cycles, max_insts=starts[i])
+            if i > 0 and store is not None:
+                _save_checkpoint(store, prefix_digest, starts[i], sim,
+                                 max_cycles, workload, defense_name)
+            windows.append(_run_window(sim, ends[i], max_cycles))
+
+    # Weighted combine: each window stands in for its whole region.
+    stats = Stats()
+    totals: Dict[str, float] = {}
+    est_cycles = 0.0
+    measured_insts = 0
+    measured_cycles = 0
+    for i in range(count):
+        cycle_delta, delta, inst_delta = windows[i]
+        span = ends[i] - starts[i]
+        weight = ((region_ends[i] - starts[i]) / span if span > 0
+                  else 0.0)
+        est_cycles += weight * cycle_delta
+        measured_cycles += cycle_delta
+        measured_insts += inst_delta
+        for name in delta:
+            totals[name] = totals.get(name, 0.0) + weight * delta[name]
+    for name in sorted(totals):
+        stats.set(name, totals[name])
+    cycles = int(round(est_cycles))
+    stats.set("sim.cycles", cycles)
+    # Marker stats: a sampled result is an *estimate* — consumers can
+    # tell (and the measured-vs-estimated ratio is the speedup).
+    stats.set("sampled.regions", float(count))
+    stats.set("sampled.window_insts", float(window))
+    stats.set("sampled.measured_insts", float(measured_insts))
+    stats.set("sampled.measured_cycles", float(measured_cycles))
+    outcome = RunResult(cycles=cycles, stats=stats, finished=False,
+                        cores=[])
+    return outcome, warm_insts
 
 
 def _simulate_payload(payload: _Payload) -> Tuple[int, PointResult]:
     """Run one point (executed inline or inside a worker process)."""
     (index, key, digest, meta, spec, defense, cfg,
-     max_cycles, max_insts) = payload
+     max_cycles, max_insts, warmup, sampling, prefix_digest,
+     ckpt_path) = payload
     workload, defense_name, variant, scale = meta
     started = time.perf_counter()
-    programs = _build_programs(spec, scale)
-    outcome = Simulator(programs, defense, cfg=cfg).run(
-        max_cycles=max_cycles, max_insts=max_insts)
+    if sampling is not None:
+        outcome, warm = _run_sampled(
+            spec, defense, cfg, scale, max_cycles, max_insts, sampling,
+            prefix_digest, ckpt_path, workload, defense_name)
+    elif warmup is not None:
+        outcome, warm = _run_warm(
+            spec, defense, cfg, scale, max_cycles, max_insts, warmup,
+            prefix_digest, ckpt_path, workload, defense_name)
+    else:
+        outcome, warm = _run_cold(spec, defense, cfg, scale,
+                                  max_cycles, max_insts)
     elapsed = time.perf_counter() - started
     return index, PointResult(
         key=key,
@@ -194,23 +460,62 @@ def _simulate_payload(payload: _Payload) -> Tuple[int, PointResult]:
         wall_seconds=elapsed,
         skipped_cycles=outcome.skipped_cycles,
         skipped_by_class=dict(outcome.skipped_by_class),
+        warm_insts=warm,
     )
+
+
+def resolve_checkpoints(checkpoints: Union[None, bool, str] = None,
+                        cache: object = None) -> Optional[str]:
+    """Checkpoint-database policy: explicit path > ``False`` (off) >
+    ``REPRO_CHECKPOINT_DB`` env > the sqlite file behind a
+    store-backed ``cache``.
+
+    Returns the database path, or ``None`` when warm-start/sampling
+    should run without persistence.  ``checkpoints=True`` demands a
+    database and raises :class:`ValueError` when none can be derived.
+    """
+    if checkpoints is False:
+        return None
+    if isinstance(checkpoints, str):
+        return checkpoints
+    path = os.environ.get(ENV_CHECKPOINT_DB) or None
+    if path is None and cache is not None:
+        # Duck-typed: ResultStore carries checkpoint_save/.path
+        # directly; StoreCache wraps one as .db.
+        if hasattr(cache, "checkpoint_save"):
+            path = cache.path
+        elif hasattr(cache, "db") and \
+                hasattr(cache.db, "checkpoint_save"):
+            path = cache.db.path
+    if checkpoints is True and path is None:
+        raise ValueError(
+            "checkpoints=True, but no checkpoint database: pass a "
+            "path, set %s, or use a store-backed cache"
+            % ENV_CHECKPOINT_DB)
+    return path
 
 
 def run_points(points: Sequence[SweepPoint],
                jobs: Optional[int] = None,
                cache: Union[None, bool, str, ResultCache,
                             object] = None,
-               progress: Optional[ProgressFn] = None) -> SweepReport:
+               progress: Optional[ProgressFn] = None,
+               checkpoints: Union[None, bool, str] = None
+               ) -> SweepReport:
     """Execute ``points``, consulting/filling the cache, and return a
     report whose :class:`ResultSet` preserves the input point order.
 
     ``cache`` accepts anything :func:`repro.exp.cache.resolve_cache`
     does — including a :class:`repro.store.ResultStore` (or
     :class:`repro.store.StoreCache`), which records executed points
-    into the sqlite result store write-through as they complete."""
+    into the sqlite result store write-through as they complete.
+
+    ``checkpoints`` names the warm-start checkpoint database (see
+    :func:`resolve_checkpoints`); points with ``warmup_insts`` or
+    ``sampling`` set use it to skip re-simulating shared prefixes."""
     jobs = resolve_jobs(jobs)
     store = resolve_cache(cache)
+    ckpt_path = resolve_checkpoints(checkpoints, cache=store)
     total = len(points)
     started = time.perf_counter()
     # Scope program reuse to this invocation (workers get their own
@@ -227,6 +532,15 @@ def run_points(points: Sequence[SweepPoint],
                 "colliding defenses or variants distinct names/labels"
                 % point.key)
         seen_keys.add(point.key)
+        if point.sampling is not None:
+            if point.max_insts is None:
+                raise ValueError(
+                    "point %r: region sampling requires max_insts "
+                    "(the sampled horizon)" % point.key)
+            if point.warmup_insts is not None:
+                raise ValueError(
+                    "point %r: warmup_insts and sampling are mutually "
+                    "exclusive policies" % point.key)
     slots: List[Optional[PointResult]] = [None] * total
     done = 0
 
@@ -251,12 +565,17 @@ def run_points(points: Sequence[SweepPoint],
                 hit.variant = point.variant.label
                 finish(index, hit)
                 continue
+        needs_prefix = (point.warmup_insts is not None
+                        or point.sampling is not None)
         pending.append((
             index, point.key, digest,
             (point.workload.name, point.defense.name,
              point.variant.label, point.scale),
             point.workload, point.defense, point.config(),
-            point.max_cycles, point.max_insts))
+            point.max_cycles, point.max_insts,
+            point.warmup_insts, point.sampling,
+            point.prefix_digest() if needs_prefix else None,
+            ckpt_path if needs_prefix else None))
 
     if pending:
         if jobs > 1 and len(pending) > 1:
@@ -287,7 +606,9 @@ def run_sweep(sweep: Sweep,
               jobs: Optional[int] = None,
               cache: Union[None, bool, str, ResultCache,
                            object] = None,
-              progress: Optional[ProgressFn] = None) -> SweepReport:
+              progress: Optional[ProgressFn] = None,
+              checkpoints: Union[None, bool, str] = None
+              ) -> SweepReport:
     """Expand ``sweep`` and execute every point."""
     return run_points(sweep.points(), jobs=jobs, cache=cache,
-                      progress=progress)
+                      progress=progress, checkpoints=checkpoints)

@@ -52,6 +52,12 @@ class PointResult:
     #: every class active in it, so values can sum past
     #: ``skipped_cycles``).  Runtime metadata, like ``skipped_cycles``.
     skipped_by_class: Dict[str, int] = field(default_factory=dict)
+    #: Warm-up instructions this run did *not* simulate because it
+    #: restored a checkpoint (0 for cold runs and checkpoint-creating
+    #: runs).  Runtime metadata, like ``skipped_cycles``: warm-started
+    #: results are byte-identical to cold ones, so this never enters
+    #: the canonical JSON.
+    warm_insts: int = 0
 
     @property
     def ipc(self) -> float:

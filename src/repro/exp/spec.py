@@ -125,6 +125,35 @@ class ConfigVariant:
 BASE_VARIANT = ConfigVariant.make()
 
 
+@dataclass(frozen=True)
+class RegionSampling:
+    """SimPoint-style region-sampling policy for one sweep point.
+
+    The instruction horizon ``[0, max_insts)`` is split into
+    ``regions`` equal regions; from the start of each, a window of
+    ``window_insts`` committed instructions is simulated (clamped to
+    the region, so an over-long window degenerates to exact full
+    simulation) and the per-window stat deltas are combined weighted by
+    ``region length / window length``.  Sampling changes the numbers (a
+    sampled result is an *estimate*), so the policy is part of the
+    point's cache token — sampled and full runs never share digests.
+    See ``docs/checkpoints.md`` for the sampling math.
+    """
+
+    regions: int
+    window_insts: int
+
+    def __post_init__(self) -> None:
+        if self.regions < 1:
+            raise ValueError("sampling needs at least one region")
+        if self.window_insts < 1:
+            raise ValueError("sampling window must be >= 1 insts")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"regions": self.regions,
+                "window_insts": self.window_insts}
+
+
 def _defense_descriptor(defense: Defense) -> Dict[str, object]:
     """A JSON-able, digest-stable description of a defense's config.
 
@@ -153,22 +182,28 @@ def _defense_descriptor(defense: Defense) -> Dict[str, object]:
     return descriptor
 
 
-#: Config fields introduced after ``CACHE_SCHEMA_VERSION`` was frozen,
-#: as (dotted path, default).  :func:`_config_token` drops them while
-#: they hold their default, so points not using the new knob keep the
-#: exact input token they had before the field existed.  (The full
-#: digest still turns over whenever sources change, via
+#: Token fields introduced after ``CACHE_SCHEMA_VERSION`` was frozen,
+#: as (dotted path into the cache token, default).
+#: :func:`_strip_post_v1_defaults` drops them while they hold their
+#: default, so points not using the new knob keep the exact input token
+#: they had before the field existed.  Paths starting with ``config.``
+#: reach into the config sub-dict (the original, config-only form of
+#: this mechanism); top-level paths cover engine policy fields added to
+#: the token itself (``warmup_insts``, ``sampling``).  (The full digest
+#: still turns over whenever sources change, via
 #: :func:`code_fingerprint` — this list keeps tokens from *also*
 #: drifting structurally, so digests stay stable across future
 #: non-source changes and never fork identities per knob added.)
 _POST_V1_CONFIG_DEFAULTS: Tuple[Tuple[str, object], ...] = (
-    ("core.predictor.kind", "tournament"),
+    ("config.core.predictor.kind", "tournament"),
+    ("warmup_insts", None),
+    ("sampling", None),
 )
 
 
-def _config_token(cfg: SystemConfig) -> Dict[str, object]:
-    """``dataclasses.asdict(cfg)`` minus post-v1 fields at defaults."""
-    token = dataclasses.asdict(cfg)
+def _strip_post_v1_defaults(token: Dict[str, object]
+                            ) -> Dict[str, object]:
+    """Drop post-v1 token fields that hold their defaults (in place)."""
     for path, default in _POST_V1_CONFIG_DEFAULTS:
         parts = path.split(".")
         node = token
@@ -177,7 +212,8 @@ def _config_token(cfg: SystemConfig) -> Dict[str, object]:
             if not isinstance(node, dict):
                 node = None
                 break
-        if node is not None and node.get(parts[-1]) == default:
+        if node is not None and parts[-1] in node \
+                and node[parts[-1]] == default:
             del node[parts[-1]]
     return token
 
@@ -195,6 +231,14 @@ class SweepPoint:
     #: committed (``None`` = run to completion).  Declarative, so sweeps
     #: can cap simulation length without touching simulator call sites.
     max_insts: Optional[int] = None
+    #: Warm-start policy: treat the first this-many committed
+    #: instructions as warm-up.  With a checkpoint store available, the
+    #: engine restores a stored snapshot at this boundary (or creates
+    #: one on first encounter) instead of re-simulating the prefix; the
+    #: result is byte-identical to a cold run either way.
+    warmup_insts: Optional[int] = None
+    #: Region-sampling policy (estimates — see :class:`RegionSampling`).
+    sampling: Optional[RegionSampling] = None
     base_cfg: Optional[SystemConfig] = None
 
     @property
@@ -214,20 +258,48 @@ class SweepPoint:
 
     def cache_token(self) -> Dict[str, object]:
         """Everything the simulation result is a pure function of."""
-        return {
+        return _strip_post_v1_defaults({
             "version": CACHE_SCHEMA_VERSION,
             "code": code_fingerprint(),
             "workload": dataclasses.asdict(self.workload),
             "defense": _defense_descriptor(self.defense),
-            "config": _config_token(self.config()),
+            "config": dataclasses.asdict(self.config()),
             "scale": self.scale,
             "max_cycles": self.max_cycles,
             "max_insts": self.max_insts,
-        }
+            "warmup_insts": self.warmup_insts,
+            "sampling": (self.sampling.as_dict()
+                         if self.sampling is not None else None),
+        })
 
     def digest(self) -> str:
         """Content address of this point (sha256 of the cache token)."""
         token = json.dumps(self.cache_token(), sort_keys=True,
+                           separators=(",", ":"), default=str)
+        return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+    def prefix_token(self) -> Dict[str, object]:
+        """The subset of :meth:`cache_token` that determines execution
+        *up to* an instruction boundary — horizon fields (cycle cap,
+        instruction cap) and policy fields (warm-up, sampling) cannot
+        influence state below the boundary they stop at, so they are
+        dropped.  Two points agreeing on this token walk the same
+        machine states and can share warm-up checkpoints.  The
+        checkpoint blob format version is folded in so a format bump
+        orphans stored blobs instead of misreading them.
+        """
+        from repro.sim.checkpoint import CHECKPOINT_FORMAT
+        token = self.cache_token()
+        for name in ("max_cycles", "max_insts", "warmup_insts",
+                     "sampling"):
+            token.pop(name, None)
+        token["checkpoint_format"] = CHECKPOINT_FORMAT
+        return token
+
+    def prefix_digest(self) -> str:
+        """Content address of this point's warm-up prefix (the
+        ``checkpoints`` table key; see ``docs/checkpoints.md``)."""
+        token = json.dumps(self.prefix_token(), sort_keys=True,
                            separators=(",", ":"), default=str)
         return hashlib.sha256(token.encode("utf-8")).hexdigest()
 
@@ -252,6 +324,12 @@ class Experiment:
     #: instructions (``None`` = no cap).  Folded into point digests, so
     #: capped and uncapped runs never share cache entries.
     max_insts: Optional[int] = None
+    #: Warm-start policy applied to every point (see
+    #: :attr:`SweepPoint.warmup_insts`).
+    warmup_insts: Optional[int] = None
+    #: Region-sampling policy applied to every point (see
+    #: :class:`RegionSampling`; requires ``max_insts``).
+    sampling: Optional[RegionSampling] = None
     base_cfg: Optional[SystemConfig] = None
 
     def shard(self, index: int, count: int) -> List[SweepPoint]:
@@ -273,6 +351,8 @@ class Experiment:
             SweepPoint(workload=spec, defense=defense, variant=variant,
                        scale=scale, max_cycles=self.max_cycles,
                        max_insts=self.max_insts,
+                       warmup_insts=self.warmup_insts,
+                       sampling=self.sampling,
                        base_cfg=self.base_cfg)
             for spec in specs
             for defense in defenses

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional
 
 from repro.analysis.stats import Stats
+from repro.snapshot import SnapshotMixin
 
 
 class CacheLine:
@@ -31,8 +32,13 @@ class CacheLine:
         return "CacheLine(%#x, lru=%d)" % (self.line, self.last_used)
 
 
-class SetAssocCache:
+class SetAssocCache(SnapshotMixin):
     """Classic set-associative tag store with LRU replacement."""
+
+    #: Snapshot contract: the tag store (``_sets``) is the state; the
+    #: shared stats registry is wiring (geometry and interned handles
+    #: are immutable and harmlessly captured).
+    _SNAPSHOT_EXCLUDE = ("stats",)
 
     def __init__(self, num_sets: int, assoc: int, name: str = "cache",
                  stats: Optional[Stats] = None) -> None:

@@ -23,6 +23,7 @@ from typing import Callable, List, Optional
 
 from repro.analysis.stats import Stats
 from repro.memory.request import MemRequest
+from repro.snapshot import SnapshotMixin
 
 # Timestamp given to prefetch-allocated entries: any demand request may
 # leapfrog a prefetch, and a prefetch never leapfrogs anything.
@@ -80,8 +81,15 @@ class MSHREntry:
         return any(fn is fill_fn for fn, _ts in self.fill_actions)
 
 
-class MSHRFile:
+class MSHRFile(SnapshotMixin):
     """Fixed-size MSHR file for one cache level."""
+
+    #: Snapshot contract: ``entries`` is the state.  Entries reference
+    #: requests and fill actions owned elsewhere, so component-level
+    #: snapshots are meaningful on a *quiesced* file (no in-flight
+    #: misses); whole-machine checkpoints capture in-flight state with
+    #: identity intact (see :mod:`repro.sim.checkpoint`).
+    _SNAPSHOT_EXCLUDE = ("stats",)
 
     def __init__(self, size: int, name: str, stats: Optional[Stats] = None
                  ) -> None:

@@ -24,6 +24,7 @@ from repro.analysis.stats import Stats
 from repro.config import TLBConfig
 from repro.core.ghostminion import Minion
 from repro.memory.cache import SetAssocCache
+from repro.snapshot import SnapshotMixin
 
 
 class TranslationResult:
@@ -38,8 +39,12 @@ class TranslationResult:
         self.filled_minion = filled_minion
 
 
-class TLBHierarchy:
+class TLBHierarchy(SnapshotMixin):
     """L1 TLB + L2 TLB + walker, with an optional TLB-Minion."""
+
+    #: Snapshot contract: the L1/L2 TLBs and the TLB-Minion restore in
+    #: place as nested components; config and stats are wiring.
+    _SNAPSHOT_EXCLUDE = ("cfg", "stats")
 
     def __init__(self, cfg: TLBConfig, stats: Optional[Stats] = None,
                  minion: bool = True, name: str = "dtlb") -> None:

@@ -19,6 +19,7 @@ from typing import List, Optional, Tuple
 from repro.analysis.stats import Stats
 from repro.config import PredictorConfig
 from repro.registry import Registry
+from repro.snapshot import SnapshotMixin
 
 
 def _saturate(counter: int, taken: bool) -> int:
@@ -27,11 +28,15 @@ def _saturate(counter: int, taken: bool) -> int:
     return max(0, counter - 1)
 
 
-class TournamentPredictor:
+class TournamentPredictor(SnapshotMixin):
     """2-bit local/global/choice tournament predictor."""
 
     GHR_BITS = 13
     LOCAL_HIST_BITS = 11
+
+    #: Snapshot contract: history registers and counter tables are the
+    #: state; sizing config and the stats registry are wiring.
+    _SNAPSHOT_EXCLUDE = ("cfg", "stats")
 
     def __init__(self, cfg: Optional[PredictorConfig] = None,
                  stats: Optional[Stats] = None) -> None:
@@ -105,7 +110,7 @@ class TournamentPredictor:
             (1 << self.GHR_BITS) - 1)
 
 
-class BimodalPredictor:
+class BimodalPredictor(SnapshotMixin):
     """Per-PC 2-bit bimodal predictor (no history).
 
     A deliberately simple alternative to the tournament predictor,
@@ -115,6 +120,8 @@ class BimodalPredictor:
     checkpoint (always 0 — there is no global history to restore) and
     ``update``/``restore_ghr`` mirror the tournament signatures.
     """
+
+    _SNAPSHOT_EXCLUDE = ("cfg", "stats")
 
     def __init__(self, cfg: Optional[PredictorConfig] = None,
                  stats: Optional[Stats] = None) -> None:
@@ -135,8 +142,10 @@ class BimodalPredictor:
         pass  # no speculative history state
 
 
-class AlwaysTakenPredictor:
+class AlwaysTakenPredictor(SnapshotMixin):
     """Static always-taken prediction (the no-hardware floor)."""
+
+    _SNAPSHOT_EXCLUDE = ("stats",)
 
     def __init__(self, cfg: Optional[PredictorConfig] = None,
                  stats: Optional[Stats] = None) -> None:
@@ -171,8 +180,10 @@ def make_predictor(cfg: PredictorConfig, stats: Stats):
     return PREDICTORS.create(cfg.kind, cfg=cfg, stats=stats)
 
 
-class BranchTargetBuffer:
+class BranchTargetBuffer(SnapshotMixin):
     """Direct-mapped PC -> target store for indirect branches."""
+
+    _SNAPSHOT_EXCLUDE = ("stats",)
 
     def __init__(self, entries: int = 4096, stats: Optional[Stats] = None
                  ) -> None:
@@ -195,8 +206,13 @@ class BranchTargetBuffer:
         self._targets[idx] = target
 
 
-class ReturnAddressStack:
-    """Bounded return-address stack with checkpoint/restore."""
+class ReturnAddressStack(SnapshotMixin):
+    """Bounded return-address stack with checkpoint/restore.
+
+    ``checkpoint``/``restore`` are the core's per-branch squash recovery
+    protocol; the whole-stack :class:`~repro.snapshot.SnapshotMixin`
+    contract (``snapshot_state``/``restore_state``) rides on top.
+    """
 
     def __init__(self, entries: int = 16) -> None:
         self.entries = entries

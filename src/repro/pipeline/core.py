@@ -48,6 +48,7 @@ from repro.pipeline.isa import (
     evaluate,
 )
 from repro.pipeline.program import Program
+from repro.snapshot import SnapshotMixin
 
 ADDR_MASK = (1 << 48) - 1
 
@@ -200,8 +201,20 @@ class DynInst:
                                           self.instr.op.value)
 
 
-class Core:
+class Core(SnapshotMixin):
     """One hardware thread: fetch -> ... -> commit over a Program."""
+
+    #: Snapshot contract: registers, rename state and the pipeline
+    #: queues are the state; the predictor/BTB/RAS/FU pool restore in
+    #: place as nested components.  The program, config, defense,
+    #: hierarchy, functional memory and stats registry are wiring owned
+    #: elsewhere.  In-flight instructions reference memory requests
+    #: queued in MSHRs, so component-level snapshots are meaningful on a
+    #: *quiesced* core (empty pipeline); whole-machine checkpoints
+    #: (:mod:`repro.sim.checkpoint`) capture in-flight state with
+    #: cross-component identity intact.
+    _SNAPSHOT_EXCLUDE = ("program", "cfg", "defense", "hierarchy",
+                         "memory", "stats")
 
     def __init__(self, core_id: int, program: Program, cfg: SystemConfig,
                  defense: Defense, hierarchy: BaseHierarchy,

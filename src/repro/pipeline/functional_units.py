@@ -19,12 +19,17 @@ from typing import Dict, List, Optional
 
 from repro.analysis.stats import Stats
 from repro.config import CoreConfig
+from repro.snapshot import SnapshotMixin
 
 
-class FUPool:
+class FUPool(SnapshotMixin):
     """Issue ports + non-pipelined unit occupancy for one core."""
 
     CLASSES = ("int", "fp", "muldiv")
+
+    #: Snapshot contract: unit occupancy and per-cycle issue state are
+    #: the state; port geometry is immutable and rides along.
+    _SNAPSHOT_EXCLUDE = ("stats",)
 
     def __init__(self, cfg: CoreConfig, stats: Optional[Stats] = None,
                  strict_order: bool = False) -> None:

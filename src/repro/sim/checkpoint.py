@@ -1,0 +1,95 @@
+"""Whole-machine checkpoint serialization.
+
+A checkpoint is the complete :class:`~repro.sim.simulator.Simulator`
+object graph — cores (architectural registers, ROB/IQ/LSQ, predictor,
+rename state), per-core hierarchies (L1s, Minions, MSHR files), the
+shared memory system (L2, DRAM row buffers, directory, prefetcher), the
+functional memory image and all statistics counters — captured between
+two simulated cycles and serialized in **one piece**, so every
+cross-component reference (an in-flight instruction's memory request
+queued inside an MSHR entry, a fill action bound to its hierarchy)
+survives the round trip with identity intact.  Restoring a checkpoint
+and continuing is byte-identical to never having stopped: cycles, the
+full stats dict and architectural registers all match a cold run
+(gated by the matrix in ``tests/test_scheduler_equivalence.py``).
+
+The wire format is a zlib-compressed pickle of a header + state dict.
+The header carries the blob format version and the producing tree's
+:func:`~repro.exp.spec.code_fingerprint`, and restore refuses blobs
+from a different format or source tree: simulator state is an internal
+structure, and interpreting it with different code would silently mix
+numbers from two simulators.  (Checkpoints stored in the result store
+are additionally *keyed* by a prefix digest that folds the same
+fingerprint in, so a stale blob is never even looked up — the header
+check is the belt to that suspender for blobs passed around by hand.)
+
+Per-component state save/restore — without whole-graph identity — is a
+separate, lighter contract: see :mod:`repro.snapshot`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+#: Bump on incompatible changes to the blob layout *or* to what a
+#: restored simulator is allowed to assume about its state.  Folded into
+#: checkpoint prefix digests, so a bump orphans (rather than corrupts)
+#: every stored checkpoint.
+CHECKPOINT_FORMAT = 1
+
+
+class CheckpointError(RuntimeError):
+    """Unusable checkpoint blob (corrupt, wrong format, wrong tree)."""
+
+
+def _code_fingerprint() -> str:
+    # Imported lazily: repro.exp.spec imports this module for
+    # CHECKPOINT_FORMAT, and module-level cross-imports would cycle.
+    from repro.exp.spec import code_fingerprint
+    return code_fingerprint()
+
+
+def snapshot_simulator(sim: "Simulator") -> bytes:
+    """Serialize ``sim`` (between cycles) into a self-describing blob."""
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "code": _code_fingerprint(),
+        "sim": sim,
+    }
+    return zlib.compress(
+        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def restore_simulator(blob: bytes, check_code: bool = True
+                      ) -> "Simulator":
+    """Rebuild a live :class:`Simulator` from a snapshot blob.
+
+    ``check_code=False`` skips the source-tree fingerprint check (the
+    store path already keys blobs by a digest covering the fingerprint,
+    so the lookup itself guarantees a match).
+    """
+    from repro.sim.simulator import Simulator
+    try:
+        payload = pickle.loads(zlib.decompress(blob))
+    except Exception as exc:
+        raise CheckpointError("undecodable checkpoint blob: %s"
+                              % exc) from exc
+    if not isinstance(payload, dict) or \
+            payload.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            "checkpoint format %r not supported (this build speaks %d)"
+            % (payload.get("format") if isinstance(payload, dict)
+               else None, CHECKPOINT_FORMAT))
+    if check_code and payload.get("code") != _code_fingerprint():
+        raise CheckpointError(
+            "checkpoint was produced by a different source tree; "
+            "refusing to resume it (re-run the warm-up instead)")
+    sim = payload.get("sim")
+    if not isinstance(sim, Simulator):
+        raise CheckpointError("checkpoint blob holds no simulator")
+    return sim

@@ -165,6 +165,32 @@ class Simulator:
                          skipped_by_class=dict(self.skipped_by_class),
                          veto_counts=dict(self.veto_counts))
 
+    # -- checkpoints ----------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Serialize the whole machine (between cycles) into a blob.
+
+        The returned bytes round-trip through :meth:`restore` such that
+        continuing the restored simulator is byte-identical — cycles,
+        every stats counter, architectural registers — to continuing
+        this one (or to never having stopped: ``run`` may be split at
+        any committed-instruction boundary).  See
+        :mod:`repro.sim.checkpoint` for the format.
+        """
+        from repro.sim.checkpoint import snapshot_simulator
+        return snapshot_simulator(self)
+
+    @classmethod
+    def restore(cls, blob: bytes, check_code: bool = True
+                ) -> "Simulator":
+        """Rebuild a :meth:`snapshot` blob into a live simulator."""
+        from repro.sim.checkpoint import restore_simulator
+        return restore_simulator(blob, check_code=check_code)
+
+    def committed_insts(self) -> int:
+        """Total committed instructions across all cores."""
+        return self._committed_insts()
+
     def _committed_insts(self) -> int:
         """Total committed instructions, via plain integer counters (the
         per-cycle ``max_insts`` cap must not pay for a dict lookup)."""

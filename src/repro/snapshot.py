@@ -1,0 +1,116 @@
+"""Per-component snapshot/restore contract.
+
+Every stateful simulated component mixes in :class:`SnapshotMixin` and
+gains two methods:
+
+* :meth:`~SnapshotMixin.snapshot_state` — capture the component's own
+  mutable state as an inert value (a dict of deep-copied fields);
+* :meth:`~SnapshotMixin.restore_state` — re-install a captured state
+  **in place**, leaving the component's wiring (its :class:`Stats`
+  registry, config objects, references to neighbouring components)
+  untouched.
+
+Two rules make the contract precise:
+
+1. **Wiring is excluded, state is included.**  Each class lists its
+   wiring fields in ``_SNAPSHOT_EXCLUDE`` (shared ``stats`` objects,
+   immutable config, back-references like a hierarchy's ``shared``
+   memory).  Everything else — tables, queues, registers, counters — is
+   captured.  Excluding by list (rather than including by list) means a
+   newly added mutable field is snapshotted by default; forgetting to
+   exclude wiring shows up immediately as an over-deep copy, while
+   forgetting to *include* state would silently corrupt restores.
+2. **Sub-components restore in place.**  A field whose value is itself
+   a :class:`SnapshotMixin` (a core's branch predictor, a hierarchy's
+   L1 port) is recursed into rather than replaced, so the sub-object's
+   identity — and every handle other components hold to it — survives a
+   restore.
+
+All plain fields of one component are copied through a *single* deepcopy
+memo, so aliasing between fields (the same in-flight instruction queued
+in both the ROB and the load queue) is preserved within the snapshot.
+Aliasing *across* components (an MSHR entry's pointer into another
+component's request) is intentionally out of scope here: whole-machine
+checkpoints serialize the entire object graph in one piece via
+:meth:`repro.sim.simulator.Simulator.snapshot` (see
+:mod:`repro.sim.checkpoint`), which is the only way to keep
+cross-component identity intact.  The component-level contract exists
+for targeted state save/restore — unit tests, future incremental
+checkpoint formats, interactive debugging — on quiesced components.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterator, Tuple
+
+
+class NestedState:
+    """Marker wrapping a sub-component's captured state inside a parent
+    snapshot, so :meth:`SnapshotMixin.restore_state` knows to recurse
+    in place instead of assigning over the sub-object."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, state: Dict[str, object]) -> None:
+        self.state = state
+
+
+def _state_items(obj: object) -> Iterator[Tuple[str, object]]:
+    """All attribute (name, value) pairs of ``obj``: instance ``__dict__``
+    plus any ``__slots__`` declared anywhere in the MRO."""
+    if hasattr(obj, "__dict__"):
+        for item in obj.__dict__.items():
+            yield item
+    seen = set()
+    for cls in type(obj).__mro__:
+        for name in getattr(cls, "__slots__", ()):
+            if name in seen or name in ("__dict__", "__weakref__"):
+                continue
+            seen.add(name)
+            if hasattr(obj, name):
+                yield name, getattr(obj, name)
+
+
+class SnapshotMixin:
+    """Adds the snapshot/restore contract described in the module doc."""
+
+    #: Wiring fields never captured (shared registries, config, and
+    #: back-references into neighbouring components).  Subclasses extend
+    #: this tuple; field names absent from an instance are ignored.
+    _SNAPSHOT_EXCLUDE: Tuple[str, ...] = ()
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Deep-copied dict of this component's own mutable state."""
+        plain: Dict[str, object] = {}
+        nested: Dict[str, Dict[str, object]] = {}
+        exclude = self._SNAPSHOT_EXCLUDE
+        for name, value in _state_items(self):
+            if name in exclude:
+                continue
+            if isinstance(value, SnapshotMixin):
+                nested[name] = value.snapshot_state()
+            else:
+                plain[name] = value
+        memo: Dict[int, object] = {}
+        state: Dict[str, object] = {
+            name: copy.deepcopy(value, memo)
+            for name, value in plain.items()}
+        for name, sub in nested.items():
+            state[name] = NestedState(sub)
+        return state
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Re-install a :meth:`snapshot_state` capture in place.
+
+        The snapshot itself is left reusable (values are copied out of
+        it), and sub-components are restored through their own
+        ``restore_state`` so object identity — and all external
+        references to them — is preserved.
+        """
+        memo: Dict[int, object] = {}
+        for name, value in state.items():
+            if isinstance(value, NestedState):
+                getattr(self, name).restore_state(value.state)
+            else:
+                setattr(self, name, copy.deepcopy(value, memo))

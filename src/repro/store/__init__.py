@@ -27,7 +27,9 @@ Typical distributed campaign::
 
 from repro.store.backfill import BackfillReport, backfill_from_cache
 from repro.store.db import (
+    CHECKPOINT_SCHEMA_VERSION,
     STORE_SCHEMA_VERSION,
+    CheckpointRecord,
     MissingStoreResultError,
     ResultStore,
     RunMeta,
@@ -46,6 +48,8 @@ from repro.store.shard import (
 
 __all__ = [
     "BackfillReport",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointRecord",
     "MergeReport",
     "MissingStoreResultError",
     "ResultStore",

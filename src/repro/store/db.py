@@ -47,10 +47,33 @@ from repro.exp.resultset import PointResult, ResultSet
 #: silently.
 STORE_SCHEMA_VERSION = 1
 
+#: Version of the ``checkpoints`` table layout, tracked separately from
+#: :data:`STORE_SCHEMA_VERSION`: adding the table to an existing v1
+#: store is backward- and forward-compatible (old builds ignore it), so
+#: the results schema version — and with it every stored result — is
+#: left untouched.  Checkpoints are a *cache* (warm-up state is always
+#: regenerable), so an incompatible bump here merely orphans blobs.
+CHECKPOINT_SCHEMA_VERSION = 1
+
 _TABLES = """
 CREATE TABLE IF NOT EXISTS store_meta (
     key   TEXT PRIMARY KEY,
     value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS checkpoints (
+    prefix_digest TEXT NOT NULL,
+    inst_count    INTEGER NOT NULL,
+    format        INTEGER NOT NULL,
+    insts         INTEGER NOT NULL,
+    cycles        INTEGER NOT NULL,
+    nbytes        INTEGER NOT NULL,
+    blob          BLOB NOT NULL,
+    workload      TEXT,
+    defense       TEXT,
+    host          TEXT,
+    repro_version TEXT,
+    recorded_at   REAL,
+    PRIMARY KEY (prefix_digest, inst_count)
 );
 CREATE TABLE IF NOT EXISTS results (
     digest        TEXT PRIMARY KEY,
@@ -114,6 +137,24 @@ class MissingStoreResultError(StoreError):
             "result store holds no record for digest %s — run the "
             "sweep with --db first (or pass --allow-sim to simulate "
             "missing points)" % digest)
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One stored warm-up checkpoint (see ``docs/checkpoints.md``).
+
+    ``inst_count`` is the requested snapshot boundary (the key);
+    ``insts``/``cycles`` are the machine's actual committed-instruction
+    and cycle counts at the snapshot (commit width can overshoot the
+    requested boundary within the final cycle).
+    """
+
+    prefix_digest: str
+    inst_count: int
+    format: int
+    insts: int
+    cycles: int
+    blob: bytes
 
 
 @dataclass(frozen=True)
@@ -184,6 +225,24 @@ class ResultStore:
             raise StoreError(
                 "%s uses store schema version %s; this build speaks %d"
                 % (self.path, row["value"], STORE_SCHEMA_VERSION))
+        # The checkpoint table carries its own version key (absent from
+        # stores written before the table existed; executescript above
+        # just added the empty table to those, at the current layout).
+        ck = self._conn.execute(
+            "SELECT value FROM store_meta WHERE "
+            "key='checkpoint_schema_version'").fetchone()
+        if ck is None:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO store_meta (key, value) VALUES "
+                "('checkpoint_schema_version', ?)",
+                (str(CHECKPOINT_SCHEMA_VERSION),))
+            self._conn.commit()
+        elif ck["value"] != str(CHECKPOINT_SCHEMA_VERSION):
+            raise StoreError(
+                "%s uses checkpoint schema version %s; this build "
+                "speaks %d (prune the checkpoints with a matching "
+                "build, then reopen)"
+                % (self.path, ck["value"], CHECKPOINT_SCHEMA_VERSION))
 
     def close(self) -> None:
         self._conn.close()
@@ -359,7 +418,108 @@ class ResultStore:
         except OSError:
             size = 0
         return {"path": self.path, "schema_version": STORE_SCHEMA_VERSION,
-                "points": count, "bytes": size, **distinct}
+                "points": count, "bytes": size, **distinct,
+                **self.checkpoint_stats()}
+
+    # -- checkpoints ----------------------------------------------------
+    #
+    # Warm-up simulator snapshots, keyed by (prefix_digest, inst_count):
+    # the prefix digest (see SweepPoint.prefix_digest) covers exactly
+    # the inputs that determine execution up to the snapshot boundary,
+    # so any two points agreeing on it share one warm-up run.  Blobs are
+    # first-write-wins with no agreement check: unlike result payloads,
+    # pickle bytes are not canonical (two producers of the *same* state
+    # may serialize it differently), and semantic agreement is already
+    # guaranteed by the digest keying plus the restore-equivalence
+    # matrix in tests/test_scheduler_equivalence.py.
+
+    def checkpoint_save(self, prefix_digest: str, inst_count: int,
+                        blob: bytes, *, fmt: int, insts: int,
+                        cycles: int, workload: Optional[str] = None,
+                        defense: Optional[str] = None,
+                        run_meta: Optional[RunMeta] = None,
+                        commit: bool = True) -> bool:
+        """Store one checkpoint; returns True if a new row was written
+        (an existing row for the same key wins and is kept)."""
+        meta = run_meta or self.run_meta
+        cursor = self._conn.execute(
+            "INSERT INTO checkpoints (prefix_digest, inst_count, "
+            "format, insts, cycles, nbytes, blob, workload, defense, "
+            "host, repro_version, recorded_at) VALUES "
+            "(?,?,?,?,?,?,?,?,?,?,?,?) "
+            "ON CONFLICT (prefix_digest, inst_count) DO NOTHING",
+            (prefix_digest, inst_count, fmt, insts, cycles, len(blob),
+             sqlite3.Binary(blob), workload, defense, meta.host,
+             meta.repro_version, meta.recorded_at))
+        if commit:
+            self._conn.commit()
+        return cursor.rowcount > 0
+
+    def checkpoint_lookup(self, prefix_digest: str, inst_count: int
+                          ) -> Optional[CheckpointRecord]:
+        row = self._conn.execute(
+            "SELECT format, insts, cycles, blob FROM checkpoints "
+            "WHERE prefix_digest=? AND inst_count=?",
+            (prefix_digest, inst_count)).fetchone()
+        if row is None:
+            return None
+        return CheckpointRecord(
+            prefix_digest=prefix_digest, inst_count=inst_count,
+            format=row["format"], insts=row["insts"],
+            cycles=row["cycles"], blob=bytes(row["blob"]))
+
+    def checkpoint_counts(self, prefix_digest: str) -> List[int]:
+        """Snapshot boundaries stored for one prefix, ascending."""
+        return [row[0] for row in self._conn.execute(
+            "SELECT inst_count FROM checkpoints WHERE prefix_digest=? "
+            "ORDER BY inst_count", (prefix_digest,))]
+
+    def checkpoint_stats(self) -> Dict[str, object]:
+        """Checkpoint-table summary, folded into :meth:`stats`."""
+        row = self._conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(nbytes), 0), "
+            "COUNT(DISTINCT prefix_digest) FROM checkpoints").fetchone()
+        return {"checkpoints": row[0], "checkpoint_bytes": row[1],
+                "checkpoint_prefixes": row[2],
+                "checkpoint_schema_version": CHECKPOINT_SCHEMA_VERSION}
+
+    def checkpoint_prune(self, older_than: Optional[float] = None,
+                         prefix: Optional[str] = None,
+                         all_rows: bool = False) -> int:
+        """Delete checkpoints; returns rows removed.
+
+        ``older_than`` is an absolute ``recorded_at`` cutoff (rows
+        recorded strictly before it go); ``prefix`` matches
+        ``prefix_digest`` by string prefix, so a truncated digest from
+        ``store stats`` output works.  Filters compose (AND);
+        ``all_rows=True`` drops the table's contents.  The file is
+        VACUUMed whenever rows were removed — checkpoint blobs dominate
+        store size, and a prune that does not shrink the file would
+        defeat its purpose.
+        """
+        if not all_rows and older_than is None and prefix is None:
+            raise ValueError(
+                "checkpoint_prune needs a filter (older_than/prefix) "
+                "or all_rows=True")
+        clauses, params = [], []
+        if older_than is not None:
+            clauses.append("recorded_at < ?")
+            params.append(older_than)
+        if prefix is not None:
+            # Escape LIKE wildcards: a pasted "%" must match a literal
+            # "%" (i.e. nothing, for hex digests), not every row.
+            escaped = (prefix.replace("\\", "\\\\")
+                       .replace("%", "\\%").replace("_", "\\_"))
+            clauses.append("prefix_digest LIKE ? ESCAPE '\\'")
+            params.append(escaped + "%")
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        cursor = self._conn.execute(
+            "DELETE FROM checkpoints%s" % where, params)
+        removed = cursor.rowcount
+        self._conn.commit()
+        if removed:
+            self._conn.execute("VACUUM")
+        return removed
 
 
 class StoreCache:

@@ -1,0 +1,496 @@
+"""Checkpoint subsystem: component snapshots, blobs, store, policies.
+
+Four layers, bottom up:
+
+- :mod:`repro.snapshot` — the per-component ``SnapshotMixin`` contract
+  (state captured, wiring excluded, nested components restored in
+  place);
+- :mod:`repro.sim.checkpoint` — whole-machine blob round trips and the
+  refusal cases (corrupt, wrong format, wrong source tree);
+- the ``checkpoints`` table in :class:`repro.store.ResultStore` —
+  save/lookup/first-write-wins/stats/prune;
+- the engine policies — ``warmup_insts`` warm-start and
+  ``sampling`` region sampling, both byte-identical to cold runs
+  (the full defense matrix lives in ``test_scheduler_equivalence.py``).
+"""
+
+import os
+
+import pytest
+
+from repro.defenses import registry
+from repro.exp.engine import (
+    ENV_CHECKPOINT_DB,
+    resolve_checkpoints,
+    run_points,
+)
+from repro.exp.spec import RegionSampling, SweepPoint, resolve_workload
+from repro.sim.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    restore_simulator,
+)
+from repro.sim.simulator import Simulator
+from repro.snapshot import SnapshotMixin
+from repro.store.db import ResultStore, RunMeta, StoreCache
+from repro.workloads.spec import get_workload
+
+
+# -- SnapshotMixin: per-component state round trips ------------------------
+
+
+def test_stats_snapshot_round_trip():
+    from repro.analysis.stats import Stats
+    stats = Stats()
+    stats.bump("a.hits", 3)
+    stats.set("b.level", 7.5)
+    state = stats.snapshot_state()
+    stats.bump("a.hits")
+    stats.set("c.new", 1)
+    stats.restore_state(state)
+    assert stats.as_dict() == {"a.hits": 3, "b.level": 7.5}
+
+
+def test_cache_snapshot_round_trip_preserves_wiring():
+    from repro.analysis.stats import Stats
+    from repro.memory.cache import SetAssocCache
+    stats = Stats()
+    cache = SetAssocCache(num_sets=4, assoc=2, name="l1", stats=stats)
+    cache.fill(3, cycle=1)
+    cache.fill(7, cycle=2)
+    state = cache.snapshot_state()
+    cache.fill(11, cycle=3)
+    cache.fill(15, cycle=4)
+    cache.restore_state(state)
+    assert sorted(cache.lines()) == [3, 7]
+    # Excluded wiring is untouched: the same Stats object, with the
+    # post-snapshot counters still in it (component snapshots capture
+    # component state, not the shared stats sink).
+    assert cache.stats is stats
+
+
+def test_prefetcher_snapshot_round_trip():
+    from repro.memory.prefetcher import StridePrefetcher
+    pf = StridePrefetcher(entries=8, degree=1)
+    for line in (10, 12, 14):  # establish a stride-2 pattern
+        pf.train(pc=0x40, line=line)
+    state = pf.snapshot_state()
+    reference = pf.train(pc=0x40, line=16)
+    pf.restore_state(state)
+    assert pf.train(pc=0x40, line=16) == reference
+
+
+def test_predictor_snapshot_round_trip():
+    from repro.pipeline.branch_predictor import TournamentPredictor
+    bp = TournamentPredictor()
+    for _ in range(6):
+        taken, ghr = bp.predict(0x100)
+        bp.update(0x100, True, ghr)
+    state = bp.snapshot_state()
+    reference = bp.predict(0x100)
+    taken, ghr = bp.predict(0x100)
+    bp.update(0x100, False, ghr)
+    bp.update(0x100, False, ghr)
+    bp.restore_state(state)
+    assert bp.predict(0x100) == reference
+
+
+def test_nested_components_restore_in_place():
+    """A nested SnapshotMixin field keeps its object identity across
+    restore — sub-component wiring (stats handles, back references held
+    by third parties) must survive."""
+
+    class Leaf(SnapshotMixin):
+        def __init__(self):
+            self.value = 0
+
+    class Node(SnapshotMixin):
+        _SNAPSHOT_EXCLUDE = ("wiring",)
+
+        def __init__(self):
+            self.leaf = Leaf()
+            self.items = [1, 2]
+            self.wiring = object()
+
+    node = Node()
+    leaf, wiring = node.leaf, node.wiring
+    node.leaf.value = 5
+    state = node.snapshot_state()
+    node.leaf.value = 99
+    node.items.append(3)
+    node.wiring = object()
+    node.restore_state(state)
+    assert node.leaf is leaf, "nested component must restore in place"
+    assert node.leaf.value == 5
+    assert node.items == [1, 2]
+    assert node.wiring is not wiring, "excluded wiring is not restored"
+
+
+def test_snapshot_state_is_isolated_from_later_mutation():
+    class Holder(SnapshotMixin):
+        def __init__(self):
+            self.data = {"k": [1]}
+
+    holder = Holder()
+    state = holder.snapshot_state()
+    holder.data["k"].append(2)
+    holder.restore_state(state)
+    assert holder.data == {"k": [1]}
+
+
+# -- whole-machine blobs ---------------------------------------------------
+
+
+def _mid_run_sim():
+    programs = get_workload("mcf").build(0.04)
+    sim = Simulator(programs, registry["Unsafe"]())
+    sim.run(max_insts=200)
+    return sim
+
+
+def test_simulator_blob_round_trip():
+    sim = _mid_run_sim()
+    blob = sim.snapshot()
+    restored = Simulator.restore(blob)
+    assert restored is not sim
+    assert restored.cycle == sim.cycle
+    assert restored.committed_insts() == sim.committed_insts()
+    assert restored.stats.as_dict() == sim.stats.as_dict()
+
+
+def test_restore_rejects_garbage():
+    with pytest.raises(CheckpointError):
+        Simulator.restore(b"not a checkpoint")
+
+
+def test_restore_rejects_unknown_format():
+    import pickle
+    import zlib
+    blob = zlib.compress(pickle.dumps({"format": CHECKPOINT_FORMAT + 1,
+                                       "code": "x", "sim": None}))
+    with pytest.raises(CheckpointError, match="format"):
+        restore_simulator(blob)
+
+
+def test_restore_rejects_foreign_source_tree():
+    import pickle
+    import zlib
+    sim = _mid_run_sim()
+    payload = pickle.loads(zlib.decompress(sim.snapshot()))
+    payload["code"] = "0" * len(payload["code"])
+    tampered = zlib.compress(pickle.dumps(payload))
+    with pytest.raises(CheckpointError, match="source tree"):
+        restore_simulator(tampered)
+    # The store path keys blobs by a digest that already covers the
+    # fingerprint, so it may skip the redundant header check.
+    restored = restore_simulator(tampered, check_code=False)
+    assert restored.cycle == sim.cycle
+
+
+def test_restore_rejects_blob_without_simulator():
+    import pickle
+    import zlib
+    blob = zlib.compress(pickle.dumps({"format": CHECKPOINT_FORMAT,
+                                       "code": "x", "sim": "nope"}))
+    with pytest.raises(CheckpointError, match="no simulator"):
+        restore_simulator(blob, check_code=False)
+
+
+# -- the checkpoints table -------------------------------------------------
+
+
+def _store(tmp_path, name="ck.sqlite"):
+    return ResultStore(str(tmp_path / name),
+                       run_meta=RunMeta(host="t", repro_version="0",
+                                        recorded_at=1000.0))
+
+
+def test_checkpoint_save_lookup_round_trip(tmp_path):
+    store = _store(tmp_path)
+    assert store.checkpoint_save("p1", 500, b"blob-bytes",
+                                 fmt=CHECKPOINT_FORMAT, insts=502,
+                                 cycles=9000, workload="mcf",
+                                 defense="Unsafe")
+    record = store.checkpoint_lookup("p1", 500)
+    assert record.blob == b"blob-bytes"
+    assert (record.prefix_digest, record.inst_count) == ("p1", 500)
+    assert (record.format, record.insts, record.cycles) == \
+        (CHECKPOINT_FORMAT, 502, 9000)
+    assert store.checkpoint_lookup("p1", 501) is None
+    assert store.checkpoint_lookup("p2", 500) is None
+
+
+def test_checkpoint_first_write_wins(tmp_path):
+    store = _store(tmp_path)
+    assert store.checkpoint_save("p1", 500, b"first",
+                                 fmt=CHECKPOINT_FORMAT, insts=500,
+                                 cycles=1)
+    assert not store.checkpoint_save("p1", 500, b"second",
+                                     fmt=CHECKPOINT_FORMAT, insts=500,
+                                     cycles=1)
+    assert store.checkpoint_lookup("p1", 500).blob == b"first"
+
+
+def test_checkpoint_stats_and_counts(tmp_path):
+    store = _store(tmp_path)
+    store.checkpoint_save("p1", 100, b"aa", fmt=1, insts=100, cycles=1)
+    store.checkpoint_save("p1", 200, b"bbbb", fmt=1, insts=200,
+                          cycles=2)
+    store.checkpoint_save("p2", 100, b"c", fmt=1, insts=100, cycles=1)
+    assert store.checkpoint_counts("p1") == [100, 200]
+    stats = store.checkpoint_stats()
+    assert stats["checkpoints"] == 3
+    assert stats["checkpoint_bytes"] == 7
+    assert stats["checkpoint_prefixes"] == 2
+    # And the combined stats() view folds the same numbers in.
+    assert store.stats()["checkpoints"] == 3
+
+
+def test_checkpoint_prune_filters(tmp_path):
+    store = _store(tmp_path)
+    store.checkpoint_save(
+        "aaa", 100, b"x", fmt=1, insts=100, cycles=1,
+        run_meta=RunMeta(recorded_at=100.0))
+    store.checkpoint_save(
+        "bbb", 100, b"y", fmt=1, insts=100, cycles=1,
+        run_meta=RunMeta(recorded_at=900.0))
+    with pytest.raises(ValueError):
+        store.checkpoint_prune()
+    assert store.checkpoint_prune(older_than=500.0) == 1
+    assert store.checkpoint_lookup("bbb", 100) is not None
+    assert store.checkpoint_prune(prefix="bb") == 1
+    assert store.checkpoint_stats()["checkpoints"] == 0
+    store.checkpoint_save("ccc", 1, b"z", fmt=1, insts=1, cycles=1)
+    assert store.checkpoint_prune(all_rows=True) == 1
+
+
+def test_checkpoint_prune_sanitizes_like_wildcards(tmp_path):
+    store = _store(tmp_path)
+    store.checkpoint_save("abc", 1, b"x", fmt=1, insts=1, cycles=1)
+    # A hostile/typo'd "%" must not turn a prefix prune into --all.
+    assert store.checkpoint_prune(prefix="%") == 0
+    assert store.checkpoint_prune(prefix="_b") == 0
+    assert store.checkpoint_stats()["checkpoints"] == 1
+
+
+# -- prefix digests --------------------------------------------------------
+
+
+def _point(**kwargs):
+    defaults = dict(workload=resolve_workload("mcf"),
+                    defense=registry["Unsafe"](), scale=1.0,
+                    max_insts=2000)
+    defaults.update(kwargs)
+    return SweepPoint(**defaults)
+
+
+def test_prefix_digest_ignores_horizon_and_policy():
+    base = _point().prefix_digest()
+    assert _point(max_insts=5000).prefix_digest() == base
+    assert _point(max_cycles=123456).prefix_digest() == base
+    assert _point(warmup_insts=500).prefix_digest() == base
+    sampled = _point(warmup_insts=None,
+                     sampling=RegionSampling(regions=4,
+                                             window_insts=100))
+    assert sampled.prefix_digest() == base
+
+
+def test_prefix_digest_covers_execution_inputs():
+    base = _point().prefix_digest()
+    assert _point(defense=registry["GhostMinion"]()).prefix_digest() \
+        != base
+    assert _point(scale=0.5).prefix_digest() != base
+    assert _point(workload=resolve_workload("hmmer")).prefix_digest() \
+        != base
+
+
+def test_cache_digest_forks_on_policy():
+    """Policies shape the *result* (sampling) or assert an intent
+    (warmup), so they are part of the result identity — unlike the
+    prefix identity above."""
+    base = _point().digest()
+    assert _point(warmup_insts=500).digest() != base
+    assert _point(sampling=RegionSampling(regions=4,
+                                          window_insts=100)).digest() \
+        != base
+
+
+# -- engine policies -------------------------------------------------------
+
+
+def test_resolve_checkpoints_policy(tmp_path, monkeypatch):
+    monkeypatch.delenv(ENV_CHECKPOINT_DB, raising=False)
+    assert resolve_checkpoints(None) is None
+    assert resolve_checkpoints(False) is None
+    assert resolve_checkpoints("x.sqlite") == "x.sqlite"
+    with pytest.raises(ValueError):
+        resolve_checkpoints(True)
+    monkeypatch.setenv(ENV_CHECKPOINT_DB, "env.sqlite")
+    assert resolve_checkpoints(None) == "env.sqlite"
+    assert resolve_checkpoints(True) == "env.sqlite"
+    assert resolve_checkpoints(False) is None
+    monkeypatch.delenv(ENV_CHECKPOINT_DB)
+    store = _store(tmp_path)
+    assert resolve_checkpoints(None, cache=store) == store.path
+    assert resolve_checkpoints(
+        None, cache=StoreCache(store)) == store.path
+
+
+def test_warm_start_matches_cold_and_reports_telemetry(tmp_path):
+    ck = str(tmp_path / "ck.sqlite")
+    cold = run_points([_point()], cache=False).results
+    warm_point = _point(warmup_insts=1500)
+    creating = run_points([warm_point], cache=False, checkpoints=ck)
+    restoring = run_points([warm_point], cache=False, checkpoints=ck)
+    made, restored = (next(iter(creating.results)),
+                      next(iter(restoring.results)))
+    reference = next(iter(cold))
+    # Byte-identical simulation outcome on all three paths.
+    for result in (made, restored):
+        assert result.cycles == reference.cycles
+        assert result.insts == reference.insts
+        assert result.stats == reference.stats
+    # Telemetry: the creating run simulated everything, the restoring
+    # run skipped the warm-up prefix.
+    assert made.warm_insts == 0
+    assert restored.warm_insts >= 1500
+    assert creating.warm_insts() == 0
+    assert restoring.warm_insts() >= 1500
+    assert "warm-start avoided" in restoring.timing_summary()
+    assert ResultStore(ck).checkpoint_stats()["checkpoints"] == 1
+
+
+def test_warm_start_without_database_still_matches_cold():
+    cold = next(iter(run_points([_point()], cache=False).results))
+    warm = next(iter(run_points([_point(warmup_insts=1500)],
+                                cache=False).results))
+    assert (warm.cycles, warm.insts, warm.stats) == \
+        (cold.cycles, cold.insts, cold.stats)
+    assert warm.warm_insts == 0
+
+
+def test_warm_start_shares_checkpoints_across_horizons(tmp_path):
+    """Points differing only in max_insts share the warm-up prefix —
+    the second horizon restores the first's checkpoint."""
+    ck = str(tmp_path / "ck.sqlite")
+    run_points([_point(max_insts=1800, warmup_insts=1500)],
+               cache=False, checkpoints=ck)
+    report = run_points([_point(max_insts=2000, warmup_insts=1500)],
+                        cache=False, checkpoints=ck)
+    assert report.warm_insts() >= 1500
+    assert ResultStore(ck).checkpoint_stats()["checkpoints"] == 1
+
+
+def test_warm_start_is_not_saved_past_program_end(tmp_path):
+    """A warm-up that the program finishes before is a complete run,
+    not a prefix: nothing is stored, results still match cold."""
+    ck = str(tmp_path / "ck.sqlite")
+    point = _point(max_insts=None, warmup_insts=10**9)
+    report = run_points([point], cache=False, checkpoints=ck)
+    result = next(iter(report.results))
+    assert result.finished
+    assert ResultStore(ck).checkpoint_stats()["checkpoints"] == 0
+
+
+def test_sampling_generator_and_restore_passes_agree(tmp_path):
+    ck = str(tmp_path / "ck.sqlite")
+    point = _point(sampling=RegionSampling(regions=4,
+                                           window_insts=300))
+    generator = run_points([point], cache=False, checkpoints=ck)
+    restore = run_points([point], cache=False, checkpoints=ck)
+    first = next(iter(generator.results))
+    second = next(iter(restore.results))
+    assert first.to_json_dict() == second.to_json_dict()
+    assert first.warm_insts == 0
+    assert second.warm_insts > 0
+    # Region boundaries 1..K-1 were snapshotted by the generator pass.
+    assert ResultStore(ck).checkpoint_stats()["checkpoints"] == 3
+    # Sampled results are marked estimates.
+    assert not first.finished
+    assert first.stats["sampled.regions"] == 4.0
+    assert first.stats["sampled.measured_insts"] > 0
+
+
+def test_sampling_without_store_is_deterministic():
+    point = _point(sampling=RegionSampling(regions=3,
+                                           window_insts=200))
+    first = run_points([point], cache=False)
+    second = run_points([point], cache=False)
+    assert next(iter(first.results)).to_json_dict() == \
+        next(iter(second.results)).to_json_dict()
+
+
+def test_sampling_with_huge_window_degenerates_to_exact():
+    cold = next(iter(run_points([_point()], cache=False).results))
+    point = _point(sampling=RegionSampling(regions=1,
+                                           window_insts=10**9))
+    sampled = next(iter(run_points([point], cache=False).results))
+    assert sampled.cycles == cold.cycles
+    assert sampled.insts == cold.insts
+    # Exact in every shared counter; only the sampled.* markers differ.
+    shared = {name: value for name, value in sampled.stats.items()
+              if not name.startswith("sampled.")}
+    assert shared == cold.stats
+
+
+def test_sampling_estimate_tracks_exact_run():
+    cold = next(iter(run_points([_point()], cache=False).results))
+    point = _point(sampling=RegionSampling(regions=4,
+                                           window_insts=300))
+    sampled = next(iter(run_points([point], cache=False).results))
+    assert abs(sampled.cycles - cold.cycles) / cold.cycles < 0.25
+    speedup = (cold.insts
+               / sampled.stats["sampled.measured_insts"])
+    assert speedup > 1.5, "sampling must simulate far fewer insts"
+
+
+def test_sampling_validation():
+    with pytest.raises(ValueError, match="max_insts"):
+        run_points([_point(max_insts=None,
+                           sampling=RegionSampling(regions=2,
+                                                   window_insts=10))],
+                   cache=False)
+    with pytest.raises(ValueError, match="mutually exclusive"):
+        run_points([_point(warmup_insts=100,
+                           sampling=RegionSampling(regions=2,
+                                                   window_insts=10))],
+                   cache=False)
+    with pytest.raises(ValueError):
+        RegionSampling(regions=0, window_insts=10)
+    with pytest.raises(ValueError):
+        RegionSampling(regions=2, window_insts=0)
+
+
+def test_warm_start_parallel_workers(tmp_path):
+    """The pool path: worker processes open their own checkpoint-store
+    connections (fork-inherited sqlite handles are never reused)."""
+    ck = str(tmp_path / "ck.sqlite")
+    points = [
+        _point(warmup_insts=1500),
+        _point(defense=registry["GhostMinion"](), warmup_insts=1500),
+    ]
+    first = run_points(points, jobs=2, cache=False, checkpoints=ck)
+    second = run_points(points, jobs=2, cache=False, checkpoints=ck)
+    assert ResultStore(ck).checkpoint_stats()["checkpoints"] == 2
+    assert second.warm_insts() >= 3000
+    for before, after in zip(first.results, second.results):
+        assert before.to_json_dict() == after.to_json_dict()
+
+
+def test_checkpoint_db_derived_from_store_cache(tmp_path):
+    """--db gives warm-start for free: the result store doubles as the
+    checkpoint database."""
+    db = str(tmp_path / "results.sqlite")
+    point = _point(warmup_insts=1500)
+    with ResultStore(db, run_meta=RunMeta.capture()) as store:
+        run_points([point], cache=store)
+        assert store.checkpoint_stats()["checkpoints"] == 1
+    # Second engine invocation: the *result* is a cache hit, so no
+    # simulation happens at all — the checkpoint is belt to that
+    # suspender for cache-missing points sharing the prefix.
+    with ResultStore(db, run_meta=RunMeta.capture()) as store:
+        report = run_points([_point(max_insts=2500,
+                                    warmup_insts=1500)],
+                            cache=store)
+        assert report.cache_hits == 0
+        assert report.warm_insts() >= 1500

@@ -279,3 +279,29 @@ def test_run_points_mixed_sweeps_single_invocation(tmp_path):
     assert report.total == 2
     assert report.results.keys() == [
         "hmmer::Unsafe::base", "hmmer::GhostMinion::128B"]
+
+
+# ---------------------------------------------------------------------------
+# timing telemetry
+# ---------------------------------------------------------------------------
+
+def test_point_timings_keep_fixed_columns_across_cached_points(tmp_path):
+    """Cached points get a timing row too (seconds 0.0, cached True) —
+    mixed cached/fresh sweeps must not change the table's shape."""
+    sweep = small_sweep(workloads=["hmmer"])
+    run_sweep(sweep, cache=str(tmp_path))          # populate
+    report = run_sweep(sweep, cache=str(tmp_path))  # all hits
+    rows = report.point_timings()
+    assert len(rows) == report.total == 2
+    expected_keys = {"key", "seconds", "cycles", "cached",
+                     "warm_insts", "skipped_cycles", "skipped_by_class"}
+    for row in rows:
+        assert set(row) == expected_keys
+        assert row["cached"] is True
+        assert row["seconds"] == 0.0
+    # Cached rows never surface in the slowest-points summary.
+    assert "slowest" not in report.timing_summary()
+    assert report.sim_seconds() == 0.0
+    meta = report.timing_meta()
+    assert meta["warm_insts"] == 0
+    assert len(meta["points"]) == 2

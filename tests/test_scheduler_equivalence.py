@@ -169,3 +169,78 @@ def test_dense_loop_env_knob(monkeypatch):
     assert not dense_loop_forced()
     result = _run("mcf", 0.04, registry["Unsafe"](), dense=None)
     assert result.skipped_cycles > 0
+
+
+# -- checkpoint equivalence ------------------------------------------------
+#
+# `Simulator.run` must be splittable at any committed-instruction
+# boundary *through a serialized checkpoint*: (warm-up → snapshot →
+# restore → continue) is byte-identical to one cold run — cycles, every
+# stats counter, architectural registers.  This is the contract the
+# engine's warm-start and region-sampling policies stand on (see
+# docs/checkpoints.md).
+
+CHECKPOINT_BOUNDARY = 300
+
+
+def assert_checkpoint_equivalent(workload, scale, defense_fn,
+                                 boundary=CHECKPOINT_BOUNDARY,
+                                 cfg_fn=None):
+    programs = get_workload(workload).build(scale)
+
+    def make_sim():
+        cfg = None
+        if cfg_fn is not None:
+            cfg = cfg_fn(default_config(cores=len(programs)))
+        return Simulator(programs, defense_fn(), cfg=cfg)
+
+    cold = make_sim().run()
+    warm = make_sim()
+    leg = warm.run(max_insts=boundary)
+    assert not leg.finished, (
+        "boundary %d is past the end of %s@%s — the checkpoint matrix "
+        "would be vacuous" % (boundary, workload, scale))
+    blob = warm.snapshot()
+    resumed = Simulator.restore(blob).run()
+    assert resumed.cycles == cold.cycles
+    assert resumed.finished == cold.finished
+    assert resumed.stats.as_dict() == cold.stats.as_dict()
+    assert len(resumed.cores) == len(cold.cores)
+    for core in range(len(cold.cores)):
+        assert resumed.arch_regs(core) == cold.arch_regs(core)
+    # The donor simulator is untouched by the snapshot: continuing it
+    # matches too (snapshot is read-only).
+    donor = warm.run()
+    assert donor.cycles == cold.cycles
+    assert donor.stats.as_dict() == cold.stats.as_dict()
+    return blob
+
+
+@pytest.mark.parametrize("defense_name", sorted(registry))
+def test_every_defense_checkpoint_matches_cold(defense_name):
+    assert_checkpoint_equivalent("mcf", 0.04,
+                                 lambda: registry[defense_name]())
+
+
+def test_checkpoint_matches_cold_under_starved_mshrs():
+    """The multi-core interference mix with starved MSHRs: retrying
+    loads, directory state and shared-MSHR quotas must all survive the
+    round-trip mid-flight."""
+    assert_checkpoint_equivalent("canneal", 0.03,
+                                 lambda: registry["GhostMinion"](),
+                                 cfg_fn=_starved_mshrs)
+
+
+def test_checkpoint_restore_is_repeatable():
+    """One blob, two restores: both continuations are identical (the
+    warm-start policy restores the same checkpoint for every run that
+    shares the prefix)."""
+    programs = get_workload("mcf").build(0.04)
+    sim = Simulator(programs, registry["Unsafe"]())
+    sim.run(max_insts=CHECKPOINT_BOUNDARY)
+    blob = sim.snapshot()
+    first = Simulator.restore(blob).run()
+    second = Simulator.restore(blob).run()
+    assert first.cycles == second.cycles
+    assert first.stats.as_dict() == second.stats.as_dict()
+    assert first.arch_regs() == second.arch_regs()

@@ -126,6 +126,39 @@ def test_non_store_file_rejected(tmp_path):
         ResultStore(str(path))
 
 
+def test_checkpoint_schema_version_mismatch_rejected(tmp_path):
+    """Checkpoints version independently of results: an incompatible
+    checkpoint layout must not take the whole result store down with a
+    misleading error — it gets its own."""
+    path = str(tmp_path / "r.sqlite")
+    ResultStore(path).close()
+    conn = sqlite3.connect(path)
+    conn.execute("UPDATE store_meta SET value='999' "
+                 "WHERE key='checkpoint_schema_version'")
+    conn.commit()
+    conn.close()
+    with pytest.raises(StoreError, match="checkpoint schema"):
+        ResultStore(path)
+
+
+def test_pre_checkpoint_store_is_upgraded_in_place(tmp_path):
+    """Opening a store created before the checkpoints table existed
+    adopts it: the version key is stamped and checkpoints work."""
+    path = str(tmp_path / "r.sqlite")
+    ResultStore(path).close()
+    conn = sqlite3.connect(path)
+    conn.execute("DELETE FROM store_meta "
+                 "WHERE key='checkpoint_schema_version'")
+    conn.execute("DROP TABLE checkpoints")
+    conn.commit()
+    conn.close()
+    reopened = ResultStore(path)
+    assert reopened.checkpoint_stats()["checkpoints"] == 0
+    assert reopened.checkpoint_save("p", 1, b"x", fmt=1, insts=1,
+                                    cycles=1)
+    reopened.close()
+
+
 # ---------------------------------------------------------------------------
 # engine integration: write-through and strict replay
 # ---------------------------------------------------------------------------
