@@ -1,0 +1,199 @@
+"""Runtime selection of the compiled hot-core build (``REPRO_ACCEL``).
+
+The per-cycle step loop lives in :mod:`repro.pipeline.hotcore`, which
+an accelerated install (``REPRO_BUILD_ACCEL=1 pip install -e .[accel]``,
+see setup.py) additionally ships as a mypyc extension module.  Python's
+import machinery prefers the extension over the ``.py`` source sitting
+next to it, so merely importing the module picks the compiled build
+when present.  This module adds the runtime knob on top:
+
+``REPRO_ACCEL=1``
+    Require the compiled build; if the extension is absent, warn once
+    on stderr and fall back to pure Python.
+``REPRO_ACCEL=0``
+    Force the pure-Python build even when the extension is installed
+    (the differential oracle for parity testing).
+unset / anything else
+    Auto: use the compiled build when present.
+
+Either way the module is registered in ``sys.modules`` under its one
+canonical name, ``repro.pipeline.hotcore`` — pickled checkpoints
+reference ``DynInst`` by module path, so blobs written under one build
+restore under the other.
+
+``python -m repro.accel`` prints the selection as JSON;
+``python -m repro.accel --digest`` additionally runs one smoke point
+and prints its cycles/stats/regs digest, which ``tests/test_accel.py``
+and ``benchmarks/bench_perf_smoke.py`` compare across
+``REPRO_ACCEL=0``/``1`` subprocesses to enforce the byte-identical
+parity contract.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import os
+import sys
+from types import ModuleType
+from typing import Optional
+
+HOTCORE_MODULE = "repro.pipeline.hotcore"
+ENV_ACCEL = "REPRO_ACCEL"
+
+#: Extension suffixes that mark a compiled (mypyc/Cython) build.
+_EXT_SUFFIXES = (".so", ".pyd")
+
+_warned_missing = False
+
+
+def _origin(spec) -> str:
+    return getattr(spec, "origin", None) or ""
+
+
+def _compiled_origin() -> Optional[str]:
+    """Path of the compiled extension the import system would pick,
+    or None when only the pure source is importable."""
+    try:
+        spec = importlib.util.find_spec(HOTCORE_MODULE)
+    except (ImportError, ValueError):  # pragma: no cover - broken tree
+        return None
+    origin = _origin(spec)
+    if origin.endswith(_EXT_SUFFIXES):
+        return origin
+    return None
+
+
+def _source_path(compiled: str) -> Optional[str]:
+    """The pure ``hotcore.py`` sitting next to the compiled extension."""
+    candidate = os.path.join(os.path.dirname(compiled), "hotcore.py")
+    return candidate if os.path.exists(candidate) else None
+
+
+def _load_pure_source(path: str) -> ModuleType:
+    """Exec the pure source under the canonical module name.
+
+    Registration happens *before* exec and under ``repro.pipeline.
+    hotcore`` (not a shadow name): checkpoint blobs pickle ``DynInst``
+    by module path, so the name must resolve identically whichever
+    build is active.
+    """
+    spec = importlib.util.spec_from_file_location(HOTCORE_MODULE, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[HOTCORE_MODULE] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop(HOTCORE_MODULE, None)
+        raise
+    return module
+
+
+def load_hotcore() -> ModuleType:
+    """Import the hot-core module honouring ``REPRO_ACCEL``.
+
+    Idempotent: the first caller in a process decides (imports are
+    cached), so set the environment variable before importing repro.
+    """
+    module = sys.modules.get(HOTCORE_MODULE)
+    if module is not None:
+        return module
+    global _warned_missing
+    want = os.environ.get(ENV_ACCEL, "").strip()
+    compiled = _compiled_origin()
+    if want == "0" and compiled is not None:
+        source = _source_path(compiled)
+        if source is not None:
+            return _load_pure_source(source)
+        if not _warned_missing:
+            _warned_missing = True
+            print("repro.accel: REPRO_ACCEL=0 but no pure source next "
+                  "to %s; using the compiled build" % compiled,
+                  file=sys.stderr)
+    elif want == "1" and compiled is None and not _warned_missing:
+        _warned_missing = True
+        print("repro.accel: REPRO_ACCEL=1 but the compiled extension "
+              "is not installed (REPRO_BUILD_ACCEL=1 pip install -e "
+              ".[accel]); falling back to pure Python",
+              file=sys.stderr)
+    return importlib.import_module(HOTCORE_MODULE)
+
+
+def is_compiled(module: Optional[ModuleType] = None) -> bool:
+    """True when the *active* hot-core build is a compiled extension."""
+    if module is None:
+        module = load_hotcore()
+    return getattr(module, "__file__", "").endswith(_EXT_SUFFIXES)
+
+
+def accel_status() -> dict:
+    """Selection summary (the ``python -m repro.accel`` payload)."""
+    module = load_hotcore()
+    return {
+        "requested": os.environ.get(ENV_ACCEL) or None,
+        "compiled_available": _compiled_origin() is not None,
+        "active": "compiled" if is_compiled(module) else "pure",
+        "module_file": getattr(module, "__file__", None),
+    }
+
+
+def _digest_payload(scale: float) -> dict:
+    """Run one event-path smoke point and digest its results.
+
+    The digest covers everything the parity contract names: cycles,
+    the full stats dict, and the architectural registers.  Subprocesses
+    running under REPRO_ACCEL=0 and =1 must produce identical payloads
+    (modulo ``seconds``).
+    """
+    import hashlib
+    import json
+    import time
+
+    from repro.defenses import registry
+    from repro.sim.simulator import Simulator
+    from repro.workloads.spec import get_workload
+
+    programs = get_workload("mcf").build(scale)
+    defense = registry["GhostMinion"]()
+    start = time.perf_counter()
+    sim = Simulator(programs, defense)
+    result = sim.run()
+    seconds = time.perf_counter() - start
+    stats = result.stats.as_dict()
+    canonical = json.dumps(
+        {"cycles": result.cycles, "stats": stats,
+         "regs": [core.arch_regs() for core in sim.cores]},
+        sort_keys=True)
+    return {
+        "active": accel_status()["active"],
+        "cycles": result.cycles,
+        "insts": int(stats.get("commit.insts", 0)),
+        "skipped_cycles": result.skipped_cycles,
+        "digest": hashlib.sha256(canonical.encode()).hexdigest(),
+        "seconds": seconds,
+    }
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.accel",
+        description="Report (or exercise) the hot-core build selection.")
+    parser.add_argument("--digest", action="store_true",
+                        help="run one smoke point and print its "
+                             "cycles/stats/regs digest (parity probe)")
+    parser.add_argument("--scale", type=float, default=0.04,
+                        help="workload scale for --digest "
+                             "(default 0.04)")
+    args = parser.parse_args(argv)
+    payload = accel_status()
+    if args.digest:
+        payload.update(_digest_payload(args.scale))
+    print(json.dumps(payload, sort_keys=True, indent=2))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -33,6 +33,10 @@ Commands
 ``cache {stats,prune}``
     JSON result-cache maintenance: entry count/bytes, and pruning by
     age (``--older-than 30d``) or wholesale (``--all``).
+``bench [--baseline PATH] [--current PATH] [--max-regress PCT]``
+    Run the perf smoke bench and diff each section's speedup against
+    the committed ``BENCH_perf.json`` (``--current`` diffs a recorded
+    payload instead of re-running).
 
 Everywhere a defense or workload is named, a parameterized **spec
 string** works too: ``--defense "MuonTrap(flush=True)"``,
@@ -66,6 +70,7 @@ import argparse
 import dataclasses
 import json
 import math
+import os
 import re
 import sys
 import time
@@ -135,6 +140,18 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
                         help="emit machine-readable JSON on stdout")
 
 
+def _add_profile_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", action="store_true",
+                        help="run the simulation under cProfile and "
+                             "print the top 25 cumulative-time entries "
+                             "to stderr (forces --jobs 1)")
+    parser.add_argument("--profile-out", default=None, metavar="PATH",
+                        dest="profile_out",
+                        help="write the raw cProfile data to PATH "
+                             "instead of printing (implies --profile; "
+                             "inspect with `python -m pstats`)")
+
+
 def _add_shard_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--shard", default=None, metavar="I/N",
                         help="run only the I-th (0-based) of N "
@@ -195,6 +212,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--scale", type=float, default=0.25)
     _add_engine_args(run_p)
     _add_max_insts_arg(run_p)
+    _add_profile_args(run_p)
 
     cmp_p = sub.add_parser("compare",
                            help="all defenses on the given workloads")
@@ -227,6 +245,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_engine_args(swp_p)
     _add_max_insts_arg(swp_p)
     _add_shard_args(swp_p)
+    _add_profile_args(swp_p)
 
     mrg_p = sub.add_parser(
         "merge", help="gather sweep shard files into a result store")
@@ -293,6 +312,25 @@ def _build_parser() -> argparse.ArgumentParser:
     cch_p.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON on stdout")
 
+    bch_p = sub.add_parser(
+        "bench",
+        help="run the perf bench and diff against BENCH_perf.json")
+    bch_p.add_argument("--baseline", default=None, metavar="PATH",
+                       help="committed bench payload to diff against "
+                            "(default ./BENCH_perf.json)")
+    bch_p.add_argument("--current", default=None, metavar="PATH",
+                       help="diff this previously recorded payload "
+                            "instead of re-running the bench")
+    bch_p.add_argument("--scale", type=float, default=None,
+                       help="workload scale for the re-run (default "
+                            "$REPRO_BENCH_PERF_SCALE or 0.25)")
+    bch_p.add_argument("--max-regress", type=float, default=None,
+                       metavar="PCT", dest="max_regress",
+                       help="exit non-zero if any section's speedup "
+                            "regressed by more than PCT percent")
+    bch_p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON on stdout")
+
     atk_p = sub.add_parser("attack", help="run a transient attack")
     atk_p.add_argument("which",
                        choices=["spectre", "rewind", "interference"])
@@ -340,6 +378,34 @@ def _cache_from_args(args):
     if args.cache_dir:
         return args.cache_dir
     return True
+
+
+def _maybe_profile(args, thunk):
+    """Run ``thunk`` under cProfile when ``--profile``/``--profile-out``
+    was given.  Jobs are forced to 1: the profiler only sees this
+    process, and points executed in workers would escape it."""
+    if not (getattr(args, "profile", False)
+            or getattr(args, "profile_out", None)):
+        return thunk()
+    import cProfile
+    import pstats
+    if args.jobs not in (None, 1):
+        print("profile: forcing --jobs 1 (worker processes are "
+              "invisible to cProfile)", file=sys.stderr)
+    args.jobs = 1
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return thunk()
+    finally:
+        profiler.disable()
+        if args.profile_out:
+            profiler.dump_stats(args.profile_out)
+            print("profile: raw stats -> %s" % args.profile_out,
+                  file=sys.stderr)
+        else:
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(25)
 
 
 def _sampling_from_args(args):
@@ -449,14 +515,14 @@ def _cmd_run(args) -> int:
     except ValueError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
-    report = run_sweep(
-        Sweep(name="run", workloads=[args.workload],
-              defenses=[args.defense], scale=args.scale,
-              max_insts=args.max_insts,
-              warmup_insts=args.warmup_insts, sampling=sampling),
-        jobs=args.jobs, cache=_cache_from_args(args),
+    sweep = Sweep(name="run", workloads=[args.workload],
+                  defenses=[args.defense], scale=args.scale,
+                  max_insts=args.max_insts,
+                  warmup_insts=args.warmup_insts, sampling=sampling)
+    report = _maybe_profile(args, lambda: run_sweep(
+        sweep, jobs=args.jobs, cache=_cache_from_args(args),
         progress=_progress_to_stderr,
-        checkpoints=_checkpoints_from_args(args))
+        checkpoints=_checkpoints_from_args(args)))
     point = next(iter(report.results))
     _report_engine(report)
     if args.json:
@@ -589,10 +655,10 @@ def _cmd_sweep(args) -> int:
         points, note = _apply_shard(args, sweep)
         if note:
             print(note, file=sys.stderr)
-        report = run_points(points, jobs=args.jobs,
-                            cache=_cache_from_args(args),
-                            progress=_progress_to_stderr,
-                            checkpoints=_checkpoints_from_args(args))
+        report = _maybe_profile(args, lambda: run_points(
+            points, jobs=args.jobs, cache=_cache_from_args(args),
+            progress=_progress_to_stderr,
+            checkpoints=_checkpoints_from_args(args)))
     except ValueError as exc:
         # malformed --shard, or out-of-range shard index
         print("error: %s" % exc, file=sys.stderr)
@@ -809,6 +875,137 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _bench_sections(payload):
+    """Flatten a BENCH_perf.json payload into ``{section: payload}``.
+
+    The original scheduler numbers live at top level (the legacy
+    layout); every newer section nests under its own key.  A section is
+    anything carrying a ``speedup``.
+    """
+    sections = {}
+    if "speedup" in payload:
+        sections[str(payload.get("bench", "perf_smoke"))] = payload
+    for key, value in payload.items():
+        if isinstance(value, dict) and "speedup" in value:
+            sections[key] = value
+    return sections
+
+
+def _load_bench_payload(path, label):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print("error: cannot read %s %s (%s)" % (label, path, exc),
+              file=sys.stderr)
+        return None
+    if not isinstance(payload, dict):
+        print("error: %s %s is not a JSON object" % (label, path),
+              file=sys.stderr)
+        return None
+    return payload
+
+
+def _run_bench(args, baseline_path):
+    """Execute the perf smoke bench into a fresh payload dict."""
+    import subprocess
+    import tempfile
+    root = os.path.dirname(os.path.abspath(baseline_path))
+    script = os.path.join(root, "benchmarks", "bench_perf_smoke.py")
+    if not os.path.exists(script):
+        print("error: %s not found — run from a checkout or pass "
+              "--current PATH" % script, file=sys.stderr)
+        return None
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "bench.json")
+        env = dict(os.environ, REPRO_BENCH_PERF_OUT=out)
+        if args.scale is not None:
+            env["REPRO_BENCH_PERF_SCALE"] = repr(args.scale)
+        print("bench: running %s at scale %s (simulates; takes "
+              "minutes)" % (script,
+                            env.get("REPRO_BENCH_PERF_SCALE", "0.25")),
+              file=sys.stderr)
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-q", script], env=env)
+        if proc.returncode != 0:
+            print("error: bench run failed (exit %d)" % proc.returncode,
+                  file=sys.stderr)
+            return None
+        return _load_bench_payload(out, "bench output")
+
+
+def _cmd_bench(args) -> int:
+    baseline_path = args.baseline or "BENCH_perf.json"
+    baseline = _load_bench_payload(baseline_path, "baseline")
+    if baseline is None:
+        print("hint: run from the repo root or pass --baseline PATH",
+              file=sys.stderr)
+        return 2
+    if args.current:
+        current = _load_bench_payload(args.current, "--current")
+        if current is None:
+            return 2
+    else:
+        current = _run_bench(args, baseline_path)
+        if current is None:
+            return 1
+    base_sections = _bench_sections(baseline)
+    cur_sections = _bench_sections(current)
+    diff = {}
+    rows = []
+    regressions = []
+    for name in sorted(set(base_sections) | set(cur_sections)):
+        base = base_sections.get(name)
+        cur = cur_sections.get(name)
+        entry = {
+            "baseline_speedup": base["speedup"] if base else None,
+            "current_speedup": cur["speedup"] if cur else None,
+            "delta_pct": None,
+        }
+        note = ""
+        if base is None:
+            note = "new section"
+        elif cur is None:
+            note = "missing from current"
+        else:
+            if base.get("scale") != cur.get("scale"):
+                note = "scale differs"
+            if base["speedup"]:
+                entry["delta_pct"] = round(
+                    (cur["speedup"] - base["speedup"])
+                    / base["speedup"] * 100.0, 1)
+                if (args.max_regress is not None
+                        and entry["delta_pct"] < -args.max_regress):
+                    regressions.append(
+                        "%s: %.2fx -> %.2fx (%.1f%%)"
+                        % (name, base["speedup"], cur["speedup"],
+                           entry["delta_pct"]))
+        diff[name] = entry
+        rows.append((
+            name,
+            "%.2fx" % base["speedup"] if base else "-",
+            "%.2fx" % cur["speedup"] if cur else "-",
+            ("%+.1f%%" % entry["delta_pct"]
+             if entry["delta_pct"] is not None else "-"),
+            note,
+        ))
+    if args.json:
+        print(json.dumps({"baseline": baseline_path,
+                          "sections": diff,
+                          "regressions": regressions},
+                         sort_keys=True, indent=2))
+    else:
+        print(format_table(
+            ["section", "baseline", "current", "delta", "note"], rows))
+    if regressions:
+        print("error: speedup regressed beyond %.1f%%:"
+              % args.max_regress, file=sys.stderr)
+        for line in regressions:
+            print("  " + line, file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_attack(args) -> int:
     from repro.attacks import interference, spectre, spectre_rewind
     module = {"spectre": spectre, "rewind": spectre_rewind,
@@ -955,6 +1152,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "store": _cmd_store,
         "cache": _cmd_cache,
+        "bench": _cmd_bench,
         "attack": _cmd_attack,
         "list": _cmd_list,
         "describe": _cmd_describe,

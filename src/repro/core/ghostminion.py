@@ -80,6 +80,19 @@ class Minion(SnapshotMixin):
                         if rob_entries > 0 else None)
         self._sets: List[Dict[int, MinionLine]] = [
             {} for _ in range(num_sets)]
+        # Read-path handles are public: defense hierarchies emit them in
+        # their stall-proof dry-runs (see _probe_stall_bumps overrides).
+        self.h_misses = self.stats.handle(name + ".misses")
+        self.h_timeguard_blocks = self.stats.handle(
+            name + ".timeguard_blocks")
+        self.h_read_hits = self.stats.handle(name + ".read_hits")
+        self._h_fills = self.stats.handle(name + ".fills")
+        self._h_fill_fails = self.stats.handle(name + ".fill_fails")
+        self._h_fill_evictions = self.stats.handle(name + ".fill_evictions")
+        self._h_commit_moves = self.stats.handle(name + ".commit_moves")
+        self._h_wipes = self.stats.handle(name + ".wipes")
+        self._h_wiped_lines = self.stats.handle(name + ".wiped_lines")
+        self._h_invalidations = self.stats.handle(name + ".invalidations")
 
     # -- geometry -------------------------------------------------------
 
@@ -119,15 +132,15 @@ class Minion(SnapshotMixin):
         """
         entry = self.get(line)
         if entry is None:
-            self.stats.bump(self.name + ".misses")
+            self.stats.add(self.h_misses)
             return "miss"
         if not self.timeless and entry.ts > ts:
             self._check_window(entry.ts, ts, False)
-            self.stats.bump(self.name + ".timeguard_blocks")
+            self.stats.add(self.h_timeguard_blocks)
             return "timeguard"
         if not self.timeless:
             self._check_window(entry.ts, ts, True)
-        self.stats.bump(self.name + ".read_hits")
+        self.stats.add(self.h_read_hits)
         return "hit"
 
     def probe(self, line: int, ts: int) -> bool:
@@ -179,13 +192,13 @@ class Minion(SnapshotMixin):
                 existing.ts = min(existing.ts, ts)
                 existing.version = version
                 existing.src_level = min(existing.src_level, src_level)
-                self.stats.bump(self.name + ".fills")
+                self.stats.add(self._h_fills)
                 return FillOutcome(filled=True)
-            self.stats.bump(self.name + ".fill_fails")
+            self.stats.add(self._h_fill_fails)
             return FillOutcome(filled=False)
         if len(minion_set) < self.assoc:
             minion_set[line] = MinionLine(line, ts, version, src_level)
-            self.stats.bump(self.name + ".fills")
+            self.stats.add(self._h_fills)
             return FillOutcome(filled=True, took_free_slot=True)
         if self.timeless:
             # No timestamp concept: evict an arbitrary (oldest-inserted)
@@ -194,14 +207,14 @@ class Minion(SnapshotMixin):
         else:
             candidates = [e for e in minion_set.values() if e.ts >= ts]
             if not candidates:
-                self.stats.bump(self.name + ".fill_fails")
+                self.stats.add(self._h_fill_fails)
                 return FillOutcome(filled=False)
             victim = max(candidates, key=lambda e: e.ts).line
             self._check_window(ts, minion_set[victim].ts, True)
         del minion_set[victim]
         minion_set[line] = MinionLine(line, ts, version, src_level)
-        self.stats.bump(self.name + ".fills")
-        self.stats.bump(self.name + ".fill_evictions")
+        self.stats.add(self._h_fills)
+        self.stats.add(self._h_fill_evictions)
         return FillOutcome(filled=True, evicted=victim)
 
     # -- commit (fig. 3) --------------------------------------------------
@@ -218,7 +231,7 @@ class Minion(SnapshotMixin):
             # invisible to this commit.
             return None
         del self._sets[self.set_index(line)][line]
-        self.stats.bump(self.name + ".commit_moves")
+        self.stats.add(self._h_commit_moves)
         return entry
 
     # -- squash (§4.2) ----------------------------------------------------
@@ -240,8 +253,8 @@ class Minion(SnapshotMixin):
             for line in doomed:
                 del minion_set[line]
             wiped += len(doomed)
-        self.stats.bump(self.name + ".wipes")
-        self.stats.bump(self.name + ".wiped_lines", wiped)
+        self.stats.add(self._h_wipes)
+        self.stats.add(self._h_wiped_lines, wiped)
         return wiped
 
     def invalidate(self, line: int) -> bool:
@@ -249,7 +262,7 @@ class Minion(SnapshotMixin):
         minion_set = self._sets[self.set_index(line)]
         if line in minion_set:
             del minion_set[line]
-            self.stats.bump(self.name + ".invalidations")
+            self.stats.add(self._h_invalidations)
             return True
         return False
 

@@ -75,6 +75,11 @@ class GhostMinionHierarchy(BaseHierarchy):
         # Fill functions targeted by squash-time fill dropping.
         self._minion_fill_fns = {self._fill_dminion, self._fill_iminion}
         self._h_timeguard_loads = stats.handle("gm.timeguard_loads")
+        self._h_iprefetches = stats.handle("gm.iprefetches")
+        self._h_fill_denied = stats.handle("coh.minion_fill_denied")
+        self._h_commit_replays = stats.handle("coh.commit_replays")
+        self._h_commit_refetches = stats.handle("coh.commit_refetches")
+        self._h_async_reloads = stats.handle("dminion.async_reloads")
 
     def _tlb_minion_enabled(self) -> bool:
         # §4.9: GhostMinions attach to TLBs too (when the TLB is
@@ -113,7 +118,7 @@ class GhostMinionHierarchy(BaseHierarchy):
         if l2_entry is not None:
             l2_entry.dependents.append((self.iport.mshrs, entry))
         entry.fill_actions.append((self._fill_iminion, None))
-        self.stats.bump("gm.iprefetches")
+        self.stats.add(self._h_iprefetches)
 
     # ------------------------------------------------------------------
     # probes: Minion accessed in parallel with the L1 (§4.3)
@@ -162,13 +167,13 @@ class GhostMinionHierarchy(BaseHierarchy):
             if outcome == "hit":
                 return None
             if outcome == "timeguard":
-                bumps.append(minion.name + ".timeguard_blocks")
-                bumps.append("gm.timeguard_loads")
+                bumps.append(minion.h_timeguard_blocks)
+                bumps.append(self._h_timeguard_loads)
             else:
-                bumps.append(minion.name + ".misses")
+                bumps.append(minion.h_misses)
         if port.cache.contains(line):
             return None
-        bumps.append(port.cache.name + ".misses")
+        bumps.append(port.h_misses)
         return bumps
 
     # ------------------------------------------------------------------
@@ -206,7 +211,7 @@ class GhostMinionHierarchy(BaseHierarchy):
             # §4.6: no Shared Minion copy while a remote core holds the
             # line modified: the data passes through uncached and the
             # load refetches coherently at commit.
-            self.stats.bump("coh.minion_fill_denied")
+            self.stats.add(self._h_fill_denied)
             req.uncached = True
             return []
         if port is self.dport:
@@ -246,7 +251,7 @@ class GhostMinionHierarchy(BaseHierarchy):
                     and entry.version != self.shared.directory.version(line)):
                 # §4.6: the speculatively forwarded copy went stale; the
                 # load is replayed non-speculatively before commit.
-                self.stats.bump("coh.commit_replays")
+                self.stats.add(self._h_commit_replays)
                 extra = self.refetch(req.addr, ts, cycle) - cycle
             if self.prefetch_ext and entry.src_level >= 2:
                 self.shared.train_commit(req.pc, line, cycle)
@@ -257,11 +262,11 @@ class GhostMinionHierarchy(BaseHierarchy):
             # Denied a Minion copy while remote-modified: gain the
             # coherent copy now, non-speculatively, off the critical
             # path unless the value is needed (we charge the L2 path).
-            self.stats.bump("coh.commit_refetches")
+            self.stats.add(self._h_commit_refetches)
             return self.refetch(req.addr, ts, cycle) - cycle
         if self.async_reload:
             # §6.4: reload lost lines in the background (no commit stall).
-            self.stats.bump("dminion.async_reloads")
+            self.stats.add(self._h_async_reloads)
             self.refetch(req.addr, ts, cycle)
         return 0
 

@@ -44,6 +44,7 @@ class InvisiSpecHierarchy(BaseHierarchy):
         super().__init__(core_id, cfg, shared, stats)
         self._h_exposures = stats.handle("ivs.exposures")
         self._h_invisible_misses = stats.handle("ivs.invisible_misses")
+        self._h_validations = stats.handle("ivs.validations")
 
     # Validation completion times live on the load-queue entries (the
     # core blocks commit on them), so the base next_event_cycle — L1
@@ -80,7 +81,7 @@ class InvisiSpecHierarchy(BaseHierarchy):
 
         The caller (the core) blocks the load's commit until then.
         """
-        self.stats.bump("ivs.validations")
+        self.stats.add(self._h_validations)
         return self.refetch(req.addr, ts, cycle)
 
 

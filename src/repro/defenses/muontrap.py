@@ -48,6 +48,9 @@ class MuonTrapHierarchy(BaseHierarchy):
         num_sets = max(1, (l0_size_bytes // 64) // l0_assoc)
         self.l0d = SetAssocCache(num_sets, l0_assoc, "l0d", stats)
         self.l0i = SetAssocCache(num_sets, l0_assoc, "l0i", stats)
+        # Interned miss handles for the stall-proof dry-run below.
+        self._h_l0d_misses = stats.handle("l0d.misses")
+        self._h_l0i_misses = stats.handle("l0i.misses")
 
     # The L0 filter caches are plain tag stores with no cycle-based
     # state of their own, so the base next_event_cycle (L1-side MSHR
@@ -82,7 +85,9 @@ class MuonTrapHierarchy(BaseHierarchy):
         l0 = self._l0_for(port)
         if l0.contains(line) or port.cache.contains(line):
             return None
-        return [l0.name + ".misses", port.cache.name + ".misses"]
+        h_l0 = (self._h_l0d_misses if l0 is self.l0d
+                else self._h_l0i_misses)
+        return [h_l0, port.h_misses]
 
     # -- L0 miss latency also applies on the miss path --------------------
 

@@ -32,6 +32,11 @@ class CacheLine:
         return "CacheLine(%#x, lru=%d)" % (self.line, self.last_used)
 
 
+def _lru_key(entry: CacheLine) -> int:
+    """Module-level LRU key: avoids building a fresh closure per fill."""
+    return entry.last_used
+
+
 class SetAssocCache(SnapshotMixin):
     """Classic set-associative tag store with LRU replacement."""
 
@@ -54,6 +59,8 @@ class SetAssocCache(SnapshotMixin):
         self._h_misses = self.stats.handle(name + ".misses")
         self._h_fills = self.stats.handle(name + ".fills")
         self._h_evictions = self.stats.handle(name + ".evictions")
+        self._h_invalidations = self.stats.handle(name + ".invalidations")
+        self._h_flushes = self.stats.handle(name + ".flushes")
         # One dict per set: line -> CacheLine.  Sets are tiny (assoc<=8).
         self._sets: List[Dict[int, CacheLine]] = [
             {} for _ in range(num_sets)]
@@ -103,8 +110,7 @@ class SetAssocCache(SnapshotMixin):
             return None
         victim_line = None
         if len(cache_set) >= self.assoc:
-            victim_line = min(
-                cache_set.values(), key=lambda e: e.last_used).line
+            victim_line = min(cache_set.values(), key=_lru_key).line
             del cache_set[victim_line]
             self.stats.add(self._h_evictions)
         entry = CacheLine(line, cycle)
@@ -118,7 +124,7 @@ class SetAssocCache(SnapshotMixin):
         cache_set = self._sets[self.set_index(line)]
         if line in cache_set:
             del cache_set[line]
-            self.stats.bump(self.name + ".invalidations")
+            self.stats.add(self._h_invalidations)
             return True
         return False
 
@@ -127,7 +133,7 @@ class SetAssocCache(SnapshotMixin):
         count = len(self)
         for cache_set in self._sets:
             cache_set.clear()
-        self.stats.bump(self.name + ".flushes")
+        self.stats.add(self._h_flushes)
         return count
 
     def mark_dirty(self, line: int) -> None:

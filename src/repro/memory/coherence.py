@@ -34,6 +34,7 @@ class Directory(SnapshotMixin):
         self._sharers: Dict[int, Set[int]] = defaultdict(set)
         self._owner: Dict[int, int] = {}          # line -> modifying core
         self._version: Dict[int, int] = {}
+        self._h_invalidations = self.stats.handle("coh.invalidations")
 
     # -- queries --------------------------------------------------------
 
@@ -81,7 +82,7 @@ class Directory(SnapshotMixin):
         self._sharers[line] = {core_id}
         self._owner[line] = core_id
         if victims:
-            self.stats.bump("coh.invalidations", len(victims))
+            self.stats.add(self._h_invalidations, len(victims))
         return victims
 
     def downgrade(self, line: int) -> None:

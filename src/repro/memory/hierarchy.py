@@ -40,7 +40,8 @@ class LoadBlockProof:
     Produced by the side-effect-free dry-runs
     :meth:`BaseHierarchy.load_block_proof` /
     :meth:`BaseHierarchy.ifetch_block_proof` for the event-driven
-    scheduler.  ``bumps`` is the list of stat *names* the retrying
+    scheduler.  ``bumps`` is the list of interned stat slot *handles*
+    (see :meth:`repro.analysis.stats.Stats.handle`) the retrying
     access would bump once per cycle; ``replays`` is a tuple of
     ``fn(cycle, k)`` callables that reproduce the non-counter
     side effects of ``k`` back-to-back retries (today: prefetcher
@@ -55,7 +56,7 @@ class LoadBlockProof:
 
     __slots__ = ("bumps", "replays", "wake")
 
-    def __init__(self, bumps: List[str], replays: Tuple = (),
+    def __init__(self, bumps: List[int], replays: Tuple = (),
                  wake: float = float("inf")) -> None:
         self.bumps = bumps
         self.replays = replays
@@ -89,6 +90,15 @@ class SharedMemory(SnapshotMixin):
                             if cfg.l2_mshr_partitioning and cfg.cores > 1
                             else None)
         self._last_drain = -1
+        # Hot-path counters interned once; see repro.analysis.stats.
+        self._h_l2_misses = stats.handle("l2.misses")
+        self._h_demand_promotions = stats.handle("pf.demand_promotions")
+        self._h_quota_retry = stats.handle("l2.mshr.quota_retry")
+        self._h_retry_full = stats.handle("l2.mshr.retry_full")
+        self._h_pf_trains = stats.handle("pf.trains")
+        self._h_pf_commit_notifies = stats.handle("pf.commit_notifies")
+        self._h_pf_dropped_full = stats.handle("pf.dropped_full")
+        self._h_pf_issued = stats.handle("pf.issued")
 
     def _over_quota(self, core: int) -> bool:
         if self._mshr_quota is None:
@@ -157,7 +167,7 @@ class SharedMemory(SnapshotMixin):
                 entry.prefetch = False
                 entry.ts = ts
                 entry.core = core
-                self.stats.bump("pf.demand_promotions")
+                self.stats.add(self._h_demand_promotions)
             elif temporal_order and (entry.squashed or (
                     entry.core == core and entry.ts > ts)):
                 # Timeleap: restart the in-flight request as if issued
@@ -169,14 +179,14 @@ class SharedMemory(SnapshotMixin):
                 return entry.ready_cycle, 3, entry
             return max(entry.ready_cycle, start + lat), 3, entry
         if self._over_quota(core):
-            self.stats.bump("l2.mshr.quota_retry")
+            self.stats.add(self._h_quota_retry)
             return None
         victim = None
         if self.l2_mshrs.full():
             if temporal_order:
                 victim = self.l2_mshrs.leapfrog_victim(ts, core)
             if victim is None:
-                self.stats.bump("l2.mshr.retry_full")
+                self.stats.add(self._h_retry_full)
                 return None
         dram_lat = self.dram.access(line, speculative)
         ready = start + lat + dram_lat
@@ -193,7 +203,7 @@ class SharedMemory(SnapshotMixin):
                            temporal_order: bool, train: bool, core: int):
         """Side-effect-free dry-run of :meth:`access` for the scheduler.
 
-        Returns ``(bump_names, replays, wake)`` when an access to
+        Returns ``(bump_handles, replays, wake)`` when an access to
         ``line`` would *provably* hit L2-MSHR backpressure (quota or
         full file) this cycle and on every subsequent cycle before
         ``wake`` — or ``None`` when the access might succeed (or the
@@ -226,15 +236,15 @@ class SharedMemory(SnapshotMixin):
         if wake <= cycle:
             return None  # dense's drain-ahead would free a slot now
         if self._over_quota(core):
-            retry_bump = "l2.mshr.quota_retry"
+            retry_bump = self._h_quota_retry
         elif self.l2_mshrs.full():
             if temporal_order and \
                     self.l2_mshrs.leapfrog_victim(ts, core) is not None:
                 return None  # would steal a slot: progress
-            retry_bump = "l2.mshr.retry_full"
+            retry_bump = self._h_retry_full
         else:
             return None  # a free slot: the access would allocate
-        bumps = ["l2.misses", retry_bump]
+        bumps = [self._h_l2_misses, retry_bump]
         replays: Tuple = ()
         if train and self.prefetcher is not None:
             entry = self.prefetcher.peek(pc)
@@ -275,7 +285,7 @@ class SharedMemory(SnapshotMixin):
                 self._issue_prefetch(pf_line, cycle, speculative)
             steps += 1
         if steps < k:
-            self.stats.bump("pf.trains", k - steps)
+            self.stats.add(self._h_pf_trains, k - steps)
 
     def timeleap_restart(self, line: int, start: int, ts: int,
                          speculative: bool, core: int = 0) -> int:
@@ -330,7 +340,7 @@ class SharedMemory(SnapshotMixin):
         if self.prefetcher is None:
             return
         self.drain(cycle)
-        self.stats.bump("pf.commit_notifies")
+        self.stats.add(self._h_pf_commit_notifies)
         self._train_prefetcher(pc, line, cycle, False)
 
     def _issue_prefetch(self, line: int, cycle: int,
@@ -340,13 +350,13 @@ class SharedMemory(SnapshotMixin):
         if self.l2.contains(line) or self.l2_mshrs.find(line) is not None:
             return
         if self.l2_mshrs.full():
-            self.stats.bump("pf.dropped_full")
+            self.stats.add(self._h_pf_dropped_full)
             return
         dram_lat = self.dram.access(line, speculative)
         ready = cycle + self.cfg.l2.latency + dram_lat
         entry = self.l2_mshrs.allocate(line, 0, ready, prefetch=True)
         entry.fill_actions.append((self._fill_l2, None))
-        self.stats.bump("pf.issued")
+        self.stats.add(self._h_pf_issued)
 
     # -- coherence --------------------------------------------------------
 
@@ -364,11 +374,16 @@ class L1Port(SnapshotMixin):
     """One L1 cache plus its MSHR file (instruction or data side)."""
 
     def __init__(self, cache: SetAssocCache, mshrs: MSHRFile,
-                 latency: int, name: str) -> None:
+                 latency: int, name: str, stats: Stats) -> None:
         self.cache = cache
         self.mshrs = mshrs
         self.latency = latency
         self.name = name
+        # Public: the block-proof dry-runs and defense overrides emit
+        # these handles instead of re-interning names per cycle.
+        self.h_misses = stats.handle(cache.name + ".misses")
+        self.h_mshr_retry_full = stats.handle(
+            cache.name + ".mshr_retry_full")
 
 
 class BaseHierarchy(SnapshotMixin):
@@ -393,11 +408,11 @@ class BaseHierarchy(SnapshotMixin):
         self.dport = L1Port(
             SetAssocCache(cfg.l1d.num_sets, cfg.l1d.assoc, "l1d", stats),
             MSHRFile(cfg.l1d.mshrs, "l1d.mshr", stats),
-            cfg.l1d.latency, "d")
+            cfg.l1d.latency, "d", stats)
         self.iport = L1Port(
             SetAssocCache(cfg.l1i.num_sets, cfg.l1i.assoc, "l1i", stats),
             MSHRFile(cfg.l1i.mshrs, "l1i.mshr", stats),
-            cfg.l1i.latency, "i")
+            cfg.l1i.latency, "i", stats)
         # Optional address translation (§4.9); the unsafe baseline fills
         # the real TLBs speculatively (no Minion).
         self.dtlb = (TLBHierarchy(cfg.tlb, stats,
@@ -405,6 +420,10 @@ class BaseHierarchy(SnapshotMixin):
                      if cfg.model_tlb else None)
         self._h_loads_issued = stats.handle("mem.loads_issued")
         self._h_ifetches_issued = stats.handle("mem.ifetches_issued")
+        self._h_stores_committed = stats.handle("mem.stores_committed")
+        self._h_refetches = stats.handle("mem.refetches")
+        self._h_timeleap_loads = stats.handle("gm.timeleap_loads")
+        self._h_leapfrog_loads = stats.handle("gm.leapfrog_loads")
         shared.register(self)
 
     def _tlb_minion_enabled(self) -> bool:
@@ -496,12 +515,12 @@ class BaseHierarchy(SnapshotMixin):
             return None  # the L1-side probe would hit: load completes
         if port.mshrs.find(line) is not None:
             return None  # would attach (or timeleap): progress
-        bumps = ["mem.loads_issued"] + probe_bumps
+        bumps = [self._h_loads_issued] + probe_bumps
         if port.mshrs.full():
             req = MemRequest("load", addr, ts, self.core_id, 0, True, pc)
             if self._leapfrog_victim(port, req) is not None:
                 return None  # would steal a slot: progress
-            bumps.append(port.cache.name + ".mshr_retry_full")
+            bumps.append(port.h_mshr_retry_full)
             return LoadBlockProof(bumps)
         shared = self.shared.access_block_proof(
             line, ts, pc, cycle, self._l2_access_lookahead(port), True,
@@ -524,12 +543,12 @@ class BaseHierarchy(SnapshotMixin):
             return None
         if port.mshrs.find(line) is not None:
             return None
-        bumps = ["mem.ifetches_issued"] + probe_bumps
+        bumps = [self._h_ifetches_issued] + probe_bumps
         if port.mshrs.full():
             req = MemRequest("ifetch", addr, ts, self.core_id, 0, True)
             if self._leapfrog_victim(port, req) is not None:
                 return None
-            bumps.append(port.cache.name + ".mshr_retry_full")
+            bumps.append(port.h_mshr_retry_full)
             return LoadBlockProof(bumps)
         shared = self.shared.access_block_proof(
             line, ts, addr, cycle, self._l2_access_lookahead(port), True,
@@ -548,18 +567,18 @@ class BaseHierarchy(SnapshotMixin):
         return port.latency
 
     def _probe_stall_bumps(self, port: L1Port, line: int, ts: int
-                           ) -> Optional[List[str]]:
+                           ) -> Optional[List[int]]:
         """Pure companion to :meth:`_probe` for the stall dry-runs.
 
         ``None`` when :meth:`_probe` would hit (the access would
-        complete without MSHR pressure); otherwise the stat names the
-        probe's miss path bumps once per retry cycle.  Defense
-        hierarchies with extra probe structures override this alongside
-        :meth:`_probe`.
+        complete without MSHR pressure); otherwise the stat slot
+        handles the probe's miss path bumps once per retry cycle.
+        Defense hierarchies with extra probe structures override this
+        alongside :meth:`_probe`.
         """
         if port.cache.contains(line):
             return None
-        return [port.cache.name + ".misses"]
+        return [port.h_misses]
 
     def store_commit(self, addr: int, ts: int, cycle: int) -> None:
         """A store retires: functional memory is updated by the core; here
@@ -567,7 +586,7 @@ class BaseHierarchy(SnapshotMixin):
         (paper footnote 7) so this never stalls commit."""
         self.drain(cycle)
         line = addr >> 6
-        self.stats.bump("mem.stores_committed")
+        self.stats.add(self._h_stores_committed)
         self._on_own_store(line, ts, cycle)
         self.shared.store_commit(self.core_id, line, cycle)
         victim = self.dport.cache.fill(line, cycle, dirty=True)
@@ -618,7 +637,7 @@ class BaseHierarchy(SnapshotMixin):
                     line, cycle + port.latency, ts, speculative,
                     core=self.core_id)
                 port.mshrs.timeleap(entry, ts, new_ready)
-                self.stats.bump("gm.timeleap_loads")
+                self.stats.add(self._h_timeleap_loads)
             entry.attach(req)
             req.mark_ready(entry.ready_cycle)
             req.hit_level = 3
@@ -627,7 +646,7 @@ class BaseHierarchy(SnapshotMixin):
         if port.mshrs.full():
             victim = self._leapfrog_victim(port, req)
             if victim is None:
-                self.stats.bump(port.cache.name + ".mshr_retry_full")
+                self.stats.add(port.h_mshr_retry_full)
                 return None
         train = (self.speculative_prefetcher_training and port is self.dport)
         result = self._l2_access(req, cycle + port.latency + xlat_extra,
@@ -643,7 +662,7 @@ class BaseHierarchy(SnapshotMixin):
         if victim is not None:
             entry = port.mshrs.steal(victim, line, ts, ready,
                                      core=self.core_id)
-            self.stats.bump("gm.leapfrog_loads")
+            self.stats.add(self._h_leapfrog_loads)
         else:
             entry = port.mshrs.allocate(line, ts, ready,
                                         core=self.core_id)
@@ -677,7 +696,7 @@ class BaseHierarchy(SnapshotMixin):
         reload, coherence replay).  Returns the completion cycle."""
         self.drain(cycle)
         line = addr >> 6
-        self.stats.bump("mem.refetches")
+        self.stats.add(self._h_refetches)
         if self.dport.cache.lookup(line, cycle):
             return cycle + self.dport.latency
         ready, _level = self.shared.refetch(line, cycle + self.dport.latency,

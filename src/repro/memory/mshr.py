@@ -100,6 +100,13 @@ class MSHRFile(SnapshotMixin):
         self.stats = stats if stats is not None else Stats()
         self.entries: List[MSHREntry] = []
         self._h_allocs = self.stats.handle(name + ".allocs")
+        self._h_leapfrogs = self.stats.handle(name + ".leapfrogs")
+        self._h_victim_replays = self.stats.handle(
+            name + ".leapfrog_victim_replays")
+        self._h_timeleaps = self.stats.handle(name + ".timeleaps")
+        self._h_squash_marked = self.stats.handle(name + ".squash_marked")
+        self._h_squash_dropped = self.stats.handle(
+            name + ".squash_dropped_fills")
 
     # -- queries --------------------------------------------------------
 
@@ -170,13 +177,13 @@ class MSHRFile(SnapshotMixin):
         """
         self._cancel(victim)
         self.entries.remove(victim)
-        self.stats.bump(self.name + ".leapfrogs")
+        self.stats.add(self._h_leapfrogs)
         return self.allocate(line, ts, ready_cycle, core=core)
 
     def _cancel(self, entry: MSHREntry) -> None:
         for req in entry.requests:
             req.mark_replay()
-            self.stats.bump(self.name + ".leapfrog_victim_replays")
+            self.stats.add(self._h_victim_replays)
         for dep_file, dep_entry in entry.dependents:
             if dep_entry in dep_file.entries:
                 dep_file.entries.remove(dep_entry)
@@ -202,7 +209,7 @@ class MSHRFile(SnapshotMixin):
                     dep_entry.ready_cycle = ready_cycle
                 for req in dep_entry.requests:
                     req.postpone(ready_cycle)
-        self.stats.bump(self.name + ".timeleaps")
+        self.stats.add(self._h_timeleaps)
 
     def mark_squashed_above(self, ts, core: int) -> int:
         """Squash support: entries allocated by ``core`` above the squash
@@ -217,13 +224,15 @@ class MSHRFile(SnapshotMixin):
                 entry.squashed = True
                 marked += 1
         if marked:
-            self.stats.bump(self.name + ".squash_marked", marked)
+            self.stats.add(self._h_squash_marked, marked)
         return marked
 
     # -- completion -----------------------------------------------------
 
     def drain(self, cycle: int) -> List[MSHREntry]:
         """Pop and return all entries whose data has arrived."""
+        if not self.entries:
+            return self.entries  # hot path: idle file, no list built
         done = [e for e in self.entries if e.ready_cycle <= cycle]
         if done:
             self.entries = [e for e in self.entries
@@ -248,5 +257,5 @@ class MSHRFile(SnapshotMixin):
                     kept.append((fill_fn, fill_ts))
             entry.fill_actions = kept
         if dropped:
-            self.stats.bump(self.name + ".squash_dropped_fills", dropped)
+            self.stats.add(self._h_squash_dropped, dropped)
         return dropped

@@ -49,10 +49,13 @@ class StridePrefetcher(SnapshotMixin):
         self.max_distance = max_distance
         self.stats = stats if stats is not None else Stats()
         self._table: "OrderedDict[int, _RPTEntry]" = OrderedDict()
+        # train() runs on the demand-access path: interned slots only.
+        self._h_trains = self.stats.handle("pf.trains")
+        self._h_predictions = self.stats.handle("pf.predictions")
 
     def train(self, pc: int, line: int) -> List[int]:
         """Observe an access; return lines to prefetch (possibly empty)."""
-        self.stats.bump("pf.trains")
+        self.stats.add(self._h_trains)
         entry = self._table.get(pc)
         if entry is None:
             if len(self._table) >= self.capacity:
@@ -71,7 +74,7 @@ class StridePrefetcher(SnapshotMixin):
         entry.last_line = line
         if entry.confidence < 2 or entry.stride == 0:
             return []
-        self.stats.bump("pf.predictions")
+        self.stats.add(self._h_predictions)
         # Advance the prefetch front: at least one line past the trigger,
         # at most max_distance strides ahead of it.
         stride = entry.stride

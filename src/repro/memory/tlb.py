@@ -62,6 +62,8 @@ class TLBHierarchy(SnapshotMixin):
         self.minion = (Minion(minion_sets, cfg.minion_assoc,
                               name + ".minion", self.stats)
                        if minion else None)
+        self._h_translations = self.stats.handle(name + ".translations")
+        self._h_walks = self.stats.handle(name + ".walks")
 
     def vpn_of(self, addr: int) -> int:
         return addr >> self.page_shift
@@ -76,7 +78,7 @@ class TLBHierarchy(SnapshotMixin):
         misses fill the real TLBs directly.
         """
         vpn = self.vpn_of(addr)
-        self.stats.bump(self.name + ".translations")
+        self.stats.add(self._h_translations)
         if self.minion is not None and speculative:
             if self.minion.read(vpn, ts) == "hit":
                 return TranslationResult(0, "minion")
@@ -87,7 +89,7 @@ class TLBHierarchy(SnapshotMixin):
             self._fill(vpn, ts, cycle, speculative, "l2")
             return TranslationResult(latency, "l2")
         latency = self.cfg.l2_latency + self.cfg.walk_latency
-        self.stats.bump(self.name + ".walks")
+        self.stats.add(self._h_walks)
         filled = self._fill(vpn, ts, cycle, speculative, "walk")
         return TranslationResult(latency, "walk", filled_minion=filled)
 

@@ -48,6 +48,7 @@ class TournamentPredictor(SnapshotMixin):
         self.global_pht = [1] * cfg.global_entries
         self.choice_pht = [1] * cfg.choice_entries
         self.ghr = 0
+        self._h_lookups = self.stats.handle("bp.lookups")
 
     # -- prediction --------------------------------------------------------
 
@@ -58,7 +59,7 @@ class TournamentPredictor(SnapshotMixin):
         by the core and passed back on squash-restore.  The GHR is
         speculatively updated with the prediction.
         """
-        self.stats.bump("bp.lookups")
+        self.stats.add(self._h_lookups)
         checkpoint = self.ghr
         taken = self._direction(pc)
         self.ghr = ((self.ghr << 1) | (1 if taken else 0)) & (
@@ -129,9 +130,10 @@ class BimodalPredictor(SnapshotMixin):
         self.cfg = cfg
         self.stats = stats if stats is not None else Stats()
         self.pht = [1] * cfg.local_entries
+        self._h_lookups = self.stats.handle("bp.lookups")
 
     def predict(self, pc: int) -> Tuple[bool, int]:
-        self.stats.bump("bp.lookups")
+        self.stats.add(self._h_lookups)
         return self.pht[pc % self.cfg.local_entries] >= 2, 0
 
     def update(self, pc: int, taken: bool, ghr_at_predict: int) -> None:
@@ -150,9 +152,10 @@ class AlwaysTakenPredictor(SnapshotMixin):
     def __init__(self, cfg: Optional[PredictorConfig] = None,
                  stats: Optional[Stats] = None) -> None:
         self.stats = stats if stats is not None else Stats()
+        self._h_lookups = self.stats.handle("bp.lookups")
 
     def predict(self, pc: int) -> Tuple[bool, int]:
-        self.stats.bump("bp.lookups")
+        self.stats.add(self._h_lookups)
         return True, 0
 
     def update(self, pc: int, taken: bool, ghr_at_predict: int) -> None:
@@ -191,13 +194,15 @@ class BranchTargetBuffer(SnapshotMixin):
         self.stats = stats if stats is not None else Stats()
         self._tags: List[Optional[int]] = [None] * entries
         self._targets: List[int] = [0] * entries
+        self._h_hits = self.stats.handle("btb.hits")
+        self._h_misses = self.stats.handle("btb.misses")
 
     def predict(self, pc: int) -> Optional[int]:
         idx = pc % self.entries
         if self._tags[idx] == pc:
-            self.stats.bump("btb.hits")
+            self.stats.add(self._h_hits)
             return self._targets[idx]
-        self.stats.bump("btb.misses")
+        self.stats.add(self._h_misses)
         return None
 
     def update(self, pc: int, target: int) -> None:

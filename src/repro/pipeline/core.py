@@ -7,11 +7,25 @@ really fetch, execute, issue memory accesses and contend for functional
 units, exactly the behaviour Spectre-family attacks (and GhostMinion's
 mechanisms) depend on.
 
-Stage order within a cycle: commit -> writeback (incl. branch
-resolution/squash) -> issue -> dispatch/rename -> fetch.  Values flow by
-dataflow: each dynamic instruction points at its producers and reads
-their results when it executes, so squashed instructions simply never
-write anything architectural (stores update memory only at commit).
+The machinery is split across two modules:
+
+* :mod:`repro.pipeline.hotcore` holds the dense per-cycle step loop and
+  its data (:class:`DynInst`, :class:`HotCore` — stage order within a
+  cycle: commit -> writeback -> issue -> dispatch/rename -> fetch).
+  That module is compile-friendly and optionally ships as a mypyc
+  extension (``REPRO_ACCEL``, see :mod:`repro.accel` and
+  docs/performance.md).
+* This module layers the parts the event-driven scheduler and the
+  checkpoint machinery need on top: the stall taxonomy,
+  :meth:`Core.next_event_cycle`, and the snapshot contract.  They stay
+  pure Python — the taxonomy outcomes are identity-checked by the
+  simulator and the analysis only runs once per *skip decision*, not
+  once per cycle.
+
+Values flow by dataflow: each dynamic instruction points at its
+producers and reads their results when it executes, so squashed
+instructions simply never write anything architectural (stores update
+memory only at commit).
 
 Defense hooks (see :mod:`repro.defenses.base`):
 
@@ -24,37 +38,24 @@ Defense hooks (see :mod:`repro.defenses.base`):
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from itertools import islice
 
-from repro.analysis.stats import Stats
-from repro.config import SystemConfig
-from repro.defenses.base import Defense
-from repro.memory.hierarchy import BaseHierarchy
-from repro.memory.request import MemRequest, ReqState
-from repro.pipeline.branch_predictor import (
-    BranchTargetBuffer,
-    ReturnAddressStack,
-    make_predictor,
-)
-from repro.pipeline.functional_units import FUPool
-from repro.pipeline.isa import (
-    INST_BYTES,
-    LINK_REG,
-    MASK64,
-    NUM_REGS,
-    Instr,
-    Op,
-    evaluate,
-)
-from repro.pipeline.program import Program
+from repro.accel import load_hotcore
+from repro.memory.request import ReqState
+from repro.pipeline.isa import INST_BYTES
 from repro.snapshot import SnapshotMixin
 
-ADDR_MASK = (1 << 48) - 1
+_hotcore = load_hotcore()
 
-ST_WAITING = 0
-ST_EXECUTING = 1
-ST_DONE = 2
+#: Re-exports: the hot-core module is an implementation detail; the
+#: public home of these names stays ``repro.pipeline.core``.
+HotCore = _hotcore.HotCore
+DynInst = _hotcore.DynInst
+ADDR_MASK = _hotcore.ADDR_MASK
+ST_WAITING = _hotcore.ST_WAITING
+ST_EXECUTING = _hotcore.ST_EXECUTING
+ST_DONE = _hotcore.ST_DONE
+_seq_key = _hotcore._seq_key
 
 # ======================================================================
 # stall taxonomy (event-driven scheduler)
@@ -135,73 +136,7 @@ class StallProof:
         self.classes = classes
 
 
-class DynInst:
-    """One dynamic (possibly transient) instruction."""
-
-    __slots__ = (
-        "seq", "ts", "pc", "instr", "state", "operands", "operand_taints",
-        "taint_srcs", "result", "addr", "store_value", "memreq",
-        "done_cycle", "squashed", "committed", "forwarded",
-        # branch bookkeeping
-        "pred_next", "actual_taken", "actual_next", "resolved",
-        "ghr_ckpt", "ras_ckpt", "rename_ckpt", "mispredicted",
-        # defense bookkeeping
-        "validated", "validation_done_cycle", "commit_stall_until",
-        "replays", "promoted",
-    )
-
-    def __init__(self, seq: int, pc: int, instr: Instr,
-                 ts: Optional[int] = None) -> None:
-        self.seq = seq
-        # Temporal-Order timestamp (§4.4): allocation order by default;
-        # under §4.10's Full Strictness Order, the speculation epoch.
-        self.ts = seq if ts is None else ts
-        self.pc = pc
-        self.instr = instr
-        self.state = ST_WAITING
-        self.operands: List[Tuple[Optional["DynInst"], int]] = []
-        self.operand_taints: List[Set["DynInst"]] = []
-        self.taint_srcs: Set["DynInst"] = set()
-        self.result = 0
-        self.addr: Optional[int] = None
-        self.store_value = 0
-        self.memreq: Optional[MemRequest] = None
-        self.done_cycle = -1
-        self.squashed = False
-        self.committed = False
-        self.forwarded = False
-        self.pred_next = pc + 1
-        self.actual_taken = False
-        self.actual_next = pc + 1
-        self.resolved = False
-        self.ghr_ckpt = 0
-        self.ras_ckpt: Optional[List[int]] = None
-        self.rename_ckpt: Optional[Dict[int, Optional["DynInst"]]] = None
-        self.mispredicted = False
-        self.validated = False
-        self.validation_done_cycle: Optional[int] = None
-        self.commit_stall_until = -1
-        self.replays = 0
-        self.promoted = False  # §4.10 early commit performed
-
-    def operand_values(self) -> List[int]:
-        values = []
-        for producer, value in self.operands:
-            values.append(producer.result if producer is not None else value)
-        return values
-
-    def operands_ready(self) -> bool:
-        for producer, _value in self.operands:
-            if producer is not None and producer.state != ST_DONE:
-                return False
-        return True
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return "DynInst(#%d pc=%d %s)" % (self.seq, self.pc,
-                                          self.instr.op.value)
-
-
-class Core(SnapshotMixin):
+class Core(HotCore, SnapshotMixin):
     """One hardware thread: fetch -> ... -> commit over a Program."""
 
     #: Snapshot contract: registers, rename state and the pipeline
@@ -212,110 +147,11 @@ class Core(SnapshotMixin):
     #: queued in MSHRs, so component-level snapshots are meaningful on a
     #: *quiesced* core (empty pipeline); whole-machine checkpoints
     #: (:mod:`repro.sim.checkpoint`) capture in-flight state with
-    #: cross-component identity intact.
+    #: cross-component identity intact.  HotCore keeps all of its state
+    #: in ``__slots__``; the mixin's MRO scan picks those up whichever
+    #: build (pure or compiled) is active.
     _SNAPSHOT_EXCLUDE = ("program", "cfg", "defense", "hierarchy",
                          "memory", "stats")
-
-    def __init__(self, core_id: int, program: Program, cfg: SystemConfig,
-                 defense: Defense, hierarchy: BaseHierarchy,
-                 memory: Dict[int, int], stats: Stats,
-                 init_regs: Optional[Dict[int, int]] = None) -> None:
-        self.core_id = core_id
-        self.program = program
-        self.cfg = cfg.core
-        self.defense = defense
-        self.hierarchy = hierarchy
-        self.memory = memory
-        self.stats = stats
-        self.regs = [0] * NUM_REGS
-        for reg, value in (init_regs or {}).items():
-            self.regs[reg] = value & MASK64
-        self.predictor = make_predictor(self.cfg.predictor, stats)
-        self.btb = BranchTargetBuffer(self.cfg.predictor.btb_entries, stats)
-        self.ras = ReturnAddressStack(self.cfg.predictor.ras_entries)
-        self.fu_pool = FUPool(self.cfg, stats,
-                              strict_order=defense.strict_fu_order)
-        # frontend
-        self.fetch_pc = 0
-        self.fetch_stall_until = 0
-        self.fetch_halted = False
-        self.pending_ifetch: Optional[MemRequest] = None
-        self.fetch_queue: Deque[DynInst] = deque()
-        # backend
-        self.rob: Deque[DynInst] = deque()
-        self.iq: List[DynInst] = []
-        self.lq: List[DynInst] = []
-        self.sq: List[DynInst] = []
-        self.executing: List[DynInst] = []
-        self.rename_map: Dict[int, Optional[DynInst]] = {
-            reg: None for reg in range(NUM_REGS)}
-        self.unresolved_branches: Set[DynInst] = set()
-        self.seq_counter = 0
-        # §4.10 Full Strictness Order: timestamp epoch, bumped per
-        # mispredictable branch; shared monotone space with seq so the
-        # two modes use identical comparison logic.
-        self.epoch_timestamps = defense.epoch_timestamps
-        self.epoch = 0
-        self.halted = False
-        #: Plain integer mirror of the ``commit.insts`` counter, so the
-        #: simulator's per-cycle ``max_insts`` cap costs an attribute
-        #: read instead of a string-keyed stats lookup.
-        self.committed_insts = 0
-        self._oldest_unresolved = float("inf")
-        self._taint_on = defense.taint_mode != "none"
-        self._validation_on = defense.validation_mode != "none"
-        # Hot-path counters interned once; see repro.analysis.stats.
-        self._h_fetch_insts = stats.handle("fetch.insts")
-        self._h_fetch_off_end = stats.handle("fetch.off_end")
-        self._h_rob_full = stats.handle("dispatch.rob_full")
-        self._h_iq_full = stats.handle("dispatch.iq_full")
-        self._h_lq_full = stats.handle("dispatch.lq_full")
-        self._h_sq_full = stats.handle("dispatch.sq_full")
-        self._h_commit_insts = stats.handle("commit.insts")
-        self._h_commit_loads = stats.handle("commit.loads")
-        self._h_commit_stores = stats.handle("commit.stores")
-        self._h_commit_stall = stats.handle("commit.stall_cycles")
-        self._h_ivs_stall = stats.handle("ivs.validation_stall_cycles")
-        self._h_lsq_load_waits = stats.handle("lsq.load_waits")
-        self._h_lsq_forwards = stats.handle("lsq.forwards")
-        self._h_load_retries = stats.handle("mem.load_retries")
-        self._h_load_replays = stats.handle("mem.load_replays")
-        self._h_cond_branches = stats.handle("bp.cond_branches")
-        self._h_mispredicts = stats.handle("bp.mispredicts")
-        self._h_strict_blocked = {
-            cls: stats.handle("fu.%s.strict_blocked" % cls)
-            for cls in FUPool.CLASSES}
-        self._h_stt_load_blocked = stats.handle("stt.load_blocked_cycles")
-        self._h_stt_store_blocked = stats.handle(
-            "stt.store_blocked_cycles")
-        self._h_stt_branch_blocked = stats.handle(
-            "stt.branch_blocked_cycles")
-        self._h_stt_fu_blocked = stats.handle("stt.fu_blocked_cycles")
-        self._h_fu_int_issued = stats.handle("fu.int.issued")
-
-    # ==================================================================
-    # cycle step
-    # ==================================================================
-
-    def step(self, cycle: int) -> None:
-        if self.halted:
-            return
-        self.hierarchy.drain(cycle)
-        self._refresh_oldest_unresolved()
-        self._commit(cycle)
-        if self.halted:
-            return
-        self._writeback(cycle)
-        if self._validation_on:
-            self._issue_ready_validations(cycle)
-        if self.defense.early_commit:
-            self._early_commit_promotions(cycle)
-        self._issue(cycle)
-        self._dispatch(cycle)
-        self._fetch(cycle)
-
-    def done(self) -> bool:
-        return self.halted
 
     # ==================================================================
     # event-driven scheduling (cycle skipping)
@@ -335,13 +171,14 @@ class Core(SnapshotMixin):
         so the scheduler may jump straight to ``wake`` after applying
         them in bulk.
 
-        This mirrors :meth:`step` stage by stage (commit, writeback,
-        validation issue, early commit, issue, dispatch, fetch) and must
-        be kept in lockstep with it: the ``REPRO_DENSE_LOOP=1``
-        differential tests in ``tests/test_scheduler_equivalence.py``
-        enforce the equivalence, and every outcome is named in the
-        stall taxonomy (:data:`SKIP_CLASSES` / :data:`VETO_REASONS`,
-        documented in docs/performance.md and pinned by
+        This mirrors :meth:`HotCore.step` stage by stage (commit,
+        writeback, validation issue, early commit, issue, dispatch,
+        fetch) and must be kept in lockstep with it: the
+        ``REPRO_DENSE_LOOP=1`` differential tests in
+        ``tests/test_scheduler_equivalence.py`` enforce the
+        equivalence, and every outcome is named in the stall taxonomy
+        (:data:`SKIP_CLASSES` / :data:`VETO_REASONS`, documented in
+        docs/performance.md and pinned by
         ``tests/test_stall_taxonomy.py``).  When in doubt, veto —
         conservatism costs speed, never correctness.
         """
@@ -392,11 +229,11 @@ class Core(SnapshotMixin):
             classes.add(SKIP_MEM_WAIT)
         # -- InvisiSpec: a load at its visibility point starts work ----
         if self._validation_on:
-            spectre_mode = self.defense.validation_mode == "spectre"
+            spectre_mode = self._spectre_validation
             window = None
             if not spectre_mode:
-                window = {di.seq for di in list(self.rob)
-                          [:2 * self.cfg.commit_width]}
+                window = {di.seq for di in islice(
+                    self.rob, 2 * self._commit_width)}
             for di in self.lq:
                 req = di.memreq
                 if (req is None or not req.needs_validation or di.validated
@@ -410,7 +247,7 @@ class Core(SnapshotMixin):
                 elif di.seq in window:
                     return StallVeto(VETO_VALIDATION_START)
         # -- GhostMinion §4.10: a promotable load starts work ----------
-        if self.defense.early_commit:
+        if self._early_commit:
             for di in self.lq:
                 if (di.promoted or di.squashed or di.state != ST_DONE
                         or di.forwarded or di.memreq is None):
@@ -427,14 +264,14 @@ class Core(SnapshotMixin):
         # such event is itself a veto or a wakeup source above.
         # Retrying loads do consume issue slots and int-FU ports each
         # cycle, so slot accounting mirrors _issue exactly.
-        strict_fu = self.defense.strict_fu_order
+        strict_fu = self._strict_fu
         taint_on = self._taint_on
         blocked_classes = set()
         issued = 0
         int_used = 0
-        issue_width = self.cfg.issue_width
+        issue_width = self._issue_width
         int_ports = self.fu_pool.ports("int")
-        for di in sorted(self.iq, key=lambda d: d.seq):
+        for di in sorted(self.iq, key=_seq_key):
             if di.squashed or di.state != ST_WAITING:
                 # Issue would prune the queue.
                 return StallVeto(VETO_ISSUE_READY)
@@ -493,8 +330,7 @@ class Core(SnapshotMixin):
                 wake = min(wake, proof.wake)
                 bumps.append(self._h_fu_int_issued)
                 bumps.append(self._h_load_retries)
-                for name in proof.bumps:
-                    bumps.append(self.stats.handle(name))
+                bumps.extend(proof.bumps)
                 replays.extend(proof.replays)
                 classes.add(SKIP_MSHR_BACKPRESSURE)
                 continue
@@ -533,20 +369,19 @@ class Core(SnapshotMixin):
         if self.fetch_queue:
             di = self.fetch_queue[0]
             instr = di.instr
-            if len(self.rob) >= self.cfg.rob_entries:
+            if len(self.rob) >= self._rob_entries:
                 bumps.append(self._h_rob_full)
                 classes.add(SKIP_DISPATCH_FULL)
             else:
-                needs_iq = instr.op not in (Op.NOP, Op.HALT) and not (
-                    instr.op in (Op.JMP, Op.CALL))
-                if needs_iq and len(self.iq) >= self.cfg.iq_entries:
+                needs_iq = instr.needs_iq
+                if needs_iq and len(self.iq) >= self._iq_entries:
                     bumps.append(self._h_iq_full)
                     classes.add(SKIP_DISPATCH_FULL)
-                elif instr.is_load and len(self.lq) >= self.cfg.lq_entries:
+                elif instr.is_load and len(self.lq) >= self._lq_entries:
                     bumps.append(self._h_lq_full)
                     classes.add(SKIP_DISPATCH_FULL)
                 elif instr.is_store \
-                        and len(self.sq) >= self.cfg.sq_entries:
+                        and len(self.sq) >= self._sq_entries:
                     bumps.append(self._h_sq_full)
                     classes.add(SKIP_DISPATCH_FULL)
                 else:
@@ -557,7 +392,7 @@ class Core(SnapshotMixin):
             if cycle < self.fetch_stall_until:
                 wake = min(wake, self.fetch_stall_until)
                 classes.add(SKIP_FETCH_STALL)
-            elif len(self.fetch_queue) < 2 * self.cfg.fetch_width:
+            elif len(self.fetch_queue) < 2 * self._fetch_width:
                 pc = self.fetch_pc
                 if pc < 0 or pc >= len(self.program.instrs):
                     bumps.append(self._h_fetch_off_end)
@@ -578,8 +413,7 @@ class Core(SnapshotMixin):
                         if proof is None:
                             return StallVeto(VETO_FETCH_READY)
                         wake = min(wake, proof.wake)
-                        for name in proof.bumps:
-                            bumps.append(self.stats.handle(name))
+                        bumps.extend(proof.bumps)
                         replays.extend(proof.replays)
                         classes.add(SKIP_MSHR_BACKPRESSURE)
                     elif req.line != (addr >> 6):
@@ -596,593 +430,3 @@ class Core(SnapshotMixin):
                         wake = min(wake, req.ready_cycle)
                         classes.add(SKIP_FETCH_STALL)
         return StallProof(wake, bumps, replays, classes)
-
-    # ==================================================================
-    # fetch
-    # ==================================================================
-
-    def _fetch(self, cycle: int) -> None:
-        if self.fetch_halted or cycle < self.fetch_stall_until:
-            return
-        fetched = 0
-        max_queue = 2 * self.cfg.fetch_width
-        while fetched < self.cfg.fetch_width and \
-                len(self.fetch_queue) < max_queue:
-            pc = self.fetch_pc
-            if pc < 0 or pc >= len(self.program.instrs):
-                # Fell off the program (can happen transiently); treat as
-                # a stream of NOPs that will be squashed, by stalling.
-                self.stats.add(self._h_fetch_off_end)
-                return
-            addr = pc * INST_BYTES
-            if not self._ifetch_line_ready(addr, cycle):
-                return
-            instr = self.program.instrs[pc]
-            ts = None
-            if self.epoch_timestamps:
-                ts = self.epoch
-            di = DynInst(self.seq_counter, pc, instr, ts=ts)
-            self.seq_counter += 1
-            if self.epoch_timestamps and instr.is_branch \
-                    and instr.op not in (Op.JMP, Op.CALL):
-                # a new (more speculative) epoch begins after every
-                # predicted conditional branch or return
-                self.epoch = self.seq_counter
-            self._predict(di, cycle)
-            self.fetch_queue.append(di)
-            self.stats.add(self._h_fetch_insts)
-            self.fetch_pc = di.pred_next
-            fetched += 1
-            if instr.op is Op.HALT:
-                self.fetch_halted = True
-                return
-
-    def _fetch_ts(self) -> int:
-        return self.epoch if self.epoch_timestamps else self.seq_counter
-
-    def _ifetch_line_ready(self, addr: int, cycle: int) -> bool:
-        if self.hierarchy.ifetch_probe(addr, self._fetch_ts(), cycle):
-            self.pending_ifetch = None
-            return True
-        req = self.pending_ifetch
-        if req is not None and req.line == (addr >> 6):
-            if req.state is ReqState.REPLAY or req.done(cycle):
-                # Replayed (leapfrogged away), or completed without the
-                # line becoming present (its fill was dropped by a
-                # squash-time wipe): fetch again.
-                self.pending_ifetch = self.hierarchy.ifetch(
-                    addr, self._fetch_ts(), cycle)
-            return False
-        self.pending_ifetch = self.hierarchy.ifetch(
-            addr, self._fetch_ts(), cycle)
-        return False
-
-    def _predict(self, di: DynInst, cycle: int) -> None:
-        instr = di.instr
-        pc = di.pc
-        if not instr.is_branch:
-            di.pred_next = pc + 1
-            return
-        di.ras_ckpt = self.ras.checkpoint()
-        op = instr.op
-        if op is Op.JMP:
-            di.pred_next = instr.target
-            di.resolved = True
-            di.actual_next = instr.target
-        elif op is Op.CALL:
-            self.ras.push(pc + 1)
-            di.pred_next = instr.target
-            di.resolved = True
-            di.actual_next = instr.target
-        elif op is Op.RET:
-            target = self.ras.pop()
-            if target is None:
-                btb_target = self.btb.predict(pc)
-                target = btb_target if btb_target is not None else pc + 1
-            di.pred_next = target
-        else:  # conditional
-            taken, ckpt = self.predictor.predict(pc)
-            di.ghr_ckpt = ckpt
-            di.pred_next = instr.target if taken else pc + 1
-
-    # ==================================================================
-    # dispatch / rename
-    # ==================================================================
-
-    def _dispatch(self, cycle: int) -> None:
-        dispatched = 0
-        while self.fetch_queue and dispatched < self.cfg.fetch_width:
-            di = self.fetch_queue[0]
-            instr = di.instr
-            if len(self.rob) >= self.cfg.rob_entries:
-                self.stats.add(self._h_rob_full)
-                return
-            needs_iq = instr.op not in (Op.NOP, Op.HALT) and not (
-                instr.op in (Op.JMP, Op.CALL))
-            if needs_iq and len(self.iq) >= self.cfg.iq_entries:
-                self.stats.add(self._h_iq_full)
-                return
-            if instr.is_load and len(self.lq) >= self.cfg.lq_entries:
-                self.stats.add(self._h_lq_full)
-                return
-            if instr.is_store and len(self.sq) >= self.cfg.sq_entries:
-                self.stats.add(self._h_sq_full)
-                return
-            self.fetch_queue.popleft()
-            self._rename(di)
-            self.rob.append(di)
-            if instr.is_load:
-                self.lq.append(di)
-            if instr.is_store:
-                self.sq.append(di)
-            if instr.is_branch and not di.resolved:
-                self.unresolved_branches.add(di)
-                if di.seq < self._oldest_unresolved:
-                    self._oldest_unresolved = di.seq
-            if needs_iq:
-                self.iq.append(di)
-            else:
-                self._finish_trivial(di, cycle)
-            dispatched += 1
-
-    def _rename(self, di: DynInst) -> None:
-        instr = di.instr
-        for reg in instr.src_regs():
-            producer = self.rename_map[reg]
-            if producer is not None and producer.state == ST_DONE \
-                    and producer.committed:
-                producer = None
-            if producer is None:
-                di.operands.append((None, self.regs[reg]))
-            else:
-                di.operands.append((producer, 0))
-            if self._taint_on:
-                di.operand_taints.append(self._operand_taint(producer))
-        if self._taint_on:
-            for taint in di.operand_taints:
-                di.taint_srcs |= taint
-        if instr.is_branch:
-            di.rename_ckpt = dict(self.rename_map)
-        dest = instr.writes_reg
-        if dest is not None:
-            self.rename_map[dest] = di
-
-    def _operand_taint(self, producer: Optional[DynInst]
-                       ) -> Set[DynInst]:
-        if producer is None:
-            return set()
-        taint = {src for src in producer.taint_srcs
-                 if not self._taint_source_safe(src)}
-        if producer.instr.is_load and not self._taint_source_safe(producer):
-            taint.add(producer)
-        return taint
-
-    def _finish_trivial(self, di: DynInst, cycle: int) -> None:
-        """NOP/HALT/JMP/CALL complete at dispatch."""
-        if di.instr.op is Op.CALL:
-            di.result = di.pc + 1
-        di.state = ST_DONE
-        di.done_cycle = cycle
-
-    # ==================================================================
-    # issue
-    # ==================================================================
-
-    def _issue(self, cycle: int) -> None:
-        self.fu_pool.begin_cycle(cycle)
-        strict_fu = self.defense.strict_fu_order
-        blocked_classes = set()
-        issued = 0
-        still_waiting: List[DynInst] = []
-        self.iq.sort(key=lambda d: d.seq)
-        for di in self.iq:
-            if di.squashed or di.state != ST_WAITING:
-                continue
-            instr = di.instr
-            nonpipelined = not instr.pipelined
-            if issued >= self.cfg.issue_width:
-                still_waiting.append(di)
-                if strict_fu and nonpipelined:
-                    blocked_classes.add(instr.fu_class)
-                continue
-            if strict_fu and nonpipelined \
-                    and instr.fu_class in blocked_classes:
-                # §4.9: a non-pipelined unit may only be issued a
-                # speculative operation once all older (timestamp-order)
-                # operations that may use the same unit have issued —
-                # including ones whose operands are not ready yet.
-                self.stats.add(self._h_strict_blocked[instr.fu_class])
-                still_waiting.append(di)
-                continue
-            if not di.operands_ready():
-                still_waiting.append(di)
-                if strict_fu and nonpipelined:
-                    blocked_classes.add(instr.fu_class)
-                continue
-            if self._try_issue_one(di, cycle):
-                issued += 1
-                if di.state == ST_WAITING:
-                    # loads that hit retry/backpressure stay waiting
-                    still_waiting.append(di)
-            else:
-                still_waiting.append(di)
-                if strict_fu and nonpipelined:
-                    blocked_classes.add(instr.fu_class)
-        self.iq = still_waiting
-
-    def _try_issue_one(self, di: DynInst, cycle: int) -> bool:
-        instr = di.instr
-        if instr.is_load:
-            return self._issue_load(di, cycle)
-        if instr.is_store:
-            return self._issue_store(di, cycle)
-        if self._taint_on and di.operand_taints:
-            if instr.is_branch:
-                # STT: a branch on tainted data is an (implicit)
-                # transmitter and may not execute until the taint clears.
-                if any(not self._taint_source_safe(s)
-                       for s in di.operand_taints[0]):
-                    self.stats.add(self._h_stt_branch_blocked)
-                    return False
-            elif not instr.pipelined:
-                # Non-pipelined FU ops on tainted data transmit through
-                # structural-hazard contention (SpectreRewind): STT
-                # delays them like any other transmitter.
-                if any(not self._taint_source_safe(s)
-                       for taint in di.operand_taints for s in taint):
-                    self.stats.add(self._h_stt_fu_blocked)
-                    return False
-        if not self.fu_pool.try_issue(instr.fu_class, cycle, instr.latency,
-                                      instr.pipelined):
-            return False
-        values = di.operand_values()
-        if instr.is_branch:
-            self._compute_branch(di, values)
-        elif instr.op is Op.RDCYC:
-            di.result = cycle
-        else:
-            a = values[0] if values else 0
-            b = values[1] if len(values) > 1 else instr.imm
-            di.result = evaluate(instr.op, a, b, instr.imm)
-        di.state = ST_EXECUTING
-        di.done_cycle = cycle + instr.latency
-        self.executing.append(di)
-        return True
-
-    def _compute_branch(self, di: DynInst, values: List[int]) -> None:
-        instr = di.instr
-        op = instr.op
-        if op is Op.BEQZ:
-            di.actual_taken = values[0] == 0
-            di.actual_next = instr.target if di.actual_taken else di.pc + 1
-        elif op is Op.BNEZ:
-            di.actual_taken = values[0] != 0
-            di.actual_next = instr.target if di.actual_taken else di.pc + 1
-        elif op is Op.RET:
-            di.actual_taken = True
-            di.actual_next = values[0] & ADDR_MASK
-
-    # -- loads ---------------------------------------------------------------
-
-    def _issue_load(self, di: DynInst, cycle: int) -> bool:
-        instr = di.instr
-        values = di.operand_values()
-        base = values[0] if instr.rs1 is not None else 0
-        addr = (base + instr.imm) & ADDR_MASK
-        di.addr = addr
-        conflict = self._older_store_conflict(di, addr)
-        if conflict == "wait":
-            self.stats.add(self._h_lsq_load_waits)
-            return False
-        if self._taint_on and not self._address_operands_safe(di):
-            self.stats.add(self._h_stt_load_blocked)
-            return False
-        if not self.fu_pool.try_issue("int", cycle, 1, True):
-            return False
-        if conflict is not None:
-            # store-to-load forwarding: one-cycle completion
-            di.result = conflict.store_value
-            di.forwarded = True
-            di.state = ST_EXECUTING
-            di.done_cycle = cycle + 1
-            self.executing.append(di)
-            self.stats.add(self._h_lsq_forwards)
-            return True
-        req = self.hierarchy.load(addr, di.ts, cycle, speculative=True,
-                                  pc=di.pc)
-        if req is None:
-            self.stats.add(self._h_load_retries)
-            return True  # consumed an issue slot but stays waiting
-        di.memreq = req
-        di.result = self._memory_value(addr)
-        di.state = ST_EXECUTING
-        self.executing.append(di)
-        return True
-
-    def _memory_value(self, addr: int) -> int:
-        return self.memory.get(addr, 0)
-
-    def _older_store_conflict(self, load: DynInst, addr: int):
-        """Return 'wait', a forwarding store, or None (no conflict)."""
-        result = None
-        for store in self.sq:
-            if store.seq >= load.seq:
-                break
-            if store.squashed:
-                continue
-            if store.state != ST_DONE and store.addr is None:
-                if store.committed:
-                    continue
-                return "wait"
-            if store.addr == addr:
-                if store.committed:
-                    result = None  # value already in memory
-                elif store.state == ST_DONE:
-                    result = store
-                else:
-                    return "wait"
-        return result
-
-    def _address_operands_safe(self, di: DynInst) -> bool:
-        if not di.operand_taints:
-            return True
-        for src in di.operand_taints[0]:
-            if not self._taint_source_safe(src):
-                return False
-        return True
-
-    def _taint_source_safe(self, src: DynInst) -> bool:
-        if src.squashed or src.committed:
-            return True
-        if self.defense.taint_mode == "spectre":
-            return src.seq < self._oldest_unresolved
-        return False  # 'future': safe only once committed
-
-    # -- stores ---------------------------------------------------------------
-
-    def _issue_store(self, di: DynInst, cycle: int) -> bool:
-        instr = di.instr
-        if self._taint_on:
-            # store address is a transmitter too
-            if di.operand_taints and any(
-                    not self._taint_source_safe(s)
-                    for s in di.operand_taints[0]):
-                self.stats.add(self._h_stt_store_blocked)
-                return False
-        if not self.fu_pool.try_issue("int", cycle, 1, True):
-            return False
-        values = di.operand_values()
-        base = values[0] if instr.rs1 is not None else 0
-        di.addr = (base + instr.imm) & ADDR_MASK
-        di.store_value = values[1] if len(values) > 1 else 0
-        di.state = ST_EXECUTING
-        di.done_cycle = cycle + 1
-        self.executing.append(di)
-        return True
-
-    # ==================================================================
-    # writeback & branch resolution
-    # ==================================================================
-
-    def _writeback(self, cycle: int) -> None:
-        remaining: List[DynInst] = []
-        # Resolve oldest-first so an older mispredict squashes younger ones.
-        self.executing.sort(key=lambda d: d.seq)
-        for di in self.executing:
-            if di.squashed:
-                continue
-            if di.instr.is_load and di.memreq is not None:
-                req = di.memreq
-                if req.state is ReqState.REPLAY:
-                    di.state = ST_WAITING
-                    di.memreq = None
-                    di.replays += 1
-                    self.iq.append(di)
-                    self.stats.add(self._h_load_replays)
-                    continue
-                if req.done(cycle):
-                    di.result = self._memory_value(di.addr)
-                    di.state = ST_DONE
-                    di.done_cycle = cycle
-                else:
-                    remaining.append(di)
-                    continue
-            elif di.done_cycle <= cycle:
-                di.state = ST_DONE
-            else:
-                remaining.append(di)
-                continue
-            if di.instr.is_branch and not di.resolved:
-                self._resolve_branch(di, cycle)
-                if di.mispredicted:
-                    # Everything younger was just squashed; stop scanning
-                    # (their entries were already filtered/marked).
-                    break
-        self.executing = [d for d in remaining if not d.squashed]
-
-    def _resolve_branch(self, di: DynInst, cycle: int) -> None:
-        di.resolved = True
-        self.unresolved_branches.discard(di)
-        self._refresh_oldest_unresolved()
-        instr = di.instr
-        if instr.is_cond_branch:
-            self.stats.add(self._h_cond_branches)
-            if not self.defense.train_predictor_at_commit:
-                self.predictor.update(di.pc, di.actual_taken, di.ghr_ckpt)
-        if instr.op is Op.RET and not self.defense.train_predictor_at_commit:
-            self.btb.update(di.pc, di.actual_next)
-        if di.actual_next != di.pred_next:
-            di.mispredicted = True
-            self.stats.add(self._h_mispredicts)
-            self._squash_after(di, cycle)
-
-    def _squash_after(self, br: DynInst, cycle: int) -> None:
-        boundary = br.seq
-        squashed = 0
-        for di in list(self.rob):
-            if di.seq > boundary:
-                di.squashed = True
-                squashed += 1
-        if squashed:
-            self.rob = deque(d for d in self.rob if not d.squashed)
-            self.iq = [d for d in self.iq if not d.squashed]
-            self.lq = [d for d in self.lq if not d.squashed]
-            self.sq = [d for d in self.sq if not d.squashed]
-            self.executing = [d for d in self.executing if not d.squashed]
-            self.unresolved_branches = {
-                d for d in self.unresolved_branches if not d.squashed}
-        for di in self.fetch_queue:
-            di.squashed = True
-            squashed += 1
-        self.fetch_queue.clear()
-        self.pending_ifetch = None
-        # restore rename state
-        if br.rename_ckpt is not None:
-            self.rename_map = dict(br.rename_ckpt)
-            dest = br.instr.writes_reg
-            if dest is not None:
-                self.rename_map[dest] = br
-        if br.instr.is_cond_branch:
-            self.predictor.restore_ghr(br.ghr_ckpt, br.actual_taken)
-        if br.ras_ckpt is not None:
-            self.ras.restore(br.ras_ckpt)
-            if br.instr.op is Op.RET:
-                self.ras.pop()
-        # redirect fetch
-        self.fetch_halted = False
-        self.fetch_pc = br.actual_next
-        self.fetch_stall_until = cycle + self.cfg.mispredict_penalty
-        self._refresh_oldest_unresolved()
-        self.hierarchy.squash(br.ts, cycle)
-        self.stats.bump("squash.events")
-        self.stats.bump("squash.insts", squashed)
-
-    def _refresh_oldest_unresolved(self) -> None:
-        if self.unresolved_branches:
-            self._oldest_unresolved = min(
-                d.seq for d in self.unresolved_branches)
-        else:
-            self._oldest_unresolved = float("inf")
-
-    # ==================================================================
-    # InvisiSpec visibility
-    # ==================================================================
-
-    def _issue_ready_validations(self, cycle: int) -> None:
-        """Issue InvisiSpec validations at each load's visibility point.
-
-        * ``spectre`` mode: once all older branches have resolved.
-        * ``future`` mode: at the commit point; validations for the
-          oldest commit-window's worth of loads overlap (real InvisiSpec
-          pipelines validations — fully serialising them at the ROB head
-          would overstate the cost).
-        """
-        spectre_mode = self.defense.validation_mode == "spectre"
-        window = None
-        if not spectre_mode:
-            window = {di.seq for di in list(self.rob)
-                      [:2 * self.cfg.commit_width]}
-        for di in self.lq:
-            req = di.memreq
-            if (req is None or not req.needs_validation or di.validated
-                    or di.validation_done_cycle is not None):
-                continue
-            if di.state != ST_DONE:
-                continue
-            if spectre_mode:
-                visible = di.seq < self._oldest_unresolved
-            else:
-                visible = di.seq in window
-            if visible:
-                di.validation_done_cycle = self.hierarchy.validate(
-                    req, di.ts, cycle)
-
-    def _early_commit_promotions(self, cycle: int) -> None:
-        """§4.10 Early Commit: once every older branch has resolved, a
-        completed load can no longer be squashed (no exceptions in this
-        machine), so its Minion line may move to the L1 immediately."""
-        for di in self.lq:
-            if (di.promoted or di.squashed or di.state != ST_DONE
-                    or di.forwarded or di.memreq is None):
-                continue
-            if di.seq < self._oldest_unresolved:
-                self.hierarchy.commit_load(di.memreq, di.ts, cycle)
-                di.promoted = True
-                self.stats.bump("gm.early_commits")
-
-    # ==================================================================
-    # commit
-    # ==================================================================
-
-    def _commit(self, cycle: int) -> None:
-        committed = 0
-        while self.rob and committed < self.cfg.commit_width:
-            di = self.rob[0]
-            if di.state != ST_DONE or di.squashed:
-                break
-            if di.commit_stall_until > cycle:
-                self.stats.add(self._h_commit_stall)
-                break
-            if not self._commit_load_checks(di, cycle):
-                break
-            instr = di.instr
-            if instr.is_store:
-                self.memory[di.addr] = di.store_value & MASK64
-                self.hierarchy.store_commit(di.addr, di.ts, cycle)
-                self.stats.add(self._h_commit_stores)
-            dest = instr.writes_reg
-            if dest is not None:
-                self.regs[dest] = di.result & MASK64
-                if self.rename_map.get(dest) is di:
-                    self.rename_map[dest] = None
-            if instr.is_cond_branch and self.defense.train_predictor_at_commit:
-                self.predictor.update(di.pc, di.actual_taken, di.ghr_ckpt)
-            if instr.op is Op.RET and self.defense.train_predictor_at_commit:
-                self.btb.update(di.pc, di.actual_next)
-            di.committed = True
-            self.rob.popleft()
-            if instr.is_load:
-                self.lq.remove(di)
-                self.stats.add(self._h_commit_loads)
-            if instr.is_store:
-                self.sq.remove(di)
-            self.hierarchy.commit_ifetch(di.pc * INST_BYTES, di.ts, cycle)
-            self.stats.add(self._h_commit_insts)
-            self.committed_insts += 1
-            committed += 1
-            if instr.op is Op.HALT:
-                self.halted = True
-                return
-
-    def _commit_load_checks(self, di: DynInst, cycle: int) -> bool:
-        """Validation + GhostMinion commit actions; False blocks commit."""
-        if not di.instr.is_load:
-            return True
-        req = di.memreq
-        if self._validation_on and req is not None \
-                and req.needs_validation and not di.validated:
-            if di.validation_done_cycle is None:
-                # 'future' mode validates at the commit point;
-                # 'spectre' mode normally validated earlier but may
-                # reach the head first.
-                di.validation_done_cycle = self.hierarchy.validate(
-                    req, di.ts, cycle)
-                self.stats.bump("ivs.commit_validations")
-            if cycle < di.validation_done_cycle:
-                self.stats.add(self._h_ivs_stall)
-                return False
-            di.validated = True
-        if di.forwarded or di.promoted:
-            return True
-        extra = self.hierarchy.commit_load(req, di.ts, cycle)
-        if extra > 0:
-            di.commit_stall_until = cycle + extra
-            return False
-        return True
-
-    # ==================================================================
-    # architectural state (for differential tests)
-    # ==================================================================
-
-    def arch_regs(self) -> List[int]:
-        return list(self.regs)

@@ -41,15 +41,39 @@ class FUPool(SnapshotMixin):
         # busy-until cycle per non-pipelined unit instance.
         self._busy_until: Dict[str, List[int]] = {
             name: [0] * count for name, count in self._ports.items()}
-        self._issued_this_cycle: Dict[str, int] = {}
-        self._blocked_class: Dict[str, bool] = {}
+        self._issued_this_cycle: Dict[str, int] = {
+            name: 0 for name in self._ports}
+        self._blocked_class: Dict[str, bool] = {
+            name: False for name in self._ports}
         self._cycle = -1
+        # Per-class stat slots, interned once (the old per-issue
+        # "fu.%s.issued" % fu_class formatting allocated a string per
+        # issued op).
+        self._h_strict_blocked: Dict[str, int] = {}
+        self._h_issued: Dict[str, int] = {}
+        self._h_nonpipelined: Dict[str, int] = {}
+        self._h_hazard: Dict[str, int] = {}
+        for name in self._ports:
+            self._h_strict_blocked[name] = self.stats.handle(
+                "fu.%s.strict_blocked" % name)
+            self._h_issued[name] = self.stats.handle("fu.%s.issued" % name)
+            self._h_nonpipelined[name] = self.stats.handle(
+                "fu.%s.nonpipelined_issued" % name)
+            self._h_hazard[name] = self.stats.handle(
+                "fu.%s.structural_hazard" % name)
 
     def begin_cycle(self, cycle: int) -> None:
-        """Reset per-cycle port counts and strict-order blocking flags."""
+        """Reset per-cycle port counts and strict-order blocking flags.
+
+        Resets in place: rebuilding the two dicts every cycle was
+        measurable allocation churn in the dense loop.
+        """
         self._cycle = cycle
-        self._issued_this_cycle = {name: 0 for name in self._ports}
-        self._blocked_class = {name: False for name in self._ports}
+        issued = self._issued_this_cycle
+        blocked = self._blocked_class
+        for name in self._ports:
+            issued[name] = 0
+            blocked[name] = False
 
     def try_issue(self, fu_class: str, cycle: int, latency: int,
                   pipelined: bool) -> bool:
@@ -62,14 +86,14 @@ class FUPool(SnapshotMixin):
             self.begin_cycle(cycle)
         if self.strict_order and not pipelined \
                 and self._blocked_class[fu_class]:
-            self.stats.bump("fu.%s.strict_blocked" % fu_class)
+            self.stats.add(self._h_strict_blocked[fu_class])
             return False
         if self._issued_this_cycle[fu_class] >= self._ports[fu_class]:
             self._note_failure(fu_class, pipelined)
             return False
         if pipelined:
             self._issued_this_cycle[fu_class] += 1
-            self.stats.bump("fu.%s.issued" % fu_class)
+            self.stats.add(self._h_issued[fu_class])
             return True
         # Non-pipelined: need a unit instance free for the whole latency.
         units = self._busy_until[fu_class]
@@ -77,11 +101,11 @@ class FUPool(SnapshotMixin):
             if busy_until <= cycle:
                 units[idx] = cycle + latency
                 self._issued_this_cycle[fu_class] += 1
-                self.stats.bump("fu.%s.issued" % fu_class)
-                self.stats.bump("fu.%s.nonpipelined_issued" % fu_class)
+                self.stats.add(self._h_issued[fu_class])
+                self.stats.add(self._h_nonpipelined[fu_class])
                 return True
         self._note_failure(fu_class, pipelined)
-        self.stats.bump("fu.%s.structural_hazard" % fu_class)
+        self.stats.add(self._h_hazard[fu_class])
         return False
 
     def _note_failure(self, fu_class: str, pipelined: bool) -> None:

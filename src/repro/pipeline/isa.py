@@ -109,60 +109,39 @@ class Instr:
         for reg in (self.rd, self.rs1, self.rs2):
             if reg is not None and not 0 <= reg < NUM_REGS:
                 raise ValueError("register out of range: %r" % (reg,))
-        if self.op in COND_BRANCH_OPS | {Op.JMP, Op.CALL}:
+        op = self.op
+        if op in COND_BRANCH_OPS | {Op.JMP, Op.CALL}:
             if self.target is None:
-                raise ValueError("%s requires a target" % self.op.value)
-
-    # -- classification ---------------------------------------------------
-
-    @property
-    def is_branch(self) -> bool:
-        return self.op in BRANCH_OPS
-
-    @property
-    def is_cond_branch(self) -> bool:
-        return self.op in COND_BRANCH_OPS
-
-    @property
-    def is_load(self) -> bool:
-        return self.op is Op.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.op is Op.STORE
-
-    @property
-    def is_mem(self) -> bool:
-        return self.op in MEM_OPS
-
-    @property
-    def fu_class(self) -> str:
-        return FU_CLASS[self.op]
-
-    @property
-    def latency(self) -> int:
-        return LATENCY.get(self.op, DEFAULT_LATENCY)
-
-    @property
-    def pipelined(self) -> bool:
-        return self.op not in NONPIPELINED_OPS
-
-    @property
-    def writes_reg(self) -> Optional[int]:
-        if self.op is Op.CALL:
-            return LINK_REG
-        return self.rd
+                raise ValueError("%s requires a target" % op.value)
+        # -- classification, precomputed once per static instruction --
+        # Every per-cycle consumer (the step loop, the stall analysis,
+        # the interpreter) reads these as plain attributes; the old
+        # per-access @property set-membership tests were measurable
+        # churn in the dense loop.
+        self.is_branch = op in BRANCH_OPS
+        self.is_cond_branch = op in COND_BRANCH_OPS
+        self.is_load = op is Op.LOAD
+        self.is_store = op is Op.STORE
+        self.is_mem = op in MEM_OPS
+        self.is_alu = op in ALU_OPS or op in MULDIV_OPS or op in FP_OPS
+        self.fu_class = FU_CLASS[op]
+        self.latency = LATENCY.get(op, DEFAULT_LATENCY)
+        self.pipelined = op not in NONPIPELINED_OPS
+        self.writes_reg = LINK_REG if op is Op.CALL else self.rd
+        #: True when the op flows through the issue queue (everything
+        #: except NOP/HALT and direct jumps, which finish at dispatch).
+        self.needs_iq = op not in (Op.NOP, Op.HALT, Op.JMP, Op.CALL)
+        if op is Op.RET:
+            self.srcs = (LINK_REG,)
+        elif self.rs1 is not None:
+            self.srcs = ((self.rs1, self.rs2)
+                         if self.rs2 is not None else (self.rs1,))
+        else:
+            self.srcs = (self.rs2,) if self.rs2 is not None else ()
 
     def src_regs(self) -> "tuple":
         """Architectural source registers, in operand order."""
-        if self.op is Op.RET:
-            return (LINK_REG,)
-        srcs = []
-        if self.rs1 is not None:
-            srcs.append(self.rs1)
-        if self.rs2 is not None:
-            srcs.append(self.rs2)
-        return tuple(srcs)
+        return self.srcs
 
     def __repr__(self) -> str:
         parts = [self.op.value]
@@ -179,43 +158,98 @@ class Instr:
         return "<%s>" % " ".join(parts)
 
 
+def _ev_add(a: int, b: int, imm: int) -> int:
+    return (a + b) & MASK64
+
+
+def _ev_sub(a: int, b: int, imm: int) -> int:
+    return (a - b) & MASK64
+
+
+def _ev_and(a: int, b: int, imm: int) -> int:
+    return a & b
+
+
+def _ev_or(a: int, b: int, imm: int) -> int:
+    return a | b
+
+
+def _ev_xor(a: int, b: int, imm: int) -> int:
+    return a ^ b
+
+
+def _ev_shl(a: int, b: int, imm: int) -> int:
+    return (a << (b & 63)) & MASK64
+
+
+def _ev_shr(a: int, b: int, imm: int) -> int:
+    return (a >> (b & 63)) & MASK64
+
+
+def _ev_cmplt(a: int, b: int, imm: int) -> int:
+    return 1 if a < b else 0
+
+
+def _ev_cmpeq(a: int, b: int, imm: int) -> int:
+    return 1 if a == b else 0
+
+
+def _ev_li(a: int, b: int, imm: int) -> int:
+    return imm & MASK64
+
+
+def _ev_mov(a: int, b: int, imm: int) -> int:
+    return a & MASK64
+
+
+def _ev_mul(a: int, b: int, imm: int) -> int:
+    return (a * b) & MASK64
+
+
+def _ev_div(a: int, b: int, imm: int) -> int:
+    return (a // b) & MASK64 if b else 0
+
+
+def _ev_rem(a: int, b: int, imm: int) -> int:
+    return (a % b) & MASK64 if b else 0
+
+
+def _ev_fsqrt(a: int, b: int, imm: int) -> int:
+    return _isqrt(a)
+
+
+#: ALU semantics dispatch table: one dict probe per executed op instead
+#: of a chain of identity tests (shared by the interpreter and the OoO
+#: core's issue stage).
+EVALUATE = {
+    Op.ADD: _ev_add, Op.FADD: _ev_add,
+    Op.SUB: _ev_sub,
+    Op.AND: _ev_and,
+    Op.OR: _ev_or,
+    Op.XOR: _ev_xor,
+    Op.SHL: _ev_shl,
+    Op.SHR: _ev_shr,
+    Op.CMPLT: _ev_cmplt,
+    Op.CMPEQ: _ev_cmpeq,
+    Op.LI: _ev_li,
+    Op.MOV: _ev_mov,
+    Op.MUL: _ev_mul, Op.FMUL: _ev_mul,
+    Op.DIV: _ev_div, Op.FDIV: _ev_div,
+    Op.REM: _ev_rem,
+    Op.FSQRT: _ev_fsqrt,
+}
+
+
 def evaluate(op: Op, a: int, b: int, imm: int) -> int:
     """Pure ALU semantics shared by the interpreter and the OoO core.
 
     ``a`` is the first operand value, ``b`` the second (already the
     immediate when rs2 was absent).
     """
-    if op in (Op.ADD, Op.FADD):
-        return (a + b) & MASK64
-    if op is Op.SUB:
-        return (a - b) & MASK64
-    if op is Op.AND:
-        return a & b
-    if op is Op.OR:
-        return a | b
-    if op is Op.XOR:
-        return a ^ b
-    if op is Op.SHL:
-        return (a << (b & 63)) & MASK64
-    if op is Op.SHR:
-        return (a >> (b & 63)) & MASK64
-    if op is Op.CMPLT:
-        return 1 if a < b else 0
-    if op is Op.CMPEQ:
-        return 1 if a == b else 0
-    if op is Op.LI:
-        return imm & MASK64
-    if op is Op.MOV:
-        return a & MASK64
-    if op in (Op.MUL, Op.FMUL):
-        return (a * b) & MASK64
-    if op in (Op.DIV, Op.FDIV):
-        return (a // b) & MASK64 if b else 0
-    if op is Op.REM:
-        return (a % b) & MASK64 if b else 0
-    if op is Op.FSQRT:
-        return _isqrt(a)
-    raise ValueError("evaluate() called on non-ALU op %s" % op)
+    fn = EVALUATE.get(op)
+    if fn is None:
+        raise ValueError("evaluate() called on non-ALU op %s" % op)
+    return fn(a, b, imm)
 
 
 def _isqrt(value: int) -> int:

@@ -1,0 +1,168 @@
+"""Hot-core build selection (:mod:`repro.accel`) and its parity contract.
+
+The compiled (mypyc) hot core is optional — ``REPRO_BUILD_ACCEL=1 pip
+install -e '.[accel]'`` — and this checkout may or may not carry it.
+Every test here therefore asserts the *contract*, not a particular
+build: whatever ``REPRO_ACCEL`` selects must be byte-identical to the
+pure-Python differential oracle, and a missing extension must degrade
+gracefully.  The subprocess probes run both sides of each comparison
+through ``python -m repro.accel --digest``, so on an accelerated
+install they genuinely compare compiled vs pure.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+
+import repro.accel as accel
+
+SCALE = "0.02"
+
+
+def _run_py(code, extra_env=None):
+    """Run ``code`` in a fresh interpreter with src/ on the path."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p)
+    env.update(extra_env or {})
+    return subprocess.run([sys.executable, "-c", code],
+                          capture_output=True, text=True, env=env,
+                          cwd=os.path.join(os.path.dirname(__file__),
+                                           os.pardir))
+
+
+def _digest_probe(accel_env):
+    out = _run_py(
+        "import repro.accel, sys; sys.exit(repro.accel.main("
+        "['--digest', '--scale', %r]))" % SCALE,
+        {"REPRO_ACCEL": accel_env})
+    assert out.returncode == 0, out.stderr
+    return json.loads(out.stdout)
+
+
+# -- selection surface -----------------------------------------------------
+
+
+def test_accel_status_shape():
+    status = accel.accel_status()
+    assert set(status) == {"requested", "compiled_available", "active",
+                           "module_file"}
+    assert status["active"] in ("compiled", "pure")
+    if not status["compiled_available"]:
+        assert status["active"] == "pure"
+        assert status["module_file"].endswith("hotcore.py")
+
+
+def test_load_hotcore_is_canonical_and_idempotent():
+    module = accel.load_hotcore()
+    assert sys.modules["repro.pipeline.hotcore"] is module
+    assert accel.load_hotcore() is module
+    # The module carries the hot-core surface the orchestrator re-exports.
+    for name in ("HotCore", "DynInst"):
+        assert hasattr(module, name)
+
+
+def test_core_module_uses_selected_build():
+    """pipeline.core must route through the accel loader, not a plain
+    import — otherwise REPRO_ACCEL would silently stop working."""
+    import repro.pipeline.core as core
+    module = accel.load_hotcore()
+    assert core.HotCore is module.HotCore
+    assert core.DynInst is module.DynInst
+
+
+def test_missing_extension_fallback_warns():
+    """REPRO_ACCEL=1 without the extension: warn, run pure, still work."""
+    out = _run_py(
+        "import json, repro.accel as a; "
+        "print(json.dumps(a.accel_status()))",
+        {"REPRO_ACCEL": "1"})
+    assert out.returncode == 0, out.stderr
+    status = json.loads(out.stdout)
+    assert status["requested"] == "1"
+    if not status["compiled_available"]:
+        assert status["active"] == "pure"
+        assert "falling back to pure Python" in out.stderr
+
+
+# -- byte-identical parity across builds -----------------------------------
+
+
+def test_digest_parity_pure_vs_accel():
+    """The tentpole gate: REPRO_ACCEL=0 (oracle) and REPRO_ACCEL=1
+    (compiled when installed) agree on cycles/stats/regs, bit for bit."""
+    pure = _digest_probe("0")
+    fast = _digest_probe("1")
+    assert pure["active"] == "pure"
+    assert pure["digest"] == fast["digest"]
+    assert pure["cycles"] == fast["cycles"]
+    assert pure["insts"] == fast["insts"]
+    assert pure["skipped_cycles"] == fast["skipped_cycles"]
+
+
+_CHECKPOINT_SNIPPET = """
+import hashlib, json, sys
+from repro.defenses import registry
+from repro.sim.simulator import Simulator
+from repro.workloads.spec import get_workload
+
+programs = get_workload("mcf").build(%(scale)s)
+sim = Simulator(programs, registry["GhostMinion"]())
+mode = sys.argv[1]
+if mode == "save":
+    sim.run(max_insts=300)
+    with open(sys.argv[2], "wb") as fh:
+        fh.write(sim.snapshot())
+    sys.exit(0)
+if mode == "restore":
+    with open(sys.argv[2], "rb") as fh:
+        sim = Simulator.restore(fh.read())
+result = sim.run()
+canonical = json.dumps({"cycles": result.cycles,
+                        "stats": result.stats.as_dict(),
+                        "regs": [c.arch_regs() for c in sim.cores]},
+                       sort_keys=True)
+print(hashlib.sha256(canonical.encode()).hexdigest())
+""" % {"scale": SCALE}
+
+
+def _checkpoint_run(mode, path, accel_env):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p)
+    env["REPRO_ACCEL"] = accel_env
+    out = subprocess.run(
+        [sys.executable, "-c", _CHECKPOINT_SNIPPET, mode, path],
+        capture_output=True, text=True, env=env,
+        cwd=os.path.join(os.path.dirname(__file__), os.pardir))
+    assert out.returncode == 0, out.stderr
+    return out.stdout.strip()
+
+
+def test_checkpoint_blobs_cross_builds(tmp_path):
+    """A checkpoint written under one build restores under the other.
+
+    Blob *bytes* are not compared (pickle serialization order is not
+    canonical); the contract is restore-equivalence: both restored
+    continuations and the uninterrupted run all finish byte-identical.
+    """
+    blob_pure = str(tmp_path / "pure.ck")
+    blob_fast = str(tmp_path / "fast.ck")
+    _checkpoint_run("save", blob_pure, "0")
+    _checkpoint_run("save", blob_fast, "1")
+    straight = _checkpoint_run("cold", "-", "0")
+    # 0 -> 1 and 1 -> 0, plus each build restoring its own blob.
+    assert _checkpoint_run("restore", blob_pure, "1") == straight
+    assert _checkpoint_run("restore", blob_fast, "0") == straight
+    assert _checkpoint_run("restore", blob_pure, "0") == straight
+    assert _checkpoint_run("restore", blob_fast, "1") == straight
+
+
+def test_digest_helper_matches_documented_shape():
+    """_digest_payload covers exactly what the parity contract names."""
+    payload = accel._digest_payload(float(SCALE))
+    assert set(payload) >= {"active", "cycles", "insts", "digest",
+                            "seconds", "skipped_cycles"}
+    assert len(payload["digest"]) == len(hashlib.sha256().hexdigest())

@@ -1,0 +1,104 @@
+"""Hot-loop lint: the per-cycle path must stay on interned stat slots.
+
+The compiled hot core (and the components it drives every cycle) bumps
+counters through integer handles resolved once at construction — never
+through the string-keyed ``Stats.bump`` — and never re-interns on a hot
+path.  These rules are enforced structurally, by AST scan over the whole
+source tree, so a future edit cannot quietly reintroduce per-cycle
+string hashing:
+
+- ``.bump(...)`` appears nowhere in ``src/repro`` except inside
+  :mod:`repro.analysis.stats` itself (whose string-keyed view is the
+  cold-path API for reports and tests);
+- ``.handle(...)`` is only called from ``__init__`` methods (again,
+  stats.py excepted), i.e. interning happens at construction time.
+"""
+
+import ast
+import os
+
+SRC_ROOT = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "src", "repro")
+
+#: The string-keyed view lives here; everything in it is cold path.
+EXEMPT = {os.path.join("analysis", "stats.py")}
+
+
+def _python_sources():
+    for dirpath, _dirnames, filenames in os.walk(SRC_ROOT):
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel = os.path.relpath(path, SRC_ROOT)
+            if rel in EXEMPT:
+                continue
+            yield rel, path
+
+
+class _CallScan(ast.NodeVisitor):
+    """Collect method-call sites of interest with their enclosing
+    function name."""
+
+    def __init__(self):
+        self.stack = []
+        self.bumps = []
+        self.handles_outside_init = []
+
+    def _visit_func(self, node):
+        self.stack.append(node.name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def visit_Call(self, node):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "bump":
+                self.bumps.append(node.lineno)
+            elif func.attr == "handle":
+                if "__init__" not in self.stack:
+                    self.handles_outside_init.append(node.lineno)
+        self.generic_visit(node)
+
+
+def _scan(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    scan = _CallScan()
+    scan.visit(tree)
+    return scan
+
+
+def test_no_string_keyed_bumps_outside_stats():
+    offenders = []
+    for rel, path in _python_sources():
+        scan = _scan(path)
+        offenders.extend("%s:%d" % (rel, line) for line in scan.bumps)
+    assert not offenders, (
+        "string-keyed Stats.bump() on a simulation path — intern a "
+        "handle in __init__ and use stats.add(slot):\n  "
+        + "\n  ".join(offenders))
+
+
+def test_handles_interned_only_at_construction():
+    offenders = []
+    for rel, path in _python_sources():
+        scan = _scan(path)
+        offenders.extend("%s:%d" % (rel, line)
+                         for line in scan.handles_outside_init)
+    assert not offenders, (
+        "Stats.handle() outside __init__ — interning belongs at "
+        "construction, not on a per-cycle path:\n  "
+        + "\n  ".join(offenders))
+
+
+def test_scan_covers_the_hot_modules():
+    """The walk actually reaches the per-cycle files this lint exists
+    for (guards against a src layout move silently emptying the scan)."""
+    seen = {rel.replace(os.sep, "/") for rel, _path in _python_sources()}
+    for expected in ("pipeline/hotcore.py", "memory/cache.py",
+                     "memory/mshr.py", "memory/hierarchy.py"):
+        assert expected in seen
