@@ -1,0 +1,154 @@
+"""Baseline suppressions: reviewed, justified exceptions to the lint.
+
+``lint-baseline.toml`` at the repository root holds ``[[suppress]]``
+tables::
+
+    [[suppress]]
+    checker = "determinism"
+    path = "src/repro/exp/cache.py"
+    code = "wall-clock"
+    symbol = "time.time"        # optional narrowing
+    reason = "entry-age stamp for prune cutoffs; never in payloads"
+
+A finding is suppressed when an entry matches its checker, path and
+code (and symbol, when the entry narrows by one).  ``reason`` is
+mandatory: a suppression without a recorded justification is itself an
+error — the baseline is a reviewed ledger, not an off switch.
+
+Parsing uses :mod:`tomllib` when available (py>=3.11) and falls back
+to a minimal reader for exactly the subset above on older
+interpreters, so the lint gate runs on the whole CI matrix without
+new dependencies.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.lintkit.base import Finding
+
+DEFAULT_BASELINE = "lint-baseline.toml"
+
+_FIELDS = ("checker", "path", "code", "symbol", "reason")
+
+
+class BaselineError(ValueError):
+    """A malformed or unjustified baseline file."""
+
+
+class Suppression:
+    """One reviewed ``[[suppress]]`` entry."""
+
+    def __init__(self, table: Dict[str, str], source: str,
+                 line: int) -> None:
+        unknown = sorted(set(table) - set(_FIELDS))
+        if unknown:
+            raise BaselineError(
+                "%s:%d: unknown suppression key%s %s (known: %s)"
+                % (source, line, "s" if len(unknown) > 1 else "",
+                   ", ".join(unknown), ", ".join(_FIELDS)))
+        for required in ("checker", "path", "reason"):
+            if not table.get(required):
+                raise BaselineError(
+                    "%s:%d: suppression missing required %r — every "
+                    "baseline entry needs a checker, a path and a "
+                    "one-line justification"
+                    % (source, line, required))
+        self.checker = table["checker"]
+        self.path = table["path"]
+        self.code = table.get("code", "")
+        self.symbol = table.get("symbol", "")
+        self.reason = table["reason"]
+        self.source = source
+        self.line = line
+        self.used = False
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.checker != self.checker:
+            return False
+        if finding.path != self.path:
+            return False
+        if self.code and finding.code != self.code:
+            return False
+        if self.symbol and finding.symbol != self.symbol:
+            return False
+        return True
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "checker": self.checker,
+            "path": self.path,
+            "code": self.code,
+            "symbol": self.symbol,
+            "reason": self.reason,
+            "line": self.line,
+        }
+
+
+def _parse_toml_text(text: str, source: str) -> List[Suppression]:
+    try:
+        import tomllib
+    except ImportError:  # py3.10: minimal fallback reader below
+        return _parse_minimal(text, source)
+    try:
+        payload = tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise BaselineError("%s: %s" % (source, exc))
+    out = []
+    for table in payload.get("suppress", []):
+        if not isinstance(table, dict) or not all(
+                isinstance(v, str) for v in table.values()):
+            raise BaselineError(
+                "%s: [[suppress]] values must all be strings" % source)
+        out.append(Suppression(table, source, 0))
+    return out
+
+
+def _parse_minimal(text: str, source: str) -> List[Suppression]:
+    """Fallback TOML reader for the emitted subset: ``[[suppress]]``
+    headers and ``key = "value"`` lines, comments and blanks."""
+    out: List[Suppression] = []
+    current: Optional[Tuple[Dict[str, str], int]] = None
+
+    def flush() -> None:
+        if current is not None:
+            out.append(Suppression(current[0], source, current[1]))
+
+    for number, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line == "[[suppress]]":
+            flush()
+            current = ({}, number)
+            continue
+        if "=" in line and current is not None:
+            key, _, value = line.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if value.startswith('"') and value.count('"') >= 2:
+                value = value[1:value.index('"', 1)]
+            else:
+                raise BaselineError(
+                    "%s:%d: expected key = \"string\" (fallback "
+                    "parser accepts only quoted strings)"
+                    % (source, number))
+            current[0][key] = value
+            continue
+        raise BaselineError("%s:%d: unexpected line %r"
+                            % (source, number, line))
+    flush()
+    return out
+
+
+def load_baseline(path: str) -> List[Suppression]:
+    """Parse ``path`` into suppressions (empty for a missing file)."""
+    if not os.path.exists(path):
+        return []
+    with open(path, "r", encoding="utf-8") as handle:
+        return _parse_toml_text(handle.read(), os.path.basename(path))
+
+
+__all__ = ["BaselineError", "DEFAULT_BASELINE", "Suppression",
+           "load_baseline"]

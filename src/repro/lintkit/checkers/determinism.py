@@ -1,0 +1,119 @@
+"""determinism: no ambient entropy on simulation/payload paths.
+
+Results are content-addressed: the same (config, workload, defense)
+point must produce byte-identical payloads on every run, or the cache,
+the sqlite store, the checkpoint digests and the differential oracles
+all silently fork.  Inside the simulation and payload directories
+(``sim/``, ``pipeline/``, ``memory/``, ``defenses/``, ``exp/``) that
+rules out wall-clock reads (``time.time``, ``datetime.now``),
+OS entropy (``os.urandom``, ``uuid.uuid4``) and the process-global
+``random`` module (seedless by definition); randomness must flow from
+an explicitly seeded ``random.Random(seed)``.  ``time.perf_counter``
+stays legal — interval timing feeds telemetry, never payloads.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lintkit.astutil import dotted_name
+from repro.lintkit.base import Checker, Finding, LintContext
+
+SCOPE = ("src/repro/sim", "src/repro/pipeline", "src/repro/memory",
+         "src/repro/defenses", "src/repro/exp")
+
+#: Dotted call names that read the wall clock.
+WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.monotonic",
+    "time.monotonic_ns", "datetime.now", "datetime.utcnow",
+    "datetime.today", "date.today", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.date.today",
+})
+
+#: Dotted call names that draw OS entropy.
+ENTROPY = frozenset({
+    "os.urandom", "uuid.uuid1", "uuid.uuid4", "secrets.token_bytes",
+    "secrets.token_hex", "secrets.randbelow",
+})
+
+#: Module-level ``random.*`` functions (the global, unseeded RNG).
+GLOBAL_RANDOM = frozenset({
+    "random.random", "random.randint", "random.randrange",
+    "random.choice", "random.choices", "random.shuffle",
+    "random.sample", "random.uniform", "random.getrandbits",
+    "random.gauss", "random.seed",
+})
+
+
+class DeterminismChecker(Checker):
+    """Simulation/payload code must be bit-reproducible."""
+
+    name = "determinism"
+    summary = ("no wall clock, OS entropy or global random on "
+               "sim/pipeline/memory/defenses/exp payload paths")
+    contract = (
+        "Content-addressed results require bit-reproducible payload "
+        "code.  Under src/repro/{sim,pipeline,memory,defenses,exp}: "
+        "no time.time/monotonic or datetime.now/utcnow/today (wall "
+        "clock), no os.urandom/uuid.uuid1/uuid4/secrets.* (OS "
+        "entropy), no module-level random.* calls or seedless "
+        "random.Random()/SystemRandom() (unseeded RNG).  "
+        "time.perf_counter is allowed for interval telemetry, and "
+        "random.Random(seed) with an explicit seed is the sanctioned "
+        "randomness source.")
+    codes = {
+        "wall-clock": "wall-clock read on a payload path",
+        "entropy": "OS entropy source on a payload path",
+        "global-random": "process-global random module call",
+        "unseeded-random": "random.Random()/SystemRandom() without a "
+                           "seed argument",
+    }
+
+    def run(self, ctx: LintContext) -> List[Finding]:
+        findings: List[Finding] = []
+        seen = set()
+        for subdir in SCOPE:
+            for path in ctx.python_files(subdir):
+                if path in seen:
+                    continue
+                seen.add(path)
+                tree = ctx.tree(path)
+                if tree is None:
+                    continue
+                findings.extend(self._scan(path, tree))
+        return findings
+
+    def _scan(self, path: str, tree: ast.AST) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            code = self._classify(name, node)
+            if code is None:
+                continue
+            findings.append(self.finding(
+                path, node.lineno,
+                "%s() is nondeterministic on a payload path (%s); "
+                "see docs/linting.md#determinism" % (name, code),
+                symbol=name, code=code))
+        return findings
+
+    def _classify(self, name: str,
+                  node: ast.Call) -> Optional[str]:
+        if name in WALL_CLOCK:
+            return "wall-clock"
+        if name in ENTROPY:
+            return "entropy"
+        if name in GLOBAL_RANDOM:
+            return "global-random"
+        if name in ("random.Random", "random.SystemRandom",
+                    "SystemRandom"):
+            if name.endswith("SystemRandom"):
+                return "unseeded-random"
+            if not node.args and not node.keywords:
+                return "unseeded-random"
+        return None

@@ -1,0 +1,237 @@
+"""digest-stability: new config fields must not fork cache digests.
+
+``CACHE_SCHEMA_VERSION`` froze the v1 cache-token layout; the golden
+token test (tests/test_registry.py) pins its exact bytes.  A config
+field added *after* that freeze enters every token — silently forking
+the digest of every existing cached/stored result — unless it is
+listed in ``_POST_V1_CONFIG_DEFAULTS`` (``repro/exp/spec.py``), which
+strips it while it holds its default.
+
+This checker walks the ``src/repro/config.py`` dataclass graph from
+``SystemConfig``, diffs the dotted leaf paths against the embedded v1
+field set (the golden token's exact config keys), and requires every
+post-v1 path to appear as ``config.<path>`` in
+``_POST_V1_CONFIG_DEFAULTS`` — and every ``config.*`` entry there to
+still name a real field.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.lintkit.base import Checker, Finding, LintContext
+
+CONFIG_PATH = "src/repro/config.py"
+SPEC_PATH = "src/repro/exp/spec.py"
+DEFAULTS_NAME = "_POST_V1_CONFIG_DEFAULTS"
+
+#: The exact config leaf paths of the v1 golden cache token
+#: (GOLDEN_TOKEN_PR2 in tests/test_registry.py).  Frozen: editing this
+#: set means deliberately re-deriving it from the golden token, never
+#: syncing it to config.py (that would defeat the check).
+V1_CONFIG_PATHS = frozenset({
+    "cores",
+    "core.fetch_width", "core.issue_width", "core.commit_width",
+    "core.rob_entries", "core.iq_entries", "core.lq_entries",
+    "core.sq_entries", "core.int_alus", "core.fp_alus",
+    "core.muldiv_units", "core.mispredict_penalty",
+    "core.strict_fu_order",
+    "core.predictor.local_entries", "core.predictor.global_entries",
+    "core.predictor.choice_entries", "core.predictor.btb_entries",
+    "core.predictor.ras_entries",
+    "l1i.size_bytes", "l1i.assoc", "l1i.latency", "l1i.mshrs",
+    "l1i.line_bytes",
+    "l1d.size_bytes", "l1d.assoc", "l1d.latency", "l1d.mshrs",
+    "l1d.line_bytes",
+    "l2.size_bytes", "l2.assoc", "l2.latency", "l2.mshrs",
+    "l2.line_bytes",
+    "dram.base_latency", "dram.row_hit_latency", "dram.row_bits",
+    "dram.banks", "dram.open_page", "dram.nonspec_open_only",
+    "minion_d.size_bytes", "minion_d.assoc", "minion_d.async_reload",
+    "minion_d.timeless", "minion_d.line_bytes",
+    "minion_i.size_bytes", "minion_i.assoc", "minion_i.async_reload",
+    "minion_i.timeless", "minion_i.line_bytes",
+    "l2_prefetcher", "prefetcher_rpt_entries", "model_tlb",
+    "tlb.l1_entries", "tlb.l1_assoc", "tlb.l2_entries",
+    "tlb.l2_assoc", "tlb.l2_latency", "tlb.walk_latency",
+    "tlb.page_bits", "tlb.minion_entries", "tlb.minion_assoc",
+    "iprefetch_into_minion", "l2_mshr_partitioning",
+})
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for decorator in cls.decorator_list:
+        node = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        name = node.attr if isinstance(node, ast.Attribute) \
+            else getattr(node, "id", None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _annotation_head(annotation: ast.AST) -> Optional[str]:
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Constant) \
+            and isinstance(annotation.value, str):
+        return annotation.value.split("[")[0].strip()
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    return None
+
+
+class DigestStabilityChecker(Checker):
+    """Post-v1 config fields must be digest-neutral at their default."""
+
+    name = "digest-stability"
+    summary = ("config fields absent from the v1 golden token must be "
+               "stripped by _POST_V1_CONFIG_DEFAULTS")
+    contract = (
+        "The v1 cache token froze the config key set (golden token in "
+        "tests/test_registry.py).  Every dotted leaf field reachable "
+        "from SystemConfig in src/repro/config.py that is not part of "
+        "that v1 set must appear as ('config.<path>', <default>) in "
+        "_POST_V1_CONFIG_DEFAULTS (src/repro/exp/spec.py) so "
+        "default-holding points keep their pre-existing digests; "
+        "conversely every config.* entry there must still name a real "
+        "field, and no v1 field may disappear without a deliberate "
+        "schema bump.")
+    codes = {
+        "missing-post-v1-default": "post-v1 config field not stripped "
+                                   "at its default",
+        "stale-post-v1-entry": "_POST_V1_CONFIG_DEFAULTS names a "
+                               "nonexistent config field",
+        "missing-v1-field": "a v1 golden-token field vanished from "
+                            "config.py",
+        "unparseable": "config.py/spec.py structure not statically "
+                       "resolvable",
+    }
+
+    def run(self, ctx: LintContext) -> List[Finding]:
+        findings: List[Finding] = []
+        current = self._config_leaves(ctx, findings)
+        defaults = self._post_v1_entries(ctx, findings)
+        if current is None or defaults is None:
+            return findings
+        for path in sorted(current - V1_CONFIG_PATHS):
+            if "config." + path not in defaults:
+                findings.append(self.finding(
+                    CONFIG_PATH, self._field_line(ctx, path),
+                    "config field %r is not in the v1 golden token "
+                    "and not stripped by %s — adding it forks the "
+                    "digest of every cached result; add "
+                    "(\"config.%s\", <default>) in %s"
+                    % (path, DEFAULTS_NAME, path, SPEC_PATH),
+                    symbol=path, code="missing-post-v1-default"))
+        for entry in sorted(defaults):
+            if not entry.startswith("config."):
+                continue  # engine-policy token fields, not config
+            if entry[len("config."):] not in current:
+                findings.append(self.finding(
+                    SPEC_PATH, defaults[entry],
+                    "%s entry %r names no field reachable from "
+                    "SystemConfig — stale strip rule"
+                    % (DEFAULTS_NAME, entry),
+                    symbol=entry, code="stale-post-v1-entry"))
+        for path in sorted(V1_CONFIG_PATHS - current):
+            findings.append(self.finding(
+                CONFIG_PATH, 0,
+                "v1 golden-token field %r no longer exists in the "
+                "config dataclasses — renames/removals break every "
+                "stored digest and need a deliberate "
+                "CACHE_SCHEMA_VERSION bump" % path,
+                symbol=path, code="missing-v1-field"))
+        return findings
+
+    # -- config graph -----------------------------------------------------
+
+    def _config_leaves(self, ctx: LintContext,
+                       findings: List[Finding]) -> Optional[Set[str]]:
+        tree = ctx.tree(CONFIG_PATH) if ctx.exists(CONFIG_PATH) \
+            else None
+        if tree is None:
+            findings.append(self.finding(
+                CONFIG_PATH, 0, "cannot parse the config module",
+                code="unparseable"))
+            return None
+        classes: Dict[str, ast.ClassDef] = {
+            node.name: node for node in tree.body
+            if isinstance(node, ast.ClassDef) and _is_dataclass(node)}
+        if "SystemConfig" not in classes:
+            findings.append(self.finding(
+                CONFIG_PATH, 0,
+                "no SystemConfig dataclass found", code="unparseable"))
+            return None
+        self._lines: Dict[str, int] = {}
+        leaves: Set[str] = set()
+        self._walk_class(classes, "SystemConfig", "", leaves, set())
+        return leaves
+
+    def _walk_class(self, classes: Dict[str, ast.ClassDef], name: str,
+                    prefix: str, leaves: Set[str],
+                    visiting: Set[str]) -> None:
+        if name in visiting:  # defensive: cyclic config graph
+            return
+        visiting = visiting | {name}
+        for stmt in classes[name].body:
+            if not isinstance(stmt, ast.AnnAssign) \
+                    or not isinstance(stmt.target, ast.Name):
+                continue
+            head = _annotation_head(stmt.annotation)
+            if head == "ClassVar":
+                continue
+            field_path = prefix + stmt.target.id
+            if head in classes:
+                self._walk_class(classes, head, field_path + ".",
+                                 leaves, visiting)
+            else:
+                leaves.add(field_path)
+                self._lines[field_path] = stmt.lineno
+
+    def _field_line(self, ctx: LintContext, path: str) -> int:
+        return getattr(self, "_lines", {}).get(path, 0)
+
+    # -- spec.py defaults table -------------------------------------------
+
+    def _post_v1_entries(self, ctx: LintContext,
+                         findings: List[Finding]
+                         ) -> Optional[Dict[str, int]]:
+        tree = ctx.tree(SPEC_PATH) if ctx.exists(SPEC_PATH) else None
+        if tree is None:
+            findings.append(self.finding(
+                SPEC_PATH, 0, "cannot parse the experiment spec "
+                "module", code="unparseable"))
+            return None
+        for node in tree.body:
+            target = None
+            value = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                target, value = node.targets[0].id, node.value
+            elif isinstance(node, ast.AnnAssign) \
+                    and isinstance(node.target, ast.Name):
+                target, value = node.target.id, node.value
+            if target != DEFAULTS_NAME or value is None:
+                continue
+            if not isinstance(value, (ast.Tuple, ast.List)):
+                break
+            entries: Dict[str, int] = {}
+            for element in value.elts:
+                if isinstance(element, (ast.Tuple, ast.List)) \
+                        and element.elts \
+                        and isinstance(element.elts[0], ast.Constant) \
+                        and isinstance(element.elts[0].value, str):
+                    entries[element.elts[0].value] = element.lineno
+                else:
+                    findings.append(self.finding(
+                        SPEC_PATH, element.lineno,
+                        "%s entry is not a (\"path\", default) "
+                        "literal" % DEFAULTS_NAME, code="unparseable"))
+            return entries
+        findings.append(self.finding(
+            SPEC_PATH, 0,
+            "%s is missing or not a literal tuple of (path, default) "
+            "pairs" % DEFAULTS_NAME, code="unparseable"))
+        return None

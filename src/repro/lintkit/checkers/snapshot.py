@@ -1,0 +1,329 @@
+"""snapshot-completeness: SnapshotMixin wiring vs captured state.
+
+``repro.snapshot.SnapshotMixin`` captures *everything* an instance
+holds except names listed in ``_SNAPSHOT_EXCLUDE`` (nested mixins
+recurse in place).  Two structural failure modes produce silently
+wrong checkpoints:
+
+* **wiring captured as state** — a ``self.<attr> = <param>`` in
+  ``__init__`` that stores an injected collaborator (stats sink,
+  config, shared memory, back-reference) without an exclusion entry
+  deep-copies the collaborator into every snapshot: restores then
+  resurrect stale counters/config and break byte-identity with a cold
+  run;
+* **stale exclusions** — a ``_SNAPSHOT_EXCLUDE`` name never assigned
+  on the class silently stops protecting anything after a rename.
+
+The checker resolves each class's *effective* exclusion tuple
+(literal tuples, ``Base._SNAPSHOT_EXCLUDE + (...)`` extensions and
+inheritance) and each class's *effective* ``__init__`` (own or
+inherited), then cross-checks the two.  Classes that override the
+snapshot protocol itself (``snapshot_state``/``restore_state``/
+``_state_items``) opt out of the structural analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lintkit.astutil import base_names, class_methods, \
+    const_str_elements, iter_classes
+from repro.lintkit.base import Checker, Finding, LintContext
+
+#: Parameter names whose storage on self is wiring by convention.
+WIRING_PARAM_NAMES = frozenset({
+    "stats", "cfg", "config", "shared", "hierarchy", "memory",
+    "defense", "program", "core", "owner", "parent",
+})
+
+#: Annotation type names that mark an injected collaborator.
+WIRING_TYPE_NAMES = frozenset({
+    "Stats", "SystemConfig", "SharedMemory", "CacheConfig",
+    "MinionConfig", "DRAMConfig", "TLBConfig", "PredictorConfig",
+    "CoreConfig", "Defense", "Simulator",
+})
+
+
+class _ClassInfo:
+    def __init__(self, path: str, node: ast.ClassDef) -> None:
+        self.path = path
+        self.node = node
+        self.bases = base_names(node)
+        self.methods = class_methods(node)
+
+
+def _annotation_name(annotation: Optional[ast.AST]) -> Optional[str]:
+    """Bare type name of a parameter annotation (unwraps Optional[...]
+    by taking the subscripted head's argument when it is a Name)."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) \
+            and isinstance(annotation.value, str):
+        # String annotation: take the last identifier-ish head.
+        text = annotation.value.strip()
+        for bracket in ("[", "]"):
+            text = text.replace(bracket, " ")
+        for token in text.split():
+            head = token.split(".")[-1].rstrip(",")
+            if head in WIRING_TYPE_NAMES:
+                return head
+        return None
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Subscript):
+        # Optional[X] / "Optional[Stats]": scan the slice.
+        for inner in ast.walk(annotation.slice):
+            name = _annotation_name(inner)
+            if name in WIRING_TYPE_NAMES:
+                return name
+    return None
+
+
+class SnapshotChecker(Checker):
+    """Injected wiring must be excluded from snapshots, and every
+    exclusion must still name a real attribute."""
+
+    name = "snapshot-completeness"
+    summary = ("SnapshotMixin __init__ wiring must appear in "
+               "_SNAPSHOT_EXCLUDE; exclusions must not go stale")
+    contract = (
+        "SnapshotMixin captures every instance attribute not named in "
+        "_SNAPSHOT_EXCLUDE (repro/snapshot.py).  Any __init__ "
+        "assignment that stores an injected collaborator — a "
+        "parameter named stats/cfg/config/shared/... or annotated "
+        "with a wiring type (Stats, SystemConfig, SharedMemory, "
+        "cache/DRAM/TLB configs, Defense) — must be listed in the "
+        "class's effective _SNAPSHOT_EXCLUDE, or checkpoints "
+        "deep-copy the collaborator and restores resurrect stale "
+        "wiring.  Conversely every name a class itself adds to "
+        "_SNAPSHOT_EXCLUDE must be assigned as self.<name> somewhere "
+        "on the class or its bases.  Classes overriding "
+        "snapshot_state/restore_state/_state_items use a bespoke "
+        "protocol and are skipped.")
+    codes = {
+        "unsnapshotted-wiring": "wiring stored in __init__ but missing "
+                                "from _SNAPSHOT_EXCLUDE",
+        "stale-exclude": "_SNAPSHOT_EXCLUDE entry never assigned on "
+                         "the class",
+        "unresolved-exclude": "_SNAPSHOT_EXCLUDE expression too "
+                              "dynamic for static analysis",
+    }
+
+    def run(self, ctx: LintContext) -> List[Finding]:
+        index = self._class_index(ctx)
+        findings: List[Finding] = []
+        for info in index.values():
+            if info.path == "src/repro/snapshot.py":
+                continue  # the mixin itself
+            if not self._is_snapshot_class(info, index):
+                continue
+            if self._overrides_protocol(info):
+                continue
+            findings.extend(self._check_class(info, index))
+        return findings
+
+    # -- class graph ------------------------------------------------------
+
+    def _class_index(self, ctx: LintContext) -> Dict[str, _ClassInfo]:
+        index: Dict[str, _ClassInfo] = {}
+        for path in ctx.python_files("src/repro"):
+            tree = ctx.tree(path)
+            if tree is None:
+                continue
+            for cls in iter_classes(tree):
+                # First definition wins; bare-name collisions are rare
+                # enough that a project-wide index stays useful.
+                index.setdefault(cls.name, _ClassInfo(path, cls))
+        return index
+
+    def _ancestry(self, info: _ClassInfo,
+                  index: Dict[str, _ClassInfo]) -> List[_ClassInfo]:
+        """``info`` followed by its resolvable bases, nearest first."""
+        out, queue, seen = [], [info], set()
+        while queue:
+            node = queue.pop(0)
+            if node.node.name in seen:
+                continue
+            seen.add(node.node.name)
+            out.append(node)
+            for base in node.bases:
+                if base in index:
+                    queue.append(index[base])
+        return out
+
+    def _is_snapshot_class(self, info: _ClassInfo,
+                           index: Dict[str, _ClassInfo]) -> bool:
+        for ancestor in self._ancestry(info, index):
+            if "SnapshotMixin" in ancestor.bases:
+                return True
+        return False
+
+    def _overrides_protocol(self, info: _ClassInfo) -> bool:
+        bespoke = {"snapshot_state", "restore_state", "_state_items"}
+        return bool(bespoke & set(info.methods))
+
+    # -- exclusion resolution ---------------------------------------------
+
+    def _own_exclude(self, info: _ClassInfo
+                     ) -> Tuple[Optional[List[str]],
+                                Optional[ast.AST]]:
+        """The names this class *itself* adds via _SNAPSHOT_EXCLUDE:
+        (added_names, node) — added_names None when unresolvable, node
+        None when the class does not set the attribute."""
+        for stmt in info.node.body:
+            target = None
+            value = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                target, value = stmt.targets[0].id, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                target, value = stmt.target.id, stmt.value
+            if target != "_SNAPSHOT_EXCLUDE" or value is None:
+                continue
+            names = const_str_elements(value)
+            if names is not None:
+                return names, stmt
+            if isinstance(value, ast.BinOp) \
+                    and isinstance(value.op, ast.Add):
+                # Base._SNAPSHOT_EXCLUDE + ("extra", ...): the base
+                # half is inherited anyway; only the right-hand
+                # extension is "own".
+                extension = const_str_elements(value.right)
+                if extension is not None and isinstance(
+                        value.left, (ast.Attribute, ast.Name)):
+                    return extension, stmt
+            return None, stmt
+        return [], None
+
+    def _effective_exclude(self, info: _ClassInfo,
+                           index: Dict[str, _ClassInfo]
+                           ) -> Optional[Set[str]]:
+        excluded: Set[str] = set()
+        for ancestor in self._ancestry(info, index):
+            own, node = self._own_exclude(ancestor)
+            if own is None:
+                return None  # dynamic expression somewhere in the MRO
+            excluded.update(own)
+        return excluded
+
+    # -- the check --------------------------------------------------------
+
+    def _effective_init(self, info: _ClassInfo,
+                        index: Dict[str, _ClassInfo]
+                        ) -> List[Tuple[_ClassInfo, ast.FunctionDef]]:
+        """Every ``__init__`` that runs for this class (own plus
+        ancestors', since super().__init__ chains assignments)."""
+        inits = []
+        for ancestor in self._ancestry(info, index):
+            init = ancestor.methods.get("__init__")
+            if init is not None:
+                inits.append((ancestor, init))
+        return inits
+
+    def _all_assigned_attrs(self, info: _ClassInfo,
+                            index: Dict[str, _ClassInfo]) -> Set[str]:
+        assigned: Set[str] = set()
+        for ancestor in self._ancestry(info, index):
+            for func in ancestor.methods.values():
+                for node in ast.walk(func):
+                    if isinstance(node, ast.Attribute) \
+                            and isinstance(node.value, ast.Name) \
+                            and node.value.id == "self" \
+                            and isinstance(node.ctx, ast.Store):
+                        assigned.add(node.attr)
+        return assigned
+
+    def _check_class(self, info: _ClassInfo,
+                     index: Dict[str, _ClassInfo]) -> List[Finding]:
+        findings: List[Finding] = []
+        excluded = self._effective_exclude(info, index)
+        if excluded is None:
+            own, node = self._own_exclude(info)
+            findings.append(self.finding(
+                info.path,
+                node.lineno if node is not None else info.node.lineno,
+                "_SNAPSHOT_EXCLUDE is not a resolvable literal tuple; "
+                "the snapshot contract cannot be checked statically",
+                symbol=info.node.name, code="unresolved-exclude"))
+            return findings
+
+        # (a) wiring stored without an exclusion.
+        flagged: Set[str] = set()
+        for owner, init in self._effective_init(info, index):
+            wiring = self._wiring_params(init)
+            for stmt in ast.walk(init):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    if not (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        continue
+                    attr = target.attr
+                    if attr in excluded or attr in flagged:
+                        continue
+                    source = self._wiring_source(stmt.value, wiring)
+                    if source is None:
+                        continue
+                    flagged.add(attr)
+                    findings.append(self.finding(
+                        owner.path, stmt.lineno,
+                        "self.%s stores injected wiring (%s) but is "
+                        "not in _SNAPSHOT_EXCLUDE; snapshots would "
+                        "deep-copy it and restores would resurrect "
+                        "stale wiring" % (attr, source),
+                        symbol="%s.%s" % (info.node.name, attr),
+                        code="unsnapshotted-wiring"))
+
+        # (b) own exclusions that no longer name an attribute.
+        own, node = self._own_exclude(info)
+        if own and node is not None:
+            assigned = self._all_assigned_attrs(info, index)
+            for name in own:
+                if name not in assigned:
+                    findings.append(self.finding(
+                        info.path, node.lineno,
+                        "_SNAPSHOT_EXCLUDE lists %r but no method of "
+                        "%s (or its bases) assigns self.%s — stale "
+                        "exclusion" % (name, info.node.name, name),
+                        symbol="%s.%s" % (info.node.name, name),
+                        code="stale-exclude"))
+        return findings
+
+    def _wiring_params(self, init: ast.FunctionDef) -> Dict[str, str]:
+        """Parameter name -> reason string for wiring-typed params."""
+        wiring: Dict[str, str] = {}
+        args = init.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.arg == "self":
+                continue
+            annotated = _annotation_name(arg.annotation)
+            if annotated in WIRING_TYPE_NAMES:
+                wiring[arg.arg] = "parameter %r annotated %s" \
+                    % (arg.arg, annotated)
+            elif arg.arg in WIRING_PARAM_NAMES:
+                wiring[arg.arg] = "parameter %r is wiring by naming " \
+                    "convention" % arg.arg
+        return wiring
+
+    def _wiring_source(self, value: ast.AST,
+                       wiring: Dict[str, str]) -> Optional[str]:
+        """Why ``value`` aliases injected wiring, or None."""
+        if isinstance(value, ast.Name) and value.id in wiring:
+            return wiring[value.id]
+        if isinstance(value, ast.Attribute):
+            node: ast.AST = value
+            while isinstance(node, ast.Attribute):
+                node = node.value
+            if isinstance(node, ast.Name) and node.id in wiring:
+                return wiring[node.id] + " (attribute alias)"
+        if isinstance(value, ast.BoolOp):  # stats or Stats()
+            for part in value.values:
+                source = self._wiring_source(part, wiring)
+                if source is not None:
+                    return source
+        return None

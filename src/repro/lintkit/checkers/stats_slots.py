@@ -1,0 +1,121 @@
+"""stats-slots: the hot path stays on interned stat handles.
+
+The per-cycle loop (and every component it drives) bumps counters
+through integer handles resolved once at construction — never through
+the string-keyed ``Stats.bump`` — and never re-interns on a hot path.
+This checker generalizes the original tests/test_hotloop_lint.py AST
+walk into the lint framework:
+
+* ``.bump(...)`` appears nowhere under ``src/repro`` except inside
+  ``repro/analysis/`` (whose string-keyed view is the cold-path API
+  for reports, figures and tests);
+* ``.handle(...)`` is only called from ``__init__`` methods
+  (``analysis/stats.py`` excepted) — interning happens at
+  construction time;
+* the walk actually reaches the per-cycle modules it exists for, so a
+  source-layout move cannot silently empty the scan.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lintkit.base import Checker, Finding, LintContext
+
+#: The string-keyed view lives here; everything under it is cold path.
+EXEMPT_BUMP_PREFIX = "src/repro/analysis/"
+EXEMPT_HANDLE = frozenset({"src/repro/analysis/stats.py"})
+
+#: The per-cycle files this lint exists for: if the walk misses any of
+#: them the scan has gone vacuous.
+HOT_MODULES = (
+    "src/repro/pipeline/hotcore.py",
+    "src/repro/memory/cache.py",
+    "src/repro/memory/mshr.py",
+    "src/repro/memory/hierarchy.py",
+)
+
+
+class _CallScan(ast.NodeVisitor):
+    """Method-call sites of interest with their enclosing function."""
+
+    def __init__(self) -> None:
+        self.stack: List[str] = []
+        self.bumps: List[int] = []
+        self.handles_outside_init: List[int] = []
+
+    def _visit_func(self, node: ast.FunctionDef) -> None:
+        self.stack.append(node.name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "bump":
+                self.bumps.append(node.lineno)
+            elif func.attr == "handle":
+                if "__init__" not in self.stack:
+                    self.handles_outside_init.append(node.lineno)
+        self.generic_visit(node)
+
+
+class StatsSlotsChecker(Checker):
+    """Hot-path counters go through interned slots, not string keys."""
+
+    name = "stats-slots"
+    summary = ("no Stats.bump outside analysis/, no handle() interning "
+               "outside __init__")
+    contract = (
+        "Hot-path counters pay no string hashing: Stats.handle(name) "
+        "is called once at component construction (__init__) and the "
+        "per-cycle path uses stats.add(slot).  Structurally: no "
+        ".bump(...) call anywhere under src/repro except repro/"
+        "analysis/ (the cold-path string-keyed view), and no "
+        ".handle(...) call outside an __init__ (analysis/stats.py "
+        "excepted).  The scan must keep reaching pipeline/hotcore.py "
+        "and the memory-system modules; a layout move that empties it "
+        "is itself a finding.")
+    codes = {
+        "string-bump": "string-keyed Stats.bump() on a simulation path",
+        "late-intern": "Stats.handle() outside __init__",
+        "missing-hot-module": "the scan no longer reaches a known "
+                              "hot-path module",
+    }
+
+    def run(self, ctx: LintContext) -> List[Finding]:
+        findings: List[Finding] = []
+        seen = set()
+        for path in ctx.python_files("src/repro"):
+            seen.add(path)
+            tree = ctx.tree(path)
+            if tree is None:
+                continue
+            scan = _CallScan()
+            scan.visit(tree)
+            if not path.startswith(EXEMPT_BUMP_PREFIX):
+                for line in scan.bumps:
+                    findings.append(self.finding(
+                        path, line,
+                        "string-keyed Stats.bump() on a simulation "
+                        "path — intern a handle in __init__ and use "
+                        "stats.add(slot)", code="string-bump"))
+            if path not in EXEMPT_HANDLE:
+                for line in scan.handles_outside_init:
+                    findings.append(self.finding(
+                        path, line,
+                        "Stats.handle() outside __init__ — interning "
+                        "belongs at construction, not on a per-cycle "
+                        "path", code="late-intern"))
+        for expected in HOT_MODULES:
+            if expected not in seen:
+                findings.append(self.finding(
+                    expected, 0,
+                    "hot-path module not reached by the stats-slot "
+                    "scan — source layout moved without updating the "
+                    "lint", code="missing-hot-module"))
+        return findings

@@ -1,0 +1,168 @@
+"""The lint engine: select checkers, run them, apply the baseline.
+
+:func:`run_lint` is the single entry point behind the ``repro lint``
+CLI, the CI gate and the test suite's thin lint invocations.  It
+resolves checker names against the ``lint`` component registry (so
+``REPRO_PLUGINS`` checkers participate exactly like builtins), runs
+each checker over one shared :class:`~repro.lintkit.base.LintContext`,
+folds in parse errors, and partitions findings against the reviewed
+baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.lintkit.base import Checker, Finding, LintContext, \
+    detect_root
+from repro.lintkit.baseline import DEFAULT_BASELINE, Suppression, \
+    load_baseline
+
+#: Schema version of the ``--json`` report payload.
+REPORT_SCHEMA_VERSION = 1
+
+
+class LintReport:
+    """Outcome of one lint run, JSON-able for the CI artifact."""
+
+    def __init__(self, root: str, checkers: List[str],
+                 findings: List[Finding],
+                 suppressed: List[Finding],
+                 suppressions: List[Suppression]) -> None:
+        self.root = root
+        self.checkers = checkers
+        self.findings = findings
+        self.suppressed = suppressed
+        self.suppressions = suppressions
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def unused_suppressions(self) -> List[Suppression]:
+        return [entry for entry in self.suppressions if not entry.used]
+
+    def counts(self) -> Dict[str, int]:
+        by_checker: Dict[str, int] = {name: 0 for name in self.checkers}
+        for finding in self.findings:
+            by_checker[finding.checker] = \
+                by_checker.get(finding.checker, 0) + 1
+        return by_checker
+
+    def as_json(self) -> Dict[str, object]:
+        return {
+            "version": REPORT_SCHEMA_VERSION,
+            "root": self.root,
+            "checkers": list(self.checkers),
+            "clean": self.clean,
+            "counts": self.counts(),
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "unused_suppressions": [s.describe() for s in
+                                    self.unused_suppressions()],
+        }
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        for entry in self.unused_suppressions():
+            lines.append(
+                "lint-baseline: unused suppression %s:%s%s — remove "
+                "it or re-justify (reason was: %s)"
+                % (entry.checker, entry.path,
+                   "#" + entry.symbol if entry.symbol else "",
+                   entry.reason))
+        total = len(self.findings)
+        summary = "repro lint: %d finding%s" \
+            % (total, "" if total == 1 else "s")
+        if self.suppressed:
+            summary += ", %d suppressed by baseline" \
+                % len(self.suppressed)
+        ran = ", ".join(self.checkers)
+        lines.append("%s (checkers: %s)" % (summary, ran))
+        return "\n".join(lines)
+
+
+def lint_registry():
+    """The ``lint`` component registry (imports the builtins)."""
+    from repro.registry import component_registry
+    return component_registry("lint")
+
+
+def select_checkers(select: Optional[Sequence[str]] = None,
+                    ignore: Optional[Sequence[str]] = None
+                    ) -> List[Checker]:
+    """Instantiate the requested checkers (all registered by default).
+
+    Unknown names raise ``UnknownComponentError`` with did-you-mean
+    suggestions, exactly like any other component lookup.
+    """
+    registry = lint_registry()
+    from repro.registry import load_plugins
+    load_plugins()  # plugin checkers must be selectable
+    names = list(registry.names())
+    if select:
+        chosen = []
+        for name in select:
+            registry.entry(name)  # raises with suggestions on a miss
+            if name not in chosen:
+                chosen.append(name)
+        names = chosen
+    if ignore:
+        for name in ignore:
+            registry.entry(name)
+        names = [name for name in names if name not in set(ignore)]
+    return [registry.entry(name).create() for name in names]
+
+
+def run_lint(root: Optional[str] = None,
+             select: Optional[Sequence[str]] = None,
+             ignore: Optional[Sequence[str]] = None,
+             baseline: Optional[str] = None) -> LintReport:
+    """Run the selected checkers over the repository at ``root``.
+
+    ``baseline`` is a path to a suppression file; ``None`` uses
+    ``<root>/lint-baseline.toml`` when present.  Findings matching a
+    suppression move to the report's ``suppressed`` list; everything
+    else fails the gate.
+    """
+    resolved_root = detect_root(root) if root is None else root
+    ctx = LintContext(resolved_root)
+    checkers = select_checkers(select=select, ignore=ignore)
+
+    findings: List[Finding] = []
+    for checker in checkers:
+        findings.extend(checker.run(ctx))
+    for path, line, message in ctx.parse_errors():
+        findings.append(Finding(
+            checker="lintkit", path=path, line=line,
+            message="file does not parse: %s" % message,
+            code="syntax-error"))
+    findings.sort(key=lambda f: (f.path, f.line, f.checker, f.code))
+
+    if baseline is None:
+        baseline = ctx.abspath(DEFAULT_BASELINE)
+    suppressions = load_baseline(baseline)
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        hit = next((entry for entry in suppressions
+                    if entry.matches(finding)), None)
+        if hit is not None:
+            hit.used = True
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+
+    return LintReport(root=resolved_root,
+                      checkers=[c.name for c in checkers],
+                      findings=kept, suppressed=suppressed,
+                      suppressions=suppressions)
+
+
+def report_to_json(report: LintReport) -> str:
+    return json.dumps(report.as_json(), sort_keys=True, indent=2)
+
+
+__all__ = ["LintReport", "REPORT_SCHEMA_VERSION", "lint_registry",
+           "report_to_json", "run_lint", "select_checkers"]

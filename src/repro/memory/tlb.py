@@ -43,8 +43,10 @@ class TLBHierarchy(SnapshotMixin):
     """L1 TLB + L2 TLB + walker, with an optional TLB-Minion."""
 
     #: Snapshot contract: the L1/L2 TLBs and the TLB-Minion restore in
-    #: place as nested components; config and stats are wiring.
-    _SNAPSHOT_EXCLUDE = ("cfg", "stats")
+    #: place as nested components; config and stats are wiring, and
+    #: ``page_shift`` is a wiring-derived constant rebuilt by
+    #: ``__init__``.
+    _SNAPSHOT_EXCLUDE = ("cfg", "stats", "page_shift")
 
     def __init__(self, cfg: TLBConfig, stats: Optional[Stats] = None,
                  minion: bool = True, name: str = "dtlb") -> None:

@@ -149,9 +149,15 @@ class Core(HotCore, SnapshotMixin):
     #: (:mod:`repro.sim.checkpoint`) capture in-flight state with
     #: cross-component identity intact.  HotCore keeps all of its state
     #: in ``__slots__``; the mixin's MRO scan picks those up whichever
-    #: build (pure or compiled) is active.
+    #: build (pure or compiled) is active.  The mode flags read out of
+    #: the defense at construction (``epoch_timestamps``,
+    #: ``_early_commit``, ``_strict_fu``, ``_train_at_commit``) are
+    #: wiring-derived per-run constants: excluded, reconstructed by
+    #: ``__init__`` on restore.
     _SNAPSHOT_EXCLUDE = ("program", "cfg", "defense", "hierarchy",
-                         "memory", "stats")
+                         "memory", "stats", "epoch_timestamps",
+                         "_early_commit", "_strict_fu",
+                         "_train_at_commit")
 
     # ==================================================================
     # event-driven scheduling (cycle skipping)

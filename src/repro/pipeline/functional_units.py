@@ -28,8 +28,10 @@ class FUPool(SnapshotMixin):
     CLASSES = ("int", "fp", "muldiv")
 
     #: Snapshot contract: unit occupancy and per-cycle issue state are
-    #: the state; port geometry is immutable and rides along.
-    _SNAPSHOT_EXCLUDE = ("stats",)
+    #: the state; port geometry is immutable and rides along.  The
+    #: ``strict_order`` mode flag is wiring-derived (config/defense)
+    #: and reconstructed at construction.
+    _SNAPSHOT_EXCLUDE = ("stats", "strict_order")
 
     def __init__(self, cfg: CoreConfig, stats: Optional[Stats] = None,
                  strict_order: bool = False) -> None:

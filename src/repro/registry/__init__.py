@@ -9,6 +9,7 @@ kind            components                                  defined in
 ``workload``    named suites + parameterized synthetics     ``repro.workloads.spec``
 ``predictor``   branch-predictor implementations            ``repro.pipeline.branch_predictor``
 ``hierarchy``   per-core memory-hierarchy classes           ``repro.defenses``
+``lint``        static invariant checkers (``repro lint``)  ``repro.lintkit.checkers``
 ==============  ==========================================  ==========
 
 Components are constructed from *spec strings* (``"MuonTrap(flush=True)"``,
@@ -47,6 +48,7 @@ _BUILTIN_MODULES = {
     "workload": "repro.workloads.spec",
     "predictor": "repro.pipeline.branch_predictor",
     "hierarchy": "repro.defenses",
+    "lint": "repro.lintkit.checkers",
 }
 
 #: CLI spellings (``repro list defenses``) -> canonical kind.
@@ -55,6 +57,7 @@ KIND_ALIASES = {
     "workload": "workload", "workloads": "workload",
     "predictor": "predictor", "predictors": "predictor",
     "hierarchy": "hierarchy", "hierarchies": "hierarchy",
+    "lint": "lint", "lints": "lint",
 }
 
 

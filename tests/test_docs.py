@@ -1,92 +1,31 @@
-"""Docs hygiene: relative links and anchors across the markdown pages.
+"""Docs hygiene rides the lint framework: one ``docs-sync`` family.
 
-Every ``[text](target)`` link in docs/*.md, ROADMAP.md and CHANGES.md
-whose target is a relative path must point at an existing file, and a
-``#fragment`` must match a heading (GitHub anchor rules) in the target
-page.  CI runs this as its docs link-check step.
+The relative-link/anchor walk and the architecture-page coverage rule
+that used to live here (and the stall-taxonomy table assertions that
+lived in tests/test_stall_taxonomy.py) are now the ``docs-sync``
+checker (src/repro/lintkit/checkers/docs_sync.py); this test is the
+thin clean-tree invocation CI's gating ``repro lint`` step also runs.
 """
 
 import os
-import re
 
-import pytest
+from repro.lintkit import run_lint
 
 REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir))
 
-DOC_FILES = sorted(
-    [os.path.join("docs", name)
-     for name in os.listdir(os.path.join(REPO_ROOT, "docs"))
-     if name.endswith(".md")]
-    + ["ROADMAP.md", "CHANGES.md"])
 
-#: [text](target) — excluding images and in-code backticked brackets.
-LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
-HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+def test_docs_sync_lint_clean():
+    report = run_lint(root=REPO_ROOT, select=["docs-sync"])
+    assert report.clean, report.render_text()
 
 
-def _strip_code(text):
-    """Drop fenced code blocks and neutralize inline code spans (links
-    inside code samples are illustrative, not navigable).  Inline
-    spans are *replaced*, not deleted: a link whose entire text is a
-    code span (``[`file.py`](../file.py)``) must keep matching
-    LINK_RE."""
-    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
-    return re.sub(r"`[^`]*`", "code", text)
-
-
-def _github_anchor(heading):
-    """GitHub's heading -> anchor transformation."""
-    heading = re.sub(r"[`*_]", "", heading.strip().lower())
-    heading = re.sub(r"[^\w\- ]", "", heading)
-    return heading.replace(" ", "-")
-
-
-def _anchors_of(path):
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
-    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
-    return {_github_anchor(h) for h in HEADING_RE.findall(text)}
-
-
-def _links_of(rel_path):
-    with open(os.path.join(REPO_ROOT, rel_path), "r",
-              encoding="utf-8") as handle:
-        return LINK_RE.findall(_strip_code(handle.read()))
-
-
-@pytest.mark.parametrize("rel_path", DOC_FILES)
-def test_relative_links_resolve(rel_path):
-    base_dir = os.path.dirname(os.path.join(REPO_ROOT, rel_path))
-    problems = []
-    for target in _links_of(rel_path):
-        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
-            continue
-        path_part, _, fragment = target.partition("#")
-        if path_part:
-            dest = os.path.normpath(os.path.join(base_dir, path_part))
-        else:
-            dest = os.path.join(REPO_ROOT, rel_path)  # same-page anchor
-        if not os.path.exists(dest):
-            problems.append("%s -> %s: missing file" % (rel_path, target))
-            continue
-        if fragment and dest.endswith(".md"):
-            if fragment not in _anchors_of(dest):
-                problems.append("%s -> %s: no such anchor"
-                                % (rel_path, target))
-    assert not problems, "\n".join(problems)
-
-
-def test_docs_cover_every_page():
-    """architecture.md is the map: it must link every other docs page,
-    and every docs page must be reachable from it."""
-    arch = os.path.join("docs", "architecture.md")
-    assert arch in DOC_FILES, "docs/architecture.md is missing"
-    linked = {os.path.basename(t.partition("#")[0])
-              for t in _links_of(arch)}
-    for rel_path in DOC_FILES:
-        name = os.path.basename(rel_path)
-        if name == "architecture.md" or not rel_path.startswith("docs"):
-            continue
-        assert name in linked, (
-            "docs/architecture.md does not link %s" % name)
+def test_docs_sync_actually_scans_the_pages():
+    """The checker walks the real docs surface (a docs/ move must not
+    silently empty the scan)."""
+    from repro.lintkit.base import LintContext
+    pages = LintContext(REPO_ROOT).doc_files()
+    assert "docs/architecture.md" in pages
+    assert "docs/performance.md" in pages
+    assert "docs/linting.md" in pages
+    assert "ROADMAP.md" in pages and "CHANGES.md" in pages

@@ -1,104 +1,99 @@
 """Hot-loop lint: the per-cycle path must stay on interned stat slots.
 
-The compiled hot core (and the components it drives every cycle) bumps
-counters through integer handles resolved once at construction — never
-through the string-keyed ``Stats.bump`` — and never re-interns on a hot
-path.  These rules are enforced structurally, by AST scan over the whole
-source tree, so a future edit cannot quietly reintroduce per-cycle
-string hashing:
-
-- ``.bump(...)`` appears nowhere in ``src/repro`` except inside
-  :mod:`repro.analysis.stats` itself (whose string-keyed view is the
-  cold-path API for reports and tests);
-- ``.handle(...)`` is only called from ``__init__`` methods (again,
-  stats.py excepted), i.e. interning happens at construction time.
+The standalone AST walk this file used to carry moved into the lint
+framework as the ``stats-slots`` checker
+(src/repro/lintkit/checkers/stats_slots.py); the test is now a thin
+``repro lint --select stats-slots`` invocation asserting zero
+findings, plus an equivalence check pinning the checker to the exact
+violation set the original walk reported (both are empty on a clean
+tree — the equivalence test proves they *stay* equal by construction,
+not by luck).
 """
 
 import ast
 import os
 
-SRC_ROOT = os.path.join(os.path.dirname(__file__), os.pardir,
-                        "src", "repro")
+from repro.lintkit import run_lint
 
-#: The string-keyed view lives here; everything in it is cold path.
-EXEMPT = {os.path.join("analysis", "stats.py")}
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir))
 
 
-def _python_sources():
-    for dirpath, _dirnames, filenames in os.walk(SRC_ROOT):
+def test_stats_slot_lint_clean():
+    """`repro lint --select stats-slots` reports nothing on the tree."""
+    report = run_lint(root=REPO_ROOT, select=["stats-slots"])
+    assert report.clean, report.render_text()
+    assert report.checkers == ["stats-slots"]
+
+
+def _legacy_walk():
+    """The original tests/test_hotloop_lint.py scan, kept verbatim as
+    the reference implementation: (path, line, kind) offender tuples
+    over src/repro with analysis/stats.py exempt."""
+    src_root = os.path.join(REPO_ROOT, "src", "repro")
+    exempt = {os.path.join("analysis", "stats.py")}
+    offenders = []
+    for dirpath, _dirnames, filenames in os.walk(src_root):
         for filename in filenames:
             if not filename.endswith(".py"):
                 continue
             path = os.path.join(dirpath, filename)
-            rel = os.path.relpath(path, SRC_ROOT)
-            if rel in EXEMPT:
+            rel = os.path.relpath(path, src_root)
+            if rel in exempt:
                 continue
-            yield rel, path
+            with open(path, "r", encoding="utf-8") as handle:
+                tree = ast.parse(handle.read(), filename=path)
+            stack = []
+
+            def walk(node):
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    stack.append(node.name)
+                    for child in ast.iter_child_nodes(node):
+                        walk(child)
+                    stack.pop()
+                    return
+                if isinstance(node, ast.Call) \
+                        and isinstance(node.func, ast.Attribute):
+                    if node.func.attr == "bump":
+                        offenders.append((rel.replace(os.sep, "/"),
+                                          node.lineno, "string-bump"))
+                    elif node.func.attr == "handle" \
+                            and "__init__" not in stack:
+                        offenders.append((rel.replace(os.sep, "/"),
+                                          node.lineno, "late-intern"))
+                for child in ast.iter_child_nodes(node):
+                    walk(child)
+
+            walk(tree)
+    return sorted(offenders)
 
 
-class _CallScan(ast.NodeVisitor):
-    """Collect method-call sites of interest with their enclosing
-    function name."""
-
-    def __init__(self):
-        self.stack = []
-        self.bumps = []
-        self.handles_outside_init = []
-
-    def _visit_func(self, node):
-        self.stack.append(node.name)
-        self.generic_visit(node)
-        self.stack.pop()
-
-    visit_FunctionDef = _visit_func
-    visit_AsyncFunctionDef = _visit_func
-
-    def visit_Call(self, node):
-        func = node.func
-        if isinstance(func, ast.Attribute):
-            if func.attr == "bump":
-                self.bumps.append(node.lineno)
-            elif func.attr == "handle":
-                if "__init__" not in self.stack:
-                    self.handles_outside_init.append(node.lineno)
-        self.generic_visit(node)
-
-
-def _scan(path):
-    with open(path, "r", encoding="utf-8") as handle:
-        tree = ast.parse(handle.read(), filename=path)
-    scan = _CallScan()
-    scan.visit(tree)
-    return scan
-
-
-def test_no_string_keyed_bumps_outside_stats():
-    offenders = []
-    for rel, path in _python_sources():
-        scan = _scan(path)
-        offenders.extend("%s:%d" % (rel, line) for line in scan.bumps)
-    assert not offenders, (
-        "string-keyed Stats.bump() on a simulation path — intern a "
-        "handle in __init__ and use stats.add(slot):\n  "
-        + "\n  ".join(offenders))
-
-
-def test_handles_interned_only_at_construction():
-    offenders = []
-    for rel, path in _python_sources():
-        scan = _scan(path)
-        offenders.extend("%s:%d" % (rel, line)
-                         for line in scan.handles_outside_init)
-    assert not offenders, (
-        "Stats.handle() outside __init__ — interning belongs at "
-        "construction, not on a per-cycle path:\n  "
-        + "\n  ".join(offenders))
+def test_checker_matches_legacy_walk():
+    """The registered checker reports the identical violation set the
+    pre-framework AST walk did (modulo the repo-relative path prefix
+    and the checker's extra coverage guard)."""
+    report = run_lint(root=REPO_ROOT, select=["stats-slots"])
+    from_checker = sorted(
+        (finding.path[len("src/repro/"):], finding.line, finding.code)
+        for finding in report.findings + report.suppressed
+        if finding.code in ("string-bump", "late-intern"))
+    assert from_checker == _legacy_walk()
 
 
 def test_scan_covers_the_hot_modules():
-    """The walk actually reaches the per-cycle files this lint exists
-    for (guards against a src layout move silently emptying the scan)."""
-    seen = {rel.replace(os.sep, "/") for rel, _path in _python_sources()}
-    for expected in ("pipeline/hotcore.py", "memory/cache.py",
-                     "memory/mshr.py", "memory/hierarchy.py"):
-        assert expected in seen
+    """The checker's own coverage guard fires when the walk no longer
+    reaches the per-cycle files this lint exists for (guards against a
+    src layout move silently emptying the scan)."""
+    from repro.lintkit.base import LintContext
+    from repro.lintkit.checkers.stats_slots import HOT_MODULES, \
+        StatsSlotsChecker
+    ctx = LintContext(REPO_ROOT)
+    assert set(HOT_MODULES) <= set(ctx.python_files("src/repro"))
+    # On an empty tree the guard must fire for every hot module.
+    import tempfile
+    with tempfile.TemporaryDirectory() as empty:
+        os.makedirs(os.path.join(empty, "src", "repro"))
+        findings = StatsSlotsChecker().run(LintContext(empty))
+        assert {f.path for f in findings
+                if f.code == "missing-hot-module"} == set(HOT_MODULES)

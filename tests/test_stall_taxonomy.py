@@ -1,15 +1,14 @@
-"""The stall taxonomy: code, docs and runtime behaviour stay in sync.
+"""The stall taxonomy: runtime behaviour stays inside the documented
+sets.
 
 ``Core.next_event_cycle`` names every outcome — skippable stall
 classes and veto reasons — from the taxonomy in
-``src/repro/pipeline/core.py``, and docs/performance.md documents the
-same tables.  These tests fail when any of the three drift: an
-undocumented class in the code, a stale class in the docs, or a
-runtime outcome outside the documented sets.
+``src/repro/pipeline/core.py``.  The code-vs-docs half of the old
+sync (the tables in docs/performance.md) is enforced by the
+``docs-sync`` lint checker (``repro lint --select docs-sync``, see
+tests/test_docs.py); what remains here is the runtime half a static
+pass cannot see: no simulation outcome may leave the documented sets.
 """
-
-import os
-import re
 
 import pytest
 
@@ -19,39 +18,6 @@ from repro.pipeline.core import SKIP_CLASSES, VETO_REASONS, StallProof, \
     StallVeto
 from repro.sim.simulator import Simulator
 from repro.workloads.spec import get_workload
-
-DOCS_PAGE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                         os.pardir, "docs", "performance.md")
-
-
-def _documented_classes(marker):
-    """First-column `code` tokens of the table following ``marker``."""
-    with open(DOCS_PAGE, "r", encoding="utf-8") as handle:
-        text = handle.read()
-    assert marker in text, "docs/performance.md lost its %s table" % marker
-    section = text.split(marker, 1)[1]
-    names = []
-    in_table = False
-    for line in section.splitlines():
-        row = re.match(r"\|\s*`([a-z-]+)`\s*\|", line)
-        if row:
-            in_table = True
-            names.append(row.group(1))
-        elif in_table and not line.startswith("|"):
-            break  # table ended
-    assert names, "no taxonomy rows found after %s" % marker
-    return frozenset(names)
-
-
-def test_skip_classes_match_docs():
-    assert _documented_classes("<!-- stall-taxonomy:skip -->") \
-        == SKIP_CLASSES
-
-
-def test_veto_reasons_match_docs():
-    assert _documented_classes("<!-- stall-taxonomy:veto -->") \
-        == VETO_REASONS
-
 
 def _starved(cfg):
     cfg.l1d.mshrs = 1
