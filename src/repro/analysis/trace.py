@@ -12,14 +12,25 @@ Example::
     tracer = PipelineTracer(sim.cores[0], limit=200)
     sim.run()
     print(tracer.render(width=70))
+
+Since the observability layer landed (``docs/observability.md``) this
+class is a thin adapter over :class:`repro.obs.trace.Tracer`: it arms
+the core's dormant ``_obs`` hook and folds the resulting stage/squash
+events into :class:`InstRecord` rows.  That makes it correct under the
+event-driven cycle-skipping scheduler *and* the compiled hot core —
+the old method-wrapping implementation recorded stage cycles only on
+densely stepped cycles and could not instrument compiled cores at all.
+For whole-machine traces (memory events, skip windows, metrics,
+Perfetto export) attach a tracer via ``Simulator.attach_obs`` instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.pipeline.core import Core, DynInst
+from repro.obs.trace import Tracer
+from repro.pipeline.core import Core
 
 
 @dataclass
@@ -51,67 +62,67 @@ class InstRecord:
 
 
 class PipelineTracer:
-    """Non-invasive tracer: wraps a core's stage methods."""
+    """Per-core instruction timeline over the obs event stream.
+
+    Arms ``core._obs`` with a private :class:`Tracer` (taking over any
+    previously attached one for that core) and derives
+    :class:`InstRecord` rows on demand.  ``limit`` caps the number of
+    distinct instructions recorded, as before.
+    """
 
     def __init__(self, core: Core, limit: int = 500) -> None:
         self.core = core
         self.limit = limit
-        self.records: Dict[int, InstRecord] = {}
-        self.squashes: List[int] = []
-        self._wrap(core)
+        self._records: Dict[int, InstRecord] = {}
+        self._squashes: List[int] = []
+        self._tracer = Tracer()
+        self._cursor = 0
+        core._obs = self._tracer
 
-    # -- instrumentation -------------------------------------------------
+    # -- event folding ----------------------------------------------------
 
-    def _wrap(self, core: Core) -> None:
-        orig_fetch = core._fetch
-        orig_try_issue = core._try_issue_one
-        orig_commit = core._commit
-        orig_squash = core._squash_after
-        tracer = self
-
-        def fetch(cycle):
-            before = core.seq_counter
-            orig_fetch(cycle)
-            for di in core.fetch_queue:
-                if di.seq >= before and len(tracer.records) < tracer.limit:
-                    tracer.records.setdefault(di.seq, InstRecord(
-                        di.seq, di.pc, di.instr.op.value, cycle))
-
-        def try_issue(di, cycle):
-            issued = orig_try_issue(di, cycle)
-            record = tracer.records.get(di.seq)
-            if record is not None and issued and di.state != 0:
-                if record.issue_cycle is None:
-                    record.issue_cycle = cycle
-                record.replays = di.replays
-            return issued
-
-        def commit(cycle):
-            head_before = core.rob[0].seq if core.rob else None
-            orig_commit(cycle)
-            if head_before is None:
-                return
-            for seq, record in tracer.records.items():
-                di_done = seq >= head_before and (
-                    not core.rob or core.rob[0].seq > seq)
-                if di_done and record.commit_cycle is None \
-                        and not record.squashed:
-                    record.commit_cycle = cycle
+    def _sync(self) -> None:
+        """Fold any events emitted since the last call into records."""
+        events = self._tracer.events
+        records = self._records
+        for event in events[self._cursor:]:
+            if event.kind == "stage":
+                record = records.get(event.seq)
+                if record is None:
+                    if event.name != "fetch" or \
+                            len(records) >= self.limit:
+                        continue
+                    op = event.args["op"] if event.args else ""
+                    records[event.seq] = InstRecord(
+                        event.seq, event.pc, op, event.cycle)
+                    continue
+                if event.name == "issue":
+                    if record.issue_cycle is None:
+                        record.issue_cycle = event.cycle
+                elif event.name == "replay":
+                    record.replays += 1
+                elif event.name == "writeback":
+                    record.complete_cycle = event.cycle
+                elif event.name == "commit":
+                    record.commit_cycle = event.cycle
                     if record.complete_cycle is None:
-                        record.complete_cycle = cycle
+                        record.complete_cycle = event.cycle
+            elif event.kind == "squash":
+                self._squashes.append(event.cycle)
+                for seq, record in records.items():
+                    if seq > event.seq and record.commit_cycle is None:
+                        record.squashed = True
+        self._cursor = len(events)
 
-        def squash(br, cycle):
-            tracer.squashes.append(cycle)
-            orig_squash(br, cycle)
-            for seq, record in tracer.records.items():
-                if seq > br.seq and record.commit_cycle is None:
-                    record.squashed = True
-            return None
+    @property
+    def records(self) -> Dict[int, InstRecord]:
+        self._sync()
+        return self._records
 
-        core._fetch = fetch
-        core._try_issue_one = try_issue
-        core._commit = commit
-        core._squash_after = squash
+    @property
+    def squashes(self) -> List[int]:
+        self._sync()
+        return self._squashes
 
     # -- reporting ----------------------------------------------------------
 
@@ -157,5 +168,5 @@ class PipelineTracer:
             "squashed": len(self.transient()),
             "mean_fetch_to_issue": sum(fetch_to_issue) / len(committed),
             "mean_issue_to_commit": sum(issue_to_commit) / len(committed),
-            "squash_events": len(self.squashes),
+            "squash_events": len(self._squashes),
         }

@@ -10,6 +10,10 @@ Commands
     Regenerate one paper artefact.
 ``sweep WORKLOAD [...] [--defense SPEC ...] [--set K=V] [--axis K=V1,V2]``
     Run a declarative workloads x defenses x config sweep.
+``trace WORKLOAD [--defense SPEC] [--sink SPEC] [--out PATH]``
+    Simulate one point with full tracing armed and export the event
+    stream (Perfetto JSON by default) plus cycle-domain metrics —
+    see ``docs/observability.md``.
 ``attack {spectre,rewind,interference} [--defense NAME]``
     Run a transient-execution attack and report the verdict.
 ``list [KIND] [--tag TAG] [--json]``
@@ -21,10 +25,12 @@ Commands
 ``merge SHARD... --db results.sqlite``
     Gather exported sweep shards into the sqlite result store
     (conflicting results for the same digest are a hard error).
-``report {compare,<figure>} [WORKLOAD...] --db results.sqlite``
+``report {compare,timeline,<figure>} [WORKLOAD...] --db results.sqlite``
     Rebuild a compare/figure table from the result store — byte
     identical to the direct engine run, without re-simulation
     (``--allow-sim`` simulates and records missing points instead).
+    ``report timeline`` lists/dumps the cycle-domain metrics series
+    recorded by traced runs (digest prefixes select series).
 ``store {stats,backfill,prune} --db results.sqlite``
     Result-store maintenance: summary (points + checkpoints), ingest
     of an existing JSON result-cache directory, or checkpoint pruning
@@ -51,6 +57,13 @@ on disk under ``REPRO_CACHE_DIR`` (``--cache-dir`` to override,
 ``--no-cache`` to disable), and ``--json`` emits the machine-readable
 payload instead of the text table.  Per-point progress and cache-hit
 counts go to stderr.
+
+``run`` and ``sweep`` also take ``--trace``/``--trace-sink``/
+``--trace-out``/``--metrics-interval``: any of them arms the
+observability layer for the invocation (forcing ``--jobs 1`` and
+bypassing cache *reads*, since a cache hit produces no trace).  With
+``--json``, engine telemetry goes to stderr as schema-versioned JSONL
+run-log records instead of free-form text.
 
 ``--db PATH`` on those commands swaps the JSON cache for the sqlite
 result store (write-through: hits come from the store, executed points
@@ -152,6 +165,48 @@ def _add_profile_args(parser: argparse.ArgumentParser) -> None:
                              "inspect with `python -m pstats`)")
 
 
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", action="store_true",
+                        help="record a structured execution trace and "
+                             "export it through the configured sinks "
+                             "(forces --jobs 1, bypasses cache reads; "
+                             "see docs/observability.md)")
+    parser.add_argument("--trace-sink", action="append", default=None,
+                        metavar="SPEC", dest="trace_sink",
+                        help="sink spec to export through (repeatable; "
+                             "default perfetto — `repro list sinks`)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        dest="trace_out",
+                        help="trace output path (default trace.json; "
+                             "implies --trace; multi-point runs insert "
+                             "the point key before the extension)")
+    parser.add_argument("--metrics-interval", type=int, default=0,
+                        metavar="CYCLES", dest="metrics_interval",
+                        help="sample cycle-domain metrics (IPC, "
+                             "occupancies, miss counters) every N "
+                             "cycles into the trace and any --db store "
+                             "(implies --trace)")
+
+
+def _obs_from_args(args):
+    """``--trace``/``--trace-out``/``--metrics-interval`` -> ObsConfig
+    (None when tracing is off).  Any of the three flags arms tracing;
+    jobs are forced to 1 so every event lands in one tracer."""
+    armed = (getattr(args, "trace", False)
+             or getattr(args, "trace_out", None)
+             or getattr(args, "metrics_interval", 0))
+    if not armed:
+        return None
+    from repro.obs import ObsConfig
+    if args.jobs not in (None, 1):
+        print("trace: forcing --jobs 1 (worker processes would "
+              "scatter the event stream)", file=sys.stderr)
+    args.jobs = 1
+    return ObsConfig(sinks=tuple(args.trace_sink or ("perfetto",)),
+                     out=args.trace_out or "trace.json",
+                     metrics_interval=args.metrics_interval or 0)
+
+
 def _add_shard_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--shard", default=None, metavar="I/N",
                         help="run only the I-th (0-based) of N "
@@ -214,6 +269,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_engine_args(run_p)
     _add_max_insts_arg(run_p)
     _add_profile_args(run_p)
+    _add_trace_args(run_p)
 
     cmp_p = sub.add_parser("compare",
                            help="all defenses on the given workloads")
@@ -247,6 +303,34 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_max_insts_arg(swp_p)
     _add_shard_args(swp_p)
     _add_profile_args(swp_p)
+    _add_trace_args(swp_p)
+
+    trc_p = sub.add_parser(
+        "trace",
+        help="simulate one point with full tracing and export it")
+    trc_p.add_argument("workload",
+                       help="workload name or spec string")
+    trc_p.add_argument("--defense", default="GhostMinion",
+                       help="defense name or spec string")
+    trc_p.add_argument("--scale", type=float, default=0.25)
+    trc_p.add_argument("--sink", action="append", default=None,
+                       metavar="SPEC",
+                       help="sink spec to export through (repeatable; "
+                            "default perfetto — `repro list sinks`)")
+    trc_p.add_argument("--out", default="trace.json", metavar="PATH",
+                       help="trace output path (default trace.json)")
+    trc_p.add_argument("--metrics-interval", type=int, default=1000,
+                       metavar="CYCLES", dest="metrics_interval",
+                       help="cycle-domain metrics sampling interval "
+                            "(default 1000; 0 disables)")
+    trc_p.add_argument("--max-insts", type=int, default=None,
+                       help="early-stop: cap the run at this many "
+                            "committed instructions")
+    trc_p.add_argument("--db", default=None, metavar="PATH",
+                       help="record the result and metrics series "
+                            "into this sqlite store")
+    trc_p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON on stdout")
 
     mrg_p = sub.add_parser(
         "merge", help="gather sweep shard files into a result store")
@@ -260,10 +344,13 @@ def _build_parser() -> argparse.ArgumentParser:
     rep_p = sub.add_parser(
         "report",
         help="rebuild a compare/figure table from the result store")
-    rep_p.add_argument("which", choices=sorted(FIGURES) + ["compare"],
-                       help="'compare' or a figure name")
+    rep_p.add_argument("which",
+                       choices=sorted(FIGURES) + ["compare", "timeline"],
+                       help="'compare', 'timeline' (stored metrics "
+                            "series) or a figure name")
     rep_p.add_argument("workloads", nargs="*",
-                       help="workloads (compare reports only)")
+                       help="workloads (compare reports) or digest "
+                            "prefixes (timeline reports)")
     rep_p.add_argument("--db", required=True, metavar="PATH",
                        help="sqlite result store to read")
     rep_p.add_argument("--scale", type=float, default=0.25)
@@ -497,9 +584,24 @@ def _progress_to_stderr(done: int, total: int, point) -> None:
           file=sys.stderr)
 
 
-def _report_engine(report) -> None:
+def _report_engine(report, args=None) -> None:
+    """Engine telemetry to stderr.
+
+    ``--json`` consumers get schema-versioned JSONL records (the
+    structured run log, ``docs/observability.md``) so the telemetry
+    machine-parses without scraping free-form text; interactive runs
+    keep the human summary lines."""
+    if args is not None and getattr(args, "json", False):
+        from repro.obs import RunLog
+        log = RunLog(sys.stderr)
+        for record in report.runlog_records():
+            record = dict(record)
+            log.emit(record.pop("event"), record)
+        return
     print(report.summary(), file=sys.stderr)
     print(report.timing_summary(), file=sys.stderr)
+    for path in report.trace_paths():
+        print("trace: wrote %s" % path, file=sys.stderr)
 
 
 def _json_default(obj):
@@ -544,9 +646,10 @@ def _cmd_run(args) -> int:
     report = _maybe_profile(args, lambda: run_sweep(
         sweep, jobs=args.jobs, cache=_cache_from_args(args),
         progress=_progress_to_stderr,
-        checkpoints=_checkpoints_from_args(args)))
+        checkpoints=_checkpoints_from_args(args),
+        obs=_obs_from_args(args)))
     point = next(iter(report.results))
-    _report_engine(report)
+    _report_engine(report, args)
     if args.json:
         print(json.dumps({"workload": args.workload,
                           "defense": args.defense,
@@ -608,7 +711,7 @@ def _cmd_compare(args) -> int:
                         cache=_cache_from_args(args),
                         progress=_progress_to_stderr,
                         checkpoints=_checkpoints_from_args(args))
-    _report_engine(report)
+    _report_engine(report, args)
     if args.export_path:
         _export_results(args, report, sweep)
     if args.shard:
@@ -680,7 +783,8 @@ def _cmd_sweep(args) -> int:
         report = _maybe_profile(args, lambda: run_points(
             points, jobs=args.jobs, cache=_cache_from_args(args),
             progress=_progress_to_stderr,
-            checkpoints=_checkpoints_from_args(args)))
+            checkpoints=_checkpoints_from_args(args),
+            obs=_obs_from_args(args)))
     except ValueError as exc:
         # malformed --shard, or out-of-range shard index
         print("error: %s" % exc, file=sys.stderr)
@@ -689,7 +793,7 @@ def _cmd_sweep(args) -> int:
         # apply_overrides rejects typo'd/unknown config paths.
         print("error: %s" % exc, file=sys.stderr)
         return 2
-    _report_engine(report)
+    _report_engine(report, args)
     if args.export_path:
         _export_results(args, report, sweep)
     if args.json:
@@ -701,6 +805,103 @@ def _cmd_sweep(args) -> int:
     print(format_table(["point", "cycles", "insts", "IPC", "cache"],
                        rows))
     return 0
+
+
+def _cmd_trace(args) -> int:
+    """One fully-traced point: simulate, export, summarize."""
+    from repro.obs import ObsConfig
+    obs = ObsConfig(sinks=tuple(args.sink or ("perfetto",)),
+                    out=args.out,
+                    metrics_interval=args.metrics_interval)
+    cache = _open_store(args.db) if args.db else None
+    sweep = Sweep(name="trace", workloads=[args.workload],
+                  defenses=[args.defense], scale=args.scale,
+                  max_insts=args.max_insts)
+    try:
+        report = run_sweep(sweep, jobs=1, cache=cache,
+                           progress=_progress_to_stderr, obs=obs)
+    except SpecError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    point = next(iter(report.results))
+    if args.json:
+        print(json.dumps({"result": point.to_json_dict(),
+                          "trace_paths": point.trace_paths,
+                          "metrics": point.metrics},
+                         sort_keys=True, indent=2))
+        return 0
+    print("workload: %s" % args.workload)
+    print("defense:  %s" % args.defense)
+    print("cycles:   %d" % point.cycles)
+    print("insts:    %d" % point.insts)
+    print("digest:   %s" % point.digest)
+    for path in point.trace_paths:
+        print("trace:    %s" % path)
+    if point.metrics is not None:
+        print("metrics:  %d samples every %d cycles%s"
+              % (len(point.metrics["samples"]),
+                 point.metrics["interval"],
+                 " (stored)" if args.db else ""))
+    return 0
+
+
+def _cmd_report_timeline(args) -> int:
+    """Stored cycle-domain metrics: list series, or dump matches."""
+    from repro.store import ResultStore, StoreError
+    try:
+        with ResultStore(args.db) as store:
+            digests = store.metrics_digests()
+            keys = {row["digest"]: row for row in store.rows()}
+            if not args.workloads:
+                rows = []
+                payload = []
+                for digest in digests:
+                    series = store.metrics_lookup(digest)
+                    meta = keys.get(digest, {})
+                    entry = {"digest": digest,
+                             "key": meta.get("key", "?"),
+                             "workload": meta.get("workload", "?"),
+                             "defense": meta.get("defense", "?"),
+                             "interval": series["interval"],
+                             "samples": len(series["samples"])}
+                    payload.append(entry)
+                    rows.append((digest[:12], entry["key"],
+                                 entry["interval"], entry["samples"]))
+                if args.json:
+                    print(json.dumps({"series": payload},
+                                     sort_keys=True, indent=2))
+                elif rows:
+                    print(format_table(
+                        ["digest", "point", "interval", "samples"],
+                        rows))
+                else:
+                    print("(no metrics series stored; trace a run "
+                          "with --metrics-interval and --db)")
+                return 0
+            matched = {}
+            for prefix in args.workloads:
+                hits = [d for d in digests if d.startswith(prefix)]
+                if not hits:
+                    print("error: no stored metrics series matches "
+                          "digest prefix %r" % prefix, file=sys.stderr)
+                    return 1
+                for digest in hits:
+                    matched[digest] = store.metrics_lookup(digest)
+            if args.json:
+                print(json.dumps({"series": matched},
+                                 sort_keys=True, indent=2))
+                return 0
+            for digest, series in matched.items():
+                meta = keys.get(digest, {})
+                print("%s  (%s)" % (digest, meta.get("key", "?")))
+                columns = series["columns"]
+                rows = [tuple(("%g" % v) for v in row)
+                        for row in series["samples"]]
+                print(format_table(columns, rows))
+            return 0
+    except StoreError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
 
 
 def _cmd_merge(args) -> int:
@@ -732,6 +933,8 @@ def _cmd_merge(args) -> int:
 
 def _cmd_report(args) -> int:
     from repro.store import MissingStoreResultError, StoreError
+    if args.which == "timeline":
+        return _cmd_report_timeline(args)
     mode = "rw" if args.allow_sim else "strict"
     try:
         cache = _open_store(args.db, mode=mode)
@@ -747,7 +950,7 @@ def _cmd_report(args) -> int:
             report = run_sweep(_compare_sweep(args), jobs=args.jobs,
                                cache=cache,
                                progress=_progress_to_stderr)
-            _report_engine(report)
+            _report_engine(report, args)
             return _print_compare(report, args)
         if args.workloads:
             print("error: figure reports take no workload arguments",
@@ -1195,6 +1398,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "figure": _cmd_figure,
         "sweep": _cmd_sweep,
+        "trace": _cmd_trace,
         "merge": _cmd_merge,
         "report": _cmd_report,
         "store": _cmd_store,

@@ -18,6 +18,7 @@ import dataclasses
 import json
 import multiprocessing
 import os
+import re
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -28,6 +29,7 @@ from repro.defenses.base import Defense
 from repro.exp.cache import ResultCache, resolve_cache
 from repro.exp.resultset import PointResult, ResultSet
 from repro.exp.spec import RegionSampling, Sweep, SweepPoint
+from repro.obs import ObsConfig, Tracer, build_tracer
 from repro.pipeline.program import Program
 from repro.sim.simulator import RunResult, Simulator
 from repro.workloads.spec import WorkloadSpec
@@ -137,6 +139,39 @@ class SweepReport:
                 "skipped_by_class": self.skipped_by_class(),
                 "points": self.point_timings()}
 
+    def trace_paths(self) -> List[str]:
+        """Every trace file the points of this run exported (empty for
+        untraced runs)."""
+        paths: List[str] = []
+        for point in self.results:
+            paths.extend(point.trace_paths)
+        return paths
+
+    def runlog_records(self, slowest: int = 3) -> List[Dict]:
+        """The structured run-log records for this invocation.
+
+        ``--json`` consumers get these as schema-versioned JSONL on
+        stderr (via :class:`repro.obs.runlog.RunLog`) instead of the
+        free-form ``summary()``/``timing_summary()`` text, so the
+        engine telemetry is machine-readable without polluting the
+        stdout payload."""
+        records: List[Dict] = [
+            dict(self.meta(), event="engine-summary"),
+            dict(self.timing_meta(), event="engine-timing",
+                 points=None),
+        ]
+        # timing_meta embeds every per-point row; the runlog keeps the
+        # aggregate record slim and emits only the slowest points as
+        # their own records.
+        records[1].pop("points")
+        for row in self.point_timings()[:max(0, slowest)]:
+            if not row["cached"]:
+                records.append(dict(row, event="point-timing"))
+        traces = self.trace_paths()
+        if traces:
+            records.append({"event": "trace-export", "paths": traces})
+        return records
+
     def timing_summary(self, slowest: int = 3) -> str:
         """One-line timing summary for stderr, e.g.
         ``timing: 1.24s wall, 3.90s simulating; slowest: k1 (2.1s), ...``
@@ -159,11 +194,12 @@ class SweepReport:
 # One payload per cache miss; a plain tuple so it pickles cheaply:
 # (index, key, digest, meta(workload, defense, variant, scale),
 #  workload_spec, defense, cfg, max_cycles, max_insts,
-#  warmup_insts, sampling, prefix_digest, checkpoint_db_path)
+#  warmup_insts, sampling, prefix_digest, checkpoint_db_path,
+#  obs_config-with-per-point-out-or-None)
 _Payload = Tuple[int, str, str, Tuple[str, str, str, float],
                  WorkloadSpec, Defense, SystemConfig, int, Optional[int],
                  Optional[int], Optional[RegionSampling], Optional[str],
-                 Optional[str]]
+                 Optional[str], Optional[ObsConfig]]
 
 #: Per-process (workload-content, scale) -> programs memo.  In serial
 #: runs this is the only copy; each pool worker grows its own.  Safe
@@ -254,18 +290,21 @@ def _save_checkpoint(store, prefix_digest: str, inst_count: int,
 
 
 def _run_cold(spec: WorkloadSpec, defense: Defense, cfg: SystemConfig,
-              scale: float, max_cycles: int, max_insts: Optional[int]
-              ) -> Tuple[RunResult, int]:
+              scale: float, max_cycles: int, max_insts: Optional[int],
+              tracer: Optional[Tracer] = None) -> Tuple[RunResult, int]:
     programs = _build_programs(spec, scale)
-    outcome = Simulator(programs, defense, cfg=cfg).run(
-        max_cycles=max_cycles, max_insts=max_insts)
+    sim = Simulator(programs, defense, cfg=cfg)
+    if tracer is not None:
+        sim.attach_obs(tracer)
+    outcome = sim.run(max_cycles=max_cycles, max_insts=max_insts)
     return outcome, 0
 
 
 def _run_warm(spec: WorkloadSpec, defense: Defense, cfg: SystemConfig,
               scale: float, max_cycles: int, max_insts: Optional[int],
               warmup: int, prefix_digest: str, ckpt_path: Optional[str],
-              workload: str, defense_name: str
+              workload: str, defense_name: str,
+              tracer: Optional[Tracer] = None
               ) -> Tuple[RunResult, int]:
     """Warm-start policy: restore the warm-up prefix from a checkpoint
     when one exists, create it (once) when it does not.
@@ -282,10 +321,14 @@ def _run_warm(spec: WorkloadSpec, defense: Defense, cfg: SystemConfig,
         # No checkpoint database, or the warm-up prefix covers the
         # whole measured horizon — nothing to warm-start.
         return _run_cold(spec, defense, cfg, scale, max_cycles,
-                         max_insts)
+                         max_insts, tracer=tracer)
     record = store.checkpoint_lookup(prefix_digest, warmup)
     if record is not None:
         sim = Simulator.restore(record.blob)
+        if tracer is not None:
+            sim.attach_obs(tracer)
+            tracer.emit_marker("checkpoint-restore", sim.cycle,
+                               {"insts": record.insts})
         if _halted(sim) or sim.cycle >= max_cycles or (
                 max_insts is not None
                 and sim.committed_insts() >= max_insts):
@@ -296,6 +339,8 @@ def _run_warm(spec: WorkloadSpec, defense: Defense, cfg: SystemConfig,
     # that shares this prefix, then finish the measured region.
     programs = _build_programs(spec, scale)
     sim = Simulator(programs, defense, cfg=cfg)
+    if tracer is not None:
+        sim.attach_obs(tracer)
     leg = sim.run(max_cycles=max_cycles, max_insts=warmup)
     _save_checkpoint(store, prefix_digest, warmup, sim, max_cycles,
                      workload, defense_name)
@@ -335,7 +380,9 @@ def _run_sampled(spec: WorkloadSpec, defense: Defense,
                  max_insts: int, sampling: RegionSampling,
                  prefix_digest: Optional[str],
                  ckpt_path: Optional[str], workload: str,
-                 defense_name: str) -> Tuple[RunResult, int]:
+                 defense_name: str,
+                 tracer: Optional[Tracer] = None
+                 ) -> Tuple[RunResult, int]:
     """SimPoint-style region sampling over the ``max_insts`` horizon.
 
     The horizon is cut into ``sampling.regions`` equal regions; only a
@@ -376,10 +423,16 @@ def _run_sampled(spec: WorkloadSpec, defense: Defense,
             if i == 0:
                 programs = _build_programs(spec, scale)
                 sim = Simulator(programs, defense, cfg=cfg)
+                if tracer is not None:
+                    sim.attach_obs(tracer)
             else:
                 record = records[i - 1]
                 sim = Simulator.restore(record.blob)
                 warm_insts += record.insts
+                if tracer is not None:
+                    sim.attach_obs(tracer)
+                    tracer.emit_marker("checkpoint-restore", sim.cycle,
+                                       {"insts": record.insts})
             windows.append(_run_window(sim, ends[i], max_cycles))
     else:
         # Generator pass: one simulator sweeps the horizon; the gaps
@@ -387,6 +440,8 @@ def _run_sampled(spec: WorkloadSpec, defense: Defense,
         # snapshotted) but excluded from every measurement.
         programs = _build_programs(spec, scale)
         sim = Simulator(programs, defense, cfg=cfg)
+        if tracer is not None:
+            sim.attach_obs(tracer)
         for i in range(count):
             if not _halted(sim) and sim.cycle < max_cycles and \
                     sim.committed_insts() < starts[i]:
@@ -431,21 +486,35 @@ def _simulate_payload(payload: _Payload) -> Tuple[int, PointResult]:
     """Run one point (executed inline or inside a worker process)."""
     (index, key, digest, meta, spec, defense, cfg,
      max_cycles, max_insts, warmup, sampling, prefix_digest,
-     ckpt_path) = payload
+     ckpt_path, obs) = payload
     workload, defense_name, variant, scale = meta
+    tracer = build_tracer(obs) if obs is not None else None
     started = time.perf_counter()
     if sampling is not None:
         outcome, warm = _run_sampled(
             spec, defense, cfg, scale, max_cycles, max_insts, sampling,
-            prefix_digest, ckpt_path, workload, defense_name)
+            prefix_digest, ckpt_path, workload, defense_name,
+            tracer=tracer)
     elif warmup is not None:
         outcome, warm = _run_warm(
             spec, defense, cfg, scale, max_cycles, max_insts, warmup,
-            prefix_digest, ckpt_path, workload, defense_name)
+            prefix_digest, ckpt_path, workload, defense_name,
+            tracer=tracer)
     else:
         outcome, warm = _run_cold(spec, defense, cfg, scale,
-                                  max_cycles, max_insts)
+                                  max_cycles, max_insts, tracer=tracer)
     elapsed = time.perf_counter() - started
+    metrics = None
+    trace_paths: List[str] = []
+    if tracer is not None:
+        from repro.obs.sinks import export_traces
+        trace_paths = export_traces(
+            tracer, obs.sinks, obs.out,
+            meta={"key": key, "workload": workload,
+                  "defense": defense_name, "variant": variant,
+                  "scale": scale, "digest": digest})
+        if tracer.sampler is not None:
+            metrics = tracer.sampler.series()
     return index, PointResult(
         key=key,
         workload=workload,
@@ -461,6 +530,8 @@ def _simulate_payload(payload: _Payload) -> Tuple[int, PointResult]:
         skipped_cycles=outcome.skipped_cycles,
         skipped_by_class=dict(outcome.skipped_by_class),
         warm_insts=warm,
+        metrics=metrics,
+        trace_paths=trace_paths,
     )
 
 
@@ -495,12 +566,42 @@ def resolve_checkpoints(checkpoints: Union[None, bool, str] = None,
     return path
 
 
+def _obs_for_point(obs: ObsConfig, key: str,
+                   multi: bool) -> ObsConfig:
+    """Per-point obs config: a single traced point writes exactly to
+    ``obs.out``; multi-point sweeps insert a sanitized point key before
+    the extension so every point gets its own trace file."""
+    if not multi:
+        return obs
+    stem, suffix = obs.out, ""
+    for known in (".timeline.json", ".jsonl", ".json"):
+        if stem.endswith(known):
+            stem, suffix = stem[:-len(known)], known
+            break
+    safe = re.sub(r"[^A-Za-z0-9._@-]+", "_", key)
+    return dataclasses.replace(obs, out=stem + "-" + safe + suffix)
+
+
+def _store_metrics(store: object, result: PointResult) -> None:
+    """Write-through a traced point's metrics series when the cache is
+    backed by a :class:`repro.store.ResultStore` (duck-typed like
+    :func:`resolve_checkpoints`)."""
+    if result.metrics is None:
+        return
+    db = store
+    if not hasattr(db, "metrics_save"):
+        db = getattr(store, "db", None)
+    if db is not None and hasattr(db, "metrics_save"):
+        db.metrics_save(result.digest, result.metrics)
+
+
 def run_points(points: Sequence[SweepPoint],
                jobs: Optional[int] = None,
                cache: Union[None, bool, str, ResultCache,
                             object] = None,
                progress: Optional[ProgressFn] = None,
-               checkpoints: Union[None, bool, str] = None
+               checkpoints: Union[None, bool, str] = None,
+               obs: Optional[ObsConfig] = None
                ) -> SweepReport:
     """Execute ``points``, consulting/filling the cache, and return a
     report whose :class:`ResultSet` preserves the input point order.
@@ -512,8 +613,17 @@ def run_points(points: Sequence[SweepPoint],
 
     ``checkpoints`` names the warm-start checkpoint database (see
     :func:`resolve_checkpoints`); points with ``warmup_insts`` or
-    ``sampling`` set use it to skip re-simulating shared prefixes."""
+    ``sampling`` set use it to skip re-simulating shared prefixes.
+
+    ``obs`` arms run-scoped tracing (see ``docs/observability.md``):
+    every point simulates with an attached tracer and exports through
+    the configured sinks.  Tracing forces ``jobs=1`` and bypasses
+    cache *reads* (a cache hit produces no trace) but still writes
+    results — traced and untraced runs are byte-identical, pinned by
+    ``tests/test_scheduler_equivalence.py``."""
     jobs = resolve_jobs(jobs)
+    if obs is not None:
+        jobs = 1
     store = resolve_cache(cache)
     ckpt_path = resolve_checkpoints(checkpoints, cache=store)
     total = len(points)
@@ -553,9 +663,10 @@ def run_points(points: Sequence[SweepPoint],
 
     pending: List[_Payload] = []
     hits = 0
+    multi = len(points) > 1
     for index, point in enumerate(points):
         digest = point.digest()
-        if store is not None:
+        if store is not None and obs is None:
             hit = store.lookup(digest)
             if hit is not None:
                 hits += 1
@@ -575,7 +686,9 @@ def run_points(points: Sequence[SweepPoint],
             point.max_cycles, point.max_insts,
             point.warmup_insts, point.sampling,
             point.prefix_digest() if needs_prefix else None,
-            ckpt_path if needs_prefix else None))
+            ckpt_path if needs_prefix else None,
+            _obs_for_point(obs, point.key, multi)
+            if obs is not None else None))
 
     if pending:
         if jobs > 1 and len(pending) > 1:
@@ -591,6 +704,7 @@ def run_points(points: Sequence[SweepPoint],
                 index, result = _simulate_payload(payload)
                 if store is not None:
                     store.store(result)
+                    _store_metrics(store, result)
                 finish(index, result)
 
     results = ResultSet()
@@ -607,8 +721,10 @@ def run_sweep(sweep: Sweep,
               cache: Union[None, bool, str, ResultCache,
                            object] = None,
               progress: Optional[ProgressFn] = None,
-              checkpoints: Union[None, bool, str] = None
+              checkpoints: Union[None, bool, str] = None,
+              obs: Optional[ObsConfig] = None
               ) -> SweepReport:
     """Expand ``sweep`` and execute every point."""
     return run_points(sweep.points(), jobs=jobs, cache=cache,
-                      progress=progress, checkpoints=checkpoints)
+                      progress=progress, checkpoints=checkpoints,
+                      obs=obs)

@@ -58,6 +58,15 @@ class PointResult:
     #: results are byte-identical to cold ones, so this never enters
     #: the canonical JSON.
     warm_insts: int = 0
+    #: Cycle-domain metrics series sampled during a traced run (the
+    #: ``series()`` dict of :class:`repro.obs.metrics.MetricsSampler`),
+    #: or None when the point ran untraced.  Runtime metadata: tracing
+    #: must never change the canonical JSON, so this is excluded from
+    #: :meth:`to_json_dict` like the other telemetry fields.
+    metrics: Optional[Dict[str, object]] = None
+    #: Trace files written for this point (``export_traces`` output),
+    #: empty when untraced.  Runtime metadata, like ``metrics``.
+    trace_paths: List[str] = field(default_factory=list)
 
     @property
     def ipc(self) -> float:

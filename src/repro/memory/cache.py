@@ -41,9 +41,10 @@ class SetAssocCache(SnapshotMixin):
     """Classic set-associative tag store with LRU replacement."""
 
     #: Snapshot contract: the tag store (``_sets``) is the state; the
-    #: shared stats registry is wiring (geometry and interned handles
-    #: are immutable and harmlessly captured).
-    _SNAPSHOT_EXCLUDE = ("stats",)
+    #: shared stats registry and the observability hook are wiring
+    #: (geometry and interned handles are immutable and harmlessly
+    #: captured).
+    _SNAPSHOT_EXCLUDE = ("stats", "_obs")
 
     def __init__(self, num_sets: int, assoc: int, name: str = "cache",
                  stats: Optional[Stats] = None) -> None:
@@ -53,6 +54,9 @@ class SetAssocCache(SnapshotMixin):
         self.assoc = assoc
         self.name = name
         self.stats = stats if stats is not None else Stats()
+        #: Dormant tracing hook (``Simulator.attach_obs``); every use is
+        #: behind an is-not-None guard (the ``obs-guards`` lint contract).
+        self._obs = None
         # Hot-path counters resolved to interned slots once (hits/misses
         # fire on every access, fills/evictions on every miss return).
         self._h_hits = self.stats.handle(name + ".hits")
@@ -89,6 +93,8 @@ class SetAssocCache(SnapshotMixin):
         entry = self._sets[self.set_index(line)].get(line)
         if entry is None:
             self.stats.add(self._h_misses)
+            if self._obs is not None:
+                self._obs.emit_mem(self.name, "cache-miss", line, cycle)
             return False
         entry.last_used = cycle
         self.stats.add(self._h_hits)
@@ -113,6 +119,9 @@ class SetAssocCache(SnapshotMixin):
             victim_line = min(cache_set.values(), key=_lru_key).line
             del cache_set[victim_line]
             self.stats.add(self._h_evictions)
+            if self._obs is not None:
+                self._obs.emit_mem(self.name, "cache-evict", victim_line,
+                                   cycle)
         entry = CacheLine(line, cycle)
         entry.dirty = dirty
         cache_set[line] = entry

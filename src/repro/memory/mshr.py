@@ -88,8 +88,9 @@ class MSHRFile(SnapshotMixin):
     #: requests and fill actions owned elsewhere, so component-level
     #: snapshots are meaningful on a *quiesced* file (no in-flight
     #: misses); whole-machine checkpoints capture in-flight state with
-    #: identity intact (see :mod:`repro.sim.checkpoint`).
-    _SNAPSHOT_EXCLUDE = ("stats",)
+    #: identity intact (see :mod:`repro.sim.checkpoint`).  The
+    #: observability hook is wiring, like stats.
+    _SNAPSHOT_EXCLUDE = ("stats", "_obs")
 
     def __init__(self, size: int, name: str, stats: Optional[Stats] = None
                  ) -> None:
@@ -98,6 +99,9 @@ class MSHRFile(SnapshotMixin):
         self.size = size
         self.name = name
         self.stats = stats if stats is not None else Stats()
+        #: Dormant tracing hook (``Simulator.attach_obs``); every use is
+        #: behind an is-not-None guard (the ``obs-guards`` lint contract).
+        self._obs = None
         self.entries: List[MSHREntry] = []
         self._h_allocs = self.stats.handle(name + ".allocs")
         self._h_leapfrogs = self.stats.handle(name + ".leapfrogs")
@@ -148,6 +152,11 @@ class MSHRFile(SnapshotMixin):
                           core=core)
         self.entries.append(entry)
         self.stats.add(self._h_allocs)
+        if self._obs is not None:
+            # Allocation sites do not pass the current cycle; the event
+            # is stamped with the completion-due cycle, which keeps it
+            # ordered just before the matching mshr-fill.
+            self._obs.emit_mem(self.name, "mshr-alloc", line, ready_cycle)
         return entry
 
     # -- Temporal-Order mechanisms (GhostMinion) --------------------------
@@ -237,6 +246,10 @@ class MSHRFile(SnapshotMixin):
         if done:
             self.entries = [e for e in self.entries
                             if e.ready_cycle > cycle]
+            if self._obs is not None:
+                for entry in done:
+                    self._obs.emit_mem(self.name, "mshr-fill", entry.line,
+                                       cycle)
         return done
 
     def drop_fills_above(self, ts, fill_tag_fns) -> int:

@@ -1,0 +1,49 @@
+"""Structured JSONL run log: the machine-readable engine narration.
+
+The engine used to narrate sweeps with ad-hoc ``print(..., file=stderr)``
+summaries — fine for humans, hostile to anything parsing a ``--json``
+run.  A :class:`RunLog` replaces that channel with one JSON object per
+line, each stamped with a schema version, so consumers can mix human
+and machine output on the same stream::
+
+    {"v": 1, "event": "engine-summary", "points": 8, ...}
+    {"v": 1, "event": "point-timing", "key": "mcf/GhostMinion", ...}
+
+``event`` names the record type; unknown types must be skipped by
+consumers (the additive-evolution contract shared with the result
+store's schema versioning).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Optional
+
+#: Bump only when an *existing* record type changes shape incompatibly;
+#: adding record types or optional fields is non-breaking.
+RUNLOG_SCHEMA_VERSION = 1
+
+
+class RunLog:
+    """Write schema-versioned JSONL records to a stream."""
+
+    def __init__(self, stream: IO[str]) -> None:
+        self.stream = stream
+        self.records = 0
+
+    def emit(self, event: str, payload: Optional[Dict[str, object]] = None,
+             **fields: object) -> Dict[str, object]:
+        """Emit one record; returns the dict that was written."""
+        record: Dict[str, object] = {"v": RUNLOG_SCHEMA_VERSION,
+                                     "event": event}
+        if payload:
+            record.update(payload)
+        if fields:
+            record.update(fields)
+        self.stream.write(json.dumps(record, sort_keys=True,
+                                     default=str) + "\n")
+        self.records += 1
+        return record
+
+
+__all__ = ["RUNLOG_SCHEMA_VERSION", "RunLog"]

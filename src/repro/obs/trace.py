@@ -1,0 +1,259 @@
+"""Typed trace events and the run-scoped :class:`Tracer`.
+
+The tracer is the object the simulator's dormant ``_obs`` hooks talk
+to.  Emit methods are intentionally flat (scalar arguments, one append)
+so a traced run stays usable, and they never touch simulated state —
+attaching a tracer cannot change cycles, stats or digests.
+
+Event kinds
+-----------
+
+``stage``
+    One pipeline-stage transition of one dynamic instruction:
+    ``fetch``, ``dispatch``, ``issue``, ``replay``, ``writeback`` or
+    ``commit``, with the owning core, sequence number, pc and opcode.
+``squash``
+    A mispredict recovery: every in-flight instruction younger than
+    ``seq`` (the branch) died at ``cycle``.
+``mem``
+    A memory-system edge: ``mshr-alloc``, ``mshr-fill``,
+    ``cache-miss`` or ``cache-evict``, tagged with the emitting unit's
+    name (``l1d``, ``l2``, ...) and the line address.
+``skip``
+    One scheduler skip window: the clock jumped from ``cycle`` to
+    ``wake`` on the strength of stall proofs with the given classes
+    (``docs/performance.md`` taxonomy).
+``marker``
+    A run-level annotation: run begin/end, checkpoint restore.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+STAGE_FETCH = "fetch"
+STAGE_DISPATCH = "dispatch"
+STAGE_ISSUE = "issue"
+STAGE_REPLAY = "replay"
+STAGE_WRITEBACK = "writeback"
+STAGE_COMMIT = "commit"
+
+#: Ordered stage names (the timeline column order).
+STAGES = (STAGE_FETCH, STAGE_DISPATCH, STAGE_ISSUE, STAGE_REPLAY,
+          STAGE_WRITEBACK, STAGE_COMMIT)
+
+#: Memory-system event operations.
+MEM_OPS = ("mshr-alloc", "mshr-fill", "cache-miss", "cache-evict")
+
+#: Event kinds a sink must understand.
+EVENT_KINDS = ("stage", "squash", "mem", "skip", "marker")
+
+
+class TraceEvent:
+    """One typed trace event (a flat record, cheap to allocate)."""
+
+    __slots__ = ("kind", "cycle", "core", "name", "seq", "pc", "args")
+
+    def __init__(self, kind: str, cycle: int, core: int = -1,
+                 name: str = "", seq: int = -1, pc: int = -1,
+                 args: Optional[dict] = None) -> None:
+        self.kind = kind
+        self.cycle = cycle
+        self.core = core
+        self.name = name
+        self.seq = seq
+        self.pc = pc
+        self.args = args
+
+    def to_json_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {"kind": self.kind, "cycle": self.cycle}
+        if self.core >= 0:
+            row["core"] = self.core
+        if self.name:
+            row["name"] = self.name
+        if self.seq >= 0:
+            row["seq"] = self.seq
+        if self.pc >= 0:
+            row["pc"] = self.pc
+        if self.args:
+            row["args"] = dict(self.args)
+        return row
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "TraceEvent(%s)" % ", ".join(
+            "%s=%r" % (key, value)
+            for key, value in sorted(self.to_json_dict().items()))
+
+
+class Tracer:
+    """Run-scoped event buffer + optional metrics sampler.
+
+    Components reach the tracer through their ``_obs`` attribute; every
+    hot-path call site is guarded by ``if self._obs is not None`` (the
+    ``obs-guards`` lint contract), so a ``None`` tracer costs one
+    attribute load per potential event.
+
+    ``limit`` caps the buffer: past it events are counted in
+    ``dropped`` instead of stored, keeping long traced runs bounded.
+    """
+
+    def __init__(self, limit: int = 1_000_000,
+                 sampler: Optional[object] = None) -> None:
+        self.events: List[TraceEvent] = []
+        self.limit = limit
+        self.dropped = 0
+        self.sampler = sampler
+        self.counts: Dict[str, int] = {}
+
+    # -- emit API (called from guarded hot-path hooks) --------------------
+
+    def _append(self, event: TraceEvent) -> None:
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def emit_stage(self, core: int, seq: int, pc: int, op: str,
+                   stage: str, cycle: int) -> None:
+        self._append(TraceEvent("stage", cycle, core=core, name=stage,
+                                seq=seq, pc=pc, args={"op": op}))
+
+    def emit_squash(self, core: int, seq: int, cycle: int) -> None:
+        self._append(TraceEvent("squash", cycle, core=core, seq=seq))
+
+    def emit_mem(self, unit: str, op: str, line: int, cycle: int) -> None:
+        self._append(TraceEvent("mem", cycle, name=op,
+                                args={"unit": unit, "line": line}))
+
+    def emit_skip(self, cycle: int, wake: int,
+                  classes: Tuple[str, ...]) -> None:
+        self._append(TraceEvent("skip", cycle, name="skip",
+                                args={"wake": wake,
+                                      "classes": sorted(set(classes))}))
+
+    def emit_marker(self, name: str, cycle: int,
+                    args: Optional[dict] = None) -> None:
+        self._append(TraceEvent("marker", cycle, name=name, args=args))
+
+    # -- cycle-domain sampling -------------------------------------------
+
+    def on_cycle(self, cycle: int) -> None:
+        """Advance the metrics sampler (no-op without one).
+
+        The simulator calls this once per simulated cycle *and* after
+        every skip-window jump, so sampling stays correct when the
+        clock moves in bulk.
+        """
+        sampler = self.sampler
+        if sampler is not None:
+            sampler.on_cycle(cycle)
+
+    # -- reporting --------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "events": len(self.events),
+            "dropped": self.dropped,
+            "by_kind": dict(sorted(self.counts.items())),
+        }
+
+
+class InstTimeline:
+    """Derived per-instruction lifetime (one row of a timeline)."""
+
+    __slots__ = ("seq", "core", "pc", "op", "fetch", "dispatch", "issue",
+                 "writeback", "commit", "replays", "squashed")
+
+    def __init__(self, seq: int, core: int, pc: int, op: str,
+                 fetch: int) -> None:
+        self.seq = seq
+        self.core = core
+        self.pc = pc
+        self.op = op
+        self.fetch = fetch
+        self.dispatch: Optional[int] = None
+        self.issue: Optional[int] = None
+        self.writeback: Optional[int] = None
+        self.commit: Optional[int] = None
+        self.replays = 0
+        self.squashed = False
+
+    def end_cycle(self) -> int:
+        for value in (self.commit, self.writeback, self.issue,
+                      self.dispatch):
+            if value is not None:
+                return value
+        return self.fetch
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "seq": self.seq, "core": self.core, "pc": self.pc,
+            "op": self.op, "fetch": self.fetch,
+            "dispatch": self.dispatch, "issue": self.issue,
+            "writeback": self.writeback, "commit": self.commit,
+            "replays": self.replays, "squashed": self.squashed,
+        }
+
+
+def build_inst_records(events: List[TraceEvent],
+                       limit: Optional[int] = None,
+                       core: Optional[int] = None
+                       ) -> Dict[int, InstTimeline]:
+    """Fold stage/squash events into per-instruction lifetimes.
+
+    Events are processed in emission order, so the result is exact
+    under both the dense loop and the event-driven scheduler (each emit
+    carries its true cycle).  ``limit`` caps the number of distinct
+    instructions recorded; ``core`` filters to one core's stream.
+    """
+    records: Dict[int, InstTimeline] = {}
+    for event in events:
+        if core is not None and event.core != core:
+            continue
+        if event.kind == "stage":
+            record = records.get(event.seq)
+            if record is None:
+                if event.name != STAGE_FETCH:
+                    continue
+                if limit is not None and len(records) >= limit:
+                    continue
+                op = event.args["op"] if event.args else ""
+                records[event.seq] = InstTimeline(
+                    event.seq, event.core, event.pc, op, event.cycle)
+                continue
+            if event.name == STAGE_DISPATCH:
+                record.dispatch = event.cycle
+            elif event.name == STAGE_ISSUE:
+                if record.issue is None:
+                    record.issue = event.cycle
+            elif event.name == STAGE_REPLAY:
+                record.replays += 1
+            elif event.name == STAGE_WRITEBACK:
+                record.writeback = event.cycle
+            elif event.name == STAGE_COMMIT:
+                record.commit = event.cycle
+                if record.writeback is None:
+                    record.writeback = event.cycle
+        elif event.kind == "squash":
+            for seq, record in records.items():
+                if seq > event.seq and record.commit is None:
+                    record.squashed = True
+    return records
+
+
+__all__ = [
+    "EVENT_KINDS",
+    "InstTimeline",
+    "MEM_OPS",
+    "STAGES",
+    "STAGE_COMMIT",
+    "STAGE_DISPATCH",
+    "STAGE_FETCH",
+    "STAGE_ISSUE",
+    "STAGE_REPLAY",
+    "STAGE_WRITEBACK",
+    "TraceEvent",
+    "Tracer",
+    "build_inst_records",
+]

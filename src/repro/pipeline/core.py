@@ -157,7 +157,7 @@ class Core(HotCore, SnapshotMixin):
     _SNAPSHOT_EXCLUDE = ("program", "cfg", "defense", "hierarchy",
                          "memory", "stats", "epoch_timestamps",
                          "_early_commit", "_strict_fu",
-                         "_train_at_commit")
+                         "_train_at_commit", "_obs")
 
     # ==================================================================
     # event-driven scheduling (cycle skipping)

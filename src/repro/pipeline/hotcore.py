@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from collections import deque
 from itertools import islice
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.analysis.stats import Stats
 from repro.config import SystemConfig
@@ -147,7 +147,7 @@ class HotCore:
     __slots__ = (
         # wiring (owned elsewhere; excluded from snapshots by Core)
         "core_id", "program", "cfg", "defense", "hierarchy", "memory",
-        "stats",
+        "stats", "_obs",
         # architectural + component state
         "regs", "predictor", "btb", "ras", "fu_pool",
         # frontend
@@ -189,6 +189,10 @@ class HotCore:
         self.hierarchy = hierarchy
         self.memory = memory
         self.stats = stats
+        # Dormant tracing hook (``Simulator.attach_obs``); every use
+        # sits behind an is-not-None guard — the ``obs-guards`` lint
+        # contract — so an untraced step pays one attribute check.
+        self._obs: Optional[Any] = None
         self.regs = [0] * NUM_REGS
         for reg, value in (init_regs or {}).items():
             self.regs[reg] = value & MASK64
@@ -332,6 +336,9 @@ class HotCore:
             self._predict(di, cycle)
             self.fetch_queue.append(di)
             self.stats.add(self._h_fetch_insts)
+            if self._obs is not None:
+                self._obs.emit_stage(self.core_id, di.seq, pc,
+                                     instr.op.value, "fetch", cycle)
             self.fetch_pc = di.pred_next
             fetched += 1
             if instr.op is Op.HALT:
@@ -411,6 +418,9 @@ class HotCore:
             self.fetch_queue.popleft()
             self._rename(di)
             self.rob.append(di)
+            if self._obs is not None:
+                self._obs.emit_stage(self.core_id, di.seq, di.pc,
+                                     instr.op.value, "dispatch", cycle)
             if instr.is_load:
                 self.lq.append(di)
             if instr.is_store:
@@ -504,6 +514,9 @@ class HotCore:
                 if di.state == ST_WAITING:
                     # loads that hit retry/backpressure stay waiting
                     still_waiting.append(di)
+                elif self._obs is not None:
+                    self._obs.emit_stage(self.core_id, di.seq, di.pc,
+                                         instr.op.value, "issue", cycle)
             else:
                 still_waiting.append(di)
                 if strict_fu and nonpipelined:
@@ -679,6 +692,10 @@ class HotCore:
                     di.replays += 1
                     self.iq.append(di)
                     self.stats.add(self._h_load_replays)
+                    if self._obs is not None:
+                        self._obs.emit_stage(self.core_id, di.seq, di.pc,
+                                             di.instr.op.value, "replay",
+                                             cycle)
                     continue
                 if req.done(cycle):
                     di.result = self._memory_value(di.addr)
@@ -692,6 +709,10 @@ class HotCore:
             else:
                 remaining.append(di)
                 continue
+            if self._obs is not None:
+                self._obs.emit_stage(self.core_id, di.seq, di.pc,
+                                     di.instr.op.value, "writeback",
+                                     cycle)
             if di.instr.is_branch and not di.resolved:
                 self._resolve_branch(di, cycle)
                 if di.mispredicted:
@@ -756,6 +777,8 @@ class HotCore:
         self.hierarchy.squash(br.ts, cycle)
         self.stats.add(self._h_squash_events)
         self.stats.add(self._h_squash_insts, squashed)
+        if self._obs is not None:
+            self._obs.emit_squash(self.core_id, boundary, cycle)
 
     def _refresh_oldest_unresolved(self) -> None:
         if self.unresolved_branches:
@@ -850,6 +873,9 @@ class HotCore:
             self.stats.add(self._h_commit_insts)
             self.committed_insts += 1
             committed += 1
+            if self._obs is not None:
+                self._obs.emit_stage(self.core_id, di.seq, di.pc,
+                                     instr.op.value, "commit", cycle)
             if instr.op is Op.HALT:
                 self.halted = True
                 return

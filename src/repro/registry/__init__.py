@@ -10,6 +10,7 @@ kind            components                                  defined in
 ``predictor``   branch-predictor implementations            ``repro.pipeline.branch_predictor``
 ``hierarchy``   per-core memory-hierarchy classes           ``repro.defenses``
 ``lint``        static invariant checkers (``repro lint``)  ``repro.lintkit.checkers``
+``sink``        trace exporters (``repro trace``)           ``repro.obs.sinks``
 ==============  ==========================================  ==========
 
 Components are constructed from *spec strings* (``"MuonTrap(flush=True)"``,
@@ -49,6 +50,7 @@ _BUILTIN_MODULES = {
     "predictor": "repro.pipeline.branch_predictor",
     "hierarchy": "repro.defenses",
     "lint": "repro.lintkit.checkers",
+    "sink": "repro.obs.sinks",
 }
 
 #: CLI spellings (``repro list defenses``) -> canonical kind.
@@ -58,6 +60,7 @@ KIND_ALIASES = {
     "predictor": "predictor", "predictors": "predictor",
     "hierarchy": "hierarchy", "hierarchies": "hierarchy",
     "lint": "lint", "lints": "lint",
+    "sink": "sink", "sinks": "sink",
 }
 
 

@@ -122,6 +122,10 @@ class Simulator:
                                    hierarchy, self.memory, self.stats,
                                    init_regs=regs))
         self.cycle = 0
+        #: Dormant observability hook (:meth:`attach_obs`); every use
+        #: sits behind an is-not-None guard so an untraced run pays one
+        #: attribute check per potential event.
+        self._obs = None
         #: Telemetry: cycles the event-driven scheduler fast-forwarded.
         self.skipped_cycles = 0
         #: Telemetry: skipped cycles per stall class (a window counts
@@ -129,6 +133,43 @@ class Simulator:
         self.skipped_by_class: Dict[str, int] = {}
         #: Telemetry: dense-stepped cycles per veto reason.
         self.veto_counts: Dict[str, int] = {}
+
+    def attach_obs(self, obs) -> None:
+        """Light up the observability hooks with ``obs`` (a
+        :class:`repro.obs.trace.Tracer`).
+
+        Sets the ``_obs`` attribute on every hooked component — cores,
+        L1 caches and MSHR files, the shared L2 and its MSHRs — and
+        binds the default metrics probes when the tracer carries an
+        unbound sampler.  Attaching never changes simulated state:
+        traced and untraced runs are byte-identical in cycles, stats
+        and digests.
+        """
+        self._obs = obs
+        for core in self.cores:
+            core._obs = obs
+            hierarchy = core.hierarchy
+            for port in (hierarchy.dport, hierarchy.iport):
+                port.cache._obs = obs
+                port.mshrs._obs = obs
+        self.shared.l2._obs = obs
+        self.shared.l2_mshrs._obs = obs
+        if obs is not None and obs.sampler is not None \
+                and not obs.sampler.names:
+            from repro.obs.metrics import default_probes
+            obs.sampler.bind(default_probes(self))
+
+    def detach_obs(self):
+        """Disarm every hook; returns the tracer that was attached.
+
+        Used around :meth:`snapshot`: checkpoint blobs must never
+        capture a tracer (its probes close over live state and are not
+        part of the machine).
+        """
+        obs = self._obs
+        if obs is not None:
+            self.attach_obs(None)
+        return obs
 
     def run(self, max_cycles: int = 5_000_000,
             max_insts: Optional[int] = None,
@@ -142,7 +183,14 @@ class Simulator:
         if dense is None:
             dense = dense_loop_forced()
         cores = self.cores
+        obs = self._obs
+        if obs is not None:
+            obs.emit_marker("run-begin", self.cycle,
+                            {"dense": bool(dense),
+                             "max_cycles": max_cycles})
         while self.cycle < max_cycles:
+            if obs is not None:
+                obs.on_cycle(self.cycle)
             all_halted = True
             for core in cores:
                 if not core.halted:
@@ -159,6 +207,11 @@ class Simulator:
                 self._skip_idle_cycles(max_cycles)
         finished = all(core.halted for core in cores)
         self.stats.set("sim.cycles", self.cycle)
+        if obs is not None:
+            obs.on_cycle(self.cycle)
+            obs.emit_marker("run-end", self.cycle,
+                            {"finished": finished,
+                             "insts": self._committed_insts()})
         return RunResult(cycles=self.cycle, stats=self.stats,
                          finished=finished, cores=cores,
                          skipped_cycles=self.skipped_cycles,
@@ -178,7 +231,14 @@ class Simulator:
         :mod:`repro.sim.checkpoint` for the format.
         """
         from repro.sim.checkpoint import snapshot_simulator
-        return snapshot_simulator(self)
+        # A tracer is run wiring, not machine state: disarm the hooks
+        # for the duration of the pickle so blobs never capture one.
+        obs = self.detach_obs()
+        try:
+            return snapshot_simulator(self)
+        finally:
+            if obs is not None:
+                self.attach_obs(obs)
 
     @classmethod
     def restore(cls, blob: bytes, check_code: bool = True
@@ -254,3 +314,5 @@ class Simulator:
         for cls in classes:
             by_class[cls] = by_class.get(cls, 0) + skipped
         self.cycle = cycle + skipped
+        if self._obs is not None:
+            self._obs.emit_skip(cycle, self.cycle, tuple(classes))

@@ -28,6 +28,7 @@ Typical distributed campaign::
 from repro.store.backfill import BackfillReport, backfill_from_cache
 from repro.store.db import (
     CHECKPOINT_SCHEMA_VERSION,
+    METRICS_SCHEMA_VERSION,
     STORE_SCHEMA_VERSION,
     CheckpointRecord,
     MissingStoreResultError,
@@ -50,6 +51,7 @@ __all__ = [
     "BackfillReport",
     "CHECKPOINT_SCHEMA_VERSION",
     "CheckpointRecord",
+    "METRICS_SCHEMA_VERSION",
     "MergeReport",
     "MissingStoreResultError",
     "ResultStore",

@@ -55,6 +55,14 @@ STORE_SCHEMA_VERSION = 1
 #: regenerable), so an incompatible bump here merely orphans blobs.
 CHECKPOINT_SCHEMA_VERSION = 1
 
+#: Version of the ``metrics`` table layout (cycle-domain metrics series
+#: recorded by traced runs — see ``docs/observability.md``), tracked
+#: separately for the same reason as the checkpoint table: adding it to
+#: an existing store is additive, and metrics are regenerable telemetry
+#: (re-run the point with ``--metrics-interval``), so an incompatible
+#: bump merely orphans old series.
+METRICS_SCHEMA_VERSION = 1
+
 _TABLES = """
 CREATE TABLE IF NOT EXISTS store_meta (
     key   TEXT PRIMARY KEY,
@@ -97,6 +105,15 @@ CREATE TABLE IF NOT EXISTS results (
 CREATE INDEX IF NOT EXISTS idx_results_workload ON results (workload);
 CREATE INDEX IF NOT EXISTS idx_results_defense  ON results (defense);
 CREATE INDEX IF NOT EXISTS idx_results_sweep    ON results (sweep);
+CREATE TABLE IF NOT EXISTS metrics (
+    digest        TEXT PRIMARY KEY,
+    interval      INTEGER NOT NULL,
+    columns       TEXT NOT NULL,
+    samples       TEXT NOT NULL,
+    host          TEXT,
+    repro_version TEXT,
+    recorded_at   REAL
+);
 """
 
 #: Columns surfaced by :meth:`ResultStore.rows`, in schema order.
@@ -243,6 +260,21 @@ class ResultStore:
                 "speaks %d (prune the checkpoints with a matching "
                 "build, then reopen)"
                 % (self.path, ck["value"], CHECKPOINT_SCHEMA_VERSION))
+        # Same additive pattern for the metrics table.
+        mk = self._conn.execute(
+            "SELECT value FROM store_meta WHERE "
+            "key='metrics_schema_version'").fetchone()
+        if mk is None:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO store_meta (key, value) VALUES "
+                "('metrics_schema_version', ?)",
+                (str(METRICS_SCHEMA_VERSION),))
+            self._conn.commit()
+        elif mk["value"] != str(METRICS_SCHEMA_VERSION):
+            raise StoreError(
+                "%s uses metrics schema version %s; this build speaks "
+                "%d (re-record traced runs with a matching build)"
+                % (self.path, mk["value"], METRICS_SCHEMA_VERSION))
 
     def close(self) -> None:
         self._conn.close()
@@ -419,7 +451,61 @@ class ResultStore:
             size = 0
         return {"path": self.path, "schema_version": STORE_SCHEMA_VERSION,
                 "points": count, "bytes": size, **distinct,
-                **self.checkpoint_stats()}
+                **self.checkpoint_stats(), **self.metrics_stats()}
+
+    # -- cycle-domain metrics -------------------------------------------
+    #
+    # One series per result digest: the ``series()`` dict of
+    # repro.obs.metrics.MetricsSampler, recorded by traced runs and
+    # queried back by ``repro report timeline``.  Last write wins:
+    # unlike results, a re-traced point may legitimately carry a
+    # different sampling interval, and the series is regenerable
+    # telemetry, not part of the canonical result payload.
+
+    def metrics_save(self, digest: str, series: Dict[str, object], *,
+                     run_meta: Optional[RunMeta] = None,
+                     commit: bool = True) -> None:
+        """Store (or replace) the metrics series for ``digest``."""
+        meta = run_meta or self.run_meta
+        self._conn.execute(
+            "INSERT INTO metrics (digest, interval, columns, samples, "
+            "host, repro_version, recorded_at) VALUES (?,?,?,?,?,?,?) "
+            "ON CONFLICT (digest) DO UPDATE SET interval=excluded."
+            "interval, columns=excluded.columns, samples=excluded."
+            "samples, host=excluded.host, repro_version=excluded."
+            "repro_version, recorded_at=excluded.recorded_at",
+            (digest, int(series.get("interval", 0)),
+             json.dumps(series.get("columns", []),
+                        separators=(",", ":")),
+             json.dumps(series.get("samples", []),
+                        separators=(",", ":")),
+             meta.host, meta.repro_version, meta.recorded_at))
+        if commit:
+            self._conn.commit()
+
+    def metrics_lookup(self, digest: str) -> Optional[Dict[str, object]]:
+        """The stored series for ``digest`` (the ``series()`` shape),
+        or None."""
+        row = self._conn.execute(
+            "SELECT interval, columns, samples FROM metrics WHERE "
+            "digest=?", (digest,)).fetchone()
+        if row is None:
+            return None
+        return {"interval": row["interval"],
+                "columns": json.loads(row["columns"]),
+                "samples": json.loads(row["samples"])}
+
+    def metrics_digests(self) -> List[str]:
+        """Digests with a stored metrics series, insertion order."""
+        return [row[0] for row in self._conn.execute(
+            "SELECT digest FROM metrics ORDER BY rowid")]
+
+    def metrics_stats(self) -> Dict[str, object]:
+        """Metrics-table summary, folded into :meth:`stats`."""
+        count = self._conn.execute(
+            "SELECT COUNT(*) FROM metrics").fetchone()[0]
+        return {"metrics_series": count,
+                "metrics_schema_version": METRICS_SCHEMA_VERSION}
 
     # -- checkpoints ----------------------------------------------------
     #
@@ -553,3 +639,9 @@ class StoreCache:
     def store(self, result: PointResult) -> None:
         if self.mode == "rw":
             self.db.insert(result, source="engine")
+
+    def metrics_save(self, digest: str,
+                     series: Dict[str, object]) -> None:
+        """Traced-run metrics write-through (respects the policy)."""
+        if self.mode == "rw":
+            self.db.metrics_save(digest, series)

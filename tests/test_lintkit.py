@@ -28,7 +28,8 @@ REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir))
 
 ALL_CHECKERS = ["snapshot-completeness", "proof-purity", "stats-slots",
-                "digest-stability", "determinism", "docs-sync"]
+                "digest-stability", "determinism", "docs-sync",
+                "obs-guards"]
 
 
 def make_repo(tmp_path, files):

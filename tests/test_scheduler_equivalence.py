@@ -244,3 +244,76 @@ def test_checkpoint_restore_is_repeatable():
     assert first.cycles == second.cycles
     assert first.stats.as_dict() == second.stats.as_dict()
     assert first.arch_regs() == second.arch_regs()
+
+
+# --------------------------------------------------------------------------
+# Observability parity: tracing attached == tracing off, byte for byte.
+# The obs layer (docs/observability.md) promises emit hooks never touch
+# simulated state; this matrix pins it across the defense registry.
+
+
+def _run_traced(workload, scale, defense, dense=False, interval=0):
+    from repro.obs import ObsConfig, build_tracer
+    programs = get_workload(workload).build(scale)
+    sim = Simulator(programs, defense)
+    tracer = build_tracer(ObsConfig(metrics_interval=interval))
+    sim.attach_obs(tracer)
+    return sim.run(dense=dense), tracer
+
+
+def assert_traced_equivalent(workload, scale, defense_fn, dense=False):
+    ref = _run(workload, scale, defense_fn(), dense=dense)
+    traced, tracer = _run_traced(workload, scale, defense_fn(),
+                                 dense=dense, interval=500)
+    assert ref.cycles == traced.cycles
+    assert ref.finished == traced.finished
+    assert ref.stats.as_dict() == traced.stats.as_dict()
+    for core in range(len(ref.cores)):
+        assert ref.arch_regs(core) == traced.arch_regs(core)
+    assert tracer.summary()["events"] > 0
+    return tracer
+
+
+@pytest.mark.parametrize("defense_name", sorted(registry))
+def test_every_defense_traced_matches_untraced(defense_name):
+    assert_traced_equivalent("mcf", 0.04,
+                             lambda: registry[defense_name]())
+
+
+def test_traced_multicore_matches_untraced():
+    # Cross-core wakeups with memory events firing on shared units.
+    assert_traced_equivalent("canneal", 0.03,
+                             lambda: registry["GhostMinion"]())
+
+
+def test_traced_dense_loop_matches_traced_event():
+    """The same run traced under both schedulers: identical outcome,
+    and the event scheduler additionally emits skip events."""
+    dense, _ = _run_traced("mcf", 0.04, registry["GhostMinion"](),
+                           dense=True)
+    event, tracer = _run_traced("mcf", 0.04, registry["GhostMinion"](),
+                                dense=False)
+    assert dense.cycles == event.cycles
+    assert dense.stats.as_dict() == event.stats.as_dict()
+    assert tracer.summary()["by_kind"].get("skip", 0) > 0
+
+
+def test_traced_checkpoint_roundtrip_matches_cold():
+    """Snapshotting a traced simulator detaches the tracer around the
+    pickle (probes close over live objects) and reattaches it; the
+    restored continuation still matches a cold untraced run."""
+    from repro.obs import ObsConfig, build_tracer
+    defense = registry["GhostMinion"]
+    cold = _run("mcf", 0.04, defense(), dense=False)
+    programs = get_workload("mcf").build(0.04)
+    sim = Simulator(programs, defense())
+    tracer = build_tracer(ObsConfig(metrics_interval=500))
+    sim.attach_obs(tracer)
+    sim.run(max_insts=CHECKPOINT_BOUNDARY)
+    blob = sim.snapshot()
+    assert sim._obs is tracer  # reattached after the pickle
+    resumed = Simulator.restore(blob).run()
+    assert resumed.cycles == cold.cycles
+    assert resumed.stats.as_dict() == cold.stats.as_dict()
+    # The restored simulator came back with no tracer attached.
+    assert Simulator.restore(blob)._obs is None
