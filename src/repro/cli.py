@@ -43,6 +43,11 @@ Commands
     Run the perf smoke bench and diff each section's speedup against
     the committed ``BENCH_perf.json`` (``--current`` diffs a recorded
     payload instead of re-running).
+``fuzz [--seed N] [--count K] [--oracle NAME] [--repro FILE]``
+    Differential config fuzzing: generate seeded valid points from
+    the registry grammar and check them with equivalence oracles;
+    failures shrink to reproducer files in ``--corpus`` and exit 1
+    (``--repro FILE`` replays one) — see ``docs/fuzzing.md``.
 
 Everywhere a defense or workload is named, a parameterized **spec
 string** works too: ``--defense "MuonTrap(flush=True)"``,
@@ -198,6 +203,11 @@ def _obs_from_args(args):
     if not armed:
         return None
     from repro.obs import ObsConfig
+    # Validate sink specs before any simulation time is spent: an
+    # unknown sink raises UnknownComponentError (with did-you-mean)
+    # here instead of after the traced run completes.
+    for spec in args.trace_sink or ("perfetto",):
+        component_registry("sink").describe(spec)
     if args.jobs not in (None, 1):
         print("trace: forcing --jobs 1 (worker processes would "
               "scatter the event stream)", file=sys.stderr)
@@ -417,6 +427,37 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="exit non-zero if any section's speedup "
                             "regressed by more than PCT percent")
     bch_p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON on stdout")
+
+    fzz_p = sub.add_parser(
+        "fuzz",
+        help="differential config fuzzing: generated points checked "
+             "by equivalence oracles (docs/fuzzing.md)")
+    fzz_p.add_argument("--seed", type=int, default=None,
+                       help="campaign seed (default 0; the nightly "
+                            "lane rotates this by date)")
+    fzz_p.add_argument("--count", type=int, default=None,
+                       help="points to generate (default 25)")
+    fzz_p.add_argument("--oracle", action="append", default=None,
+                       metavar="NAME",
+                       help="oracle to run (repeatable; default "
+                            "dense-event — `repro list oracles`)")
+    fzz_p.add_argument("--budget", type=int, default=None,
+                       metavar="INSTS",
+                       help="committed-instruction cap per point "
+                            "(default 4000)")
+    fzz_p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes per oracle leg "
+                            "(0 = all cores; default from REPRO_JOBS)")
+    fzz_p.add_argument("--corpus", default="fuzz-corpus",
+                       metavar="DIR",
+                       help="directory reproducer files are written "
+                            "to (default fuzz-corpus)")
+    fzz_p.add_argument("--repro", default=None, metavar="PATH",
+                       dest="repro_path",
+                       help="replay one reproducer file through its "
+                            "recorded oracle instead of generating")
+    fzz_p.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON on stdout")
 
     atk_p = sub.add_parser("attack", help="run a transient attack")
@@ -643,11 +684,17 @@ def _cmd_run(args) -> int:
                   defenses=[args.defense], scale=args.scale,
                   max_insts=args.max_insts,
                   warmup_insts=args.warmup_insts, sampling=sampling)
-    report = _maybe_profile(args, lambda: run_sweep(
-        sweep, jobs=args.jobs, cache=_cache_from_args(args),
-        progress=_progress_to_stderr,
-        checkpoints=_checkpoints_from_args(args),
-        obs=_obs_from_args(args)))
+    try:
+        report = _maybe_profile(args, lambda: run_sweep(
+            sweep, jobs=args.jobs, cache=_cache_from_args(args),
+            progress=_progress_to_stderr,
+            checkpoints=_checkpoints_from_args(args),
+            obs=_obs_from_args(args)))
+    except (SpecError, UnknownComponentError) as exc:
+        # Malformed spec strings and unknown component names (the
+        # latter carry did-you-mean suggestions) are usage errors.
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
     point = next(iter(report.results))
     _report_engine(report, args)
     if args.json:
@@ -702,7 +749,9 @@ def _cmd_compare(args) -> int:
     try:
         sweep = _compare_sweep(args)
         points, note = _apply_shard(args, sweep)
-    except ValueError as exc:
+    except (ValueError, UnknownComponentError) as exc:
+        # ValueError covers malformed specs (SpecError) and bad
+        # --shard values; UnknownComponentError adds did-you-mean.
         print("error: %s" % exc, file=sys.stderr)
         return 2
     if note:
@@ -785,8 +834,9 @@ def _cmd_sweep(args) -> int:
             progress=_progress_to_stderr,
             checkpoints=_checkpoints_from_args(args),
             obs=_obs_from_args(args)))
-    except ValueError as exc:
-        # malformed --shard, or out-of-range shard index
+    except (ValueError, UnknownComponentError) as exc:
+        # malformed spec/--shard, out-of-range shard index, or an
+        # unknown component name (with did-you-mean suggestions)
         print("error: %s" % exc, file=sys.stderr)
         return 2
     except AttributeError as exc:
@@ -818,9 +868,13 @@ def _cmd_trace(args) -> int:
                   defenses=[args.defense], scale=args.scale,
                   max_insts=args.max_insts)
     try:
+        # Validate sink specs up front: a typo'd --sink must not cost
+        # a full traced simulation before erroring.
+        for spec in obs.sinks:
+            component_registry("sink").describe(spec)
         report = run_sweep(sweep, jobs=1, cache=cache,
                            progress=_progress_to_stderr, obs=obs)
-    except SpecError as exc:
+    except (SpecError, UnknownComponentError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
     point = next(iter(report.results))
@@ -1116,6 +1170,18 @@ def _bench_sections(payload):
     return sections
 
 
+def _bench_speedup(section):
+    """A section's speedup as a number, or None when it is absent or
+    non-numeric (older baselines record placeholder sections with
+    ``"speedup": null``; those must diff as missing, not crash)."""
+    if section is None:
+        return None
+    value = section.get("speedup")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return value
+
+
 def _load_bench_payload(path, label):
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -1182,34 +1248,40 @@ def _cmd_bench(args) -> int:
     for name in sorted(set(base_sections) | set(cur_sections)):
         base = base_sections.get(name)
         cur = cur_sections.get(name)
+        base_speedup = _bench_speedup(base)
+        cur_speedup = _bench_speedup(cur)
         entry = {
-            "baseline_speedup": base["speedup"] if base else None,
-            "current_speedup": cur["speedup"] if cur else None,
+            "baseline_speedup": base_speedup,
+            "current_speedup": cur_speedup,
             "delta_pct": None,
         }
         note = ""
-        if base is None:
+        if base_speedup is None:
+            # The committed baseline predates this section (or holds a
+            # null placeholder): nothing to diff against.
             note = "new section"
-        elif cur is None:
+        elif cur_speedup is None:
             note = "missing from current"
         else:
             if base.get("scale") != cur.get("scale"):
                 note = "scale differs"
-            if base["speedup"]:
+            if base_speedup:
                 entry["delta_pct"] = round(
-                    (cur["speedup"] - base["speedup"])
-                    / base["speedup"] * 100.0, 1)
+                    (cur_speedup - base_speedup)
+                    / base_speedup * 100.0, 1)
                 if (args.max_regress is not None
                         and entry["delta_pct"] < -args.max_regress):
                     regressions.append(
                         "%s: %.2fx -> %.2fx (%.1f%%)"
-                        % (name, base["speedup"], cur["speedup"],
+                        % (name, base_speedup, cur_speedup,
                            entry["delta_pct"]))
         diff[name] = entry
         rows.append((
             name,
-            "%.2fx" % base["speedup"] if base else "-",
-            "%.2fx" % cur["speedup"] if cur else "-",
+            "%.2fx" % base_speedup if base_speedup is not None
+            else "-",
+            "%.2fx" % cur_speedup if cur_speedup is not None
+            else "-",
             ("%+.1f%%" % entry["delta_pct"]
              if entry["delta_pct"] is not None else "-"),
             note,
@@ -1229,6 +1301,80 @@ def _cmd_bench(args) -> int:
             print("  " + line, file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_fuzz(args) -> int:
+    """Differential config fuzzing (docs/fuzzing.md).
+
+    Two modes: generate-and-check (default; failures are shrunk to
+    reproducer files under ``--corpus`` and the command exits 1) and
+    ``--repro FILE`` (replay one reproducer through its recorded
+    oracle; exits 1 iff the divergence still reproduces).  Exit 2 is
+    reserved for usage errors, as everywhere else in the CLI."""
+    from repro import fuzz
+
+    def progress(message: str) -> None:
+        print("fuzz: %s" % message, file=sys.stderr)
+
+    if args.repro_path:
+        conflicting = [flag for flag, value in
+                       (("--seed", args.seed), ("--count", args.count),
+                        ("--oracle", args.oracle),
+                        ("--budget", args.budget))
+                       if value is not None]
+        if conflicting:
+            print("error: --repro replays a recorded point; it "
+                  "conflicts with %s" % ", ".join(conflicting),
+                  file=sys.stderr)
+            return 2
+        try:
+            verdict = fuzz.replay_reproducer(args.repro_path,
+                                             jobs=args.jobs)
+        except (OSError, ValueError, KeyError) as exc:
+            # Unreadable/invalid reproducer files and unknown oracle
+            # names (UnknownComponentError is a KeyError) alike.
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(verdict.as_dict(), sort_keys=True,
+                             indent=2))
+        elif verdict.ok:
+            print("reproducer %s: PASS (%s no longer diverges)"
+                  % (args.repro_path, verdict.point.label))
+        else:
+            print("reproducer %s: FAIL [%s] %s"
+                  % (args.repro_path, verdict.oracle, verdict.detail))
+        return 0 if verdict.ok else 1
+
+    seed = 0 if args.seed is None else args.seed
+    count = 25 if args.count is None else args.count
+    budget = fuzz.DEFAULT_BUDGET if args.budget is None else args.budget
+    oracles = list(args.oracle or ("dense-event",))
+    try:
+        for name in oracles:
+            component_registry("oracle").entry(name)
+    except UnknownComponentError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    report = fuzz.run_campaign(seed, count, oracles, budget=budget,
+                               jobs=args.jobs, corpus_dir=args.corpus,
+                               progress=progress)
+    if args.json:
+        print(json.dumps(report.as_dict(), sort_keys=True, indent=2))
+        return 0 if report.ok else 1
+    rows = [(v.point.label, v.oracle, v.point.defense,
+             v.point.workload, "ok" if v.ok else "FAIL")
+            for v in report.verdicts]
+    print(format_table(
+        ["point", "oracle", "defense", "workload", "verdict"], rows))
+    if report.ok:
+        print("fuzz: %d point(s) x %d oracle(s), no divergence"
+              % (count, len(oracles)))
+        return 0
+    print("fuzz: %d failure(s); reproducers:" % len(report.failures))
+    for path in report.reproducers:
+        print("  %s" % path)
+    return 1
 
 
 def _cmd_attack(args) -> int:
@@ -1404,6 +1550,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "store": _cmd_store,
         "cache": _cmd_cache,
         "bench": _cmd_bench,
+        "fuzz": _cmd_fuzz,
         "attack": _cmd_attack,
         "lint": _cmd_lint,
         "list": _cmd_list,

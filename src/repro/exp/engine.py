@@ -15,6 +15,7 @@ pair; payloads ship the (small) workload spec, not the program list.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import multiprocessing
 import os
@@ -515,6 +516,14 @@ def _simulate_payload(payload: _Payload) -> Tuple[int, PointResult]:
                   "scale": scale, "digest": digest})
         if tracer.sampler is not None:
             metrics = tracer.sampler.series()
+    # Architectural-register digest for the differential fuzz oracles
+    # (docs/fuzzing.md).  Sampled runs carry no live cores -> None.
+    regs_digest = None
+    if outcome.cores:
+        regs_blob = json.dumps(
+            [list(core.arch_regs()) for core in outcome.cores])
+        regs_digest = hashlib.sha256(
+            regs_blob.encode("utf-8")).hexdigest()
     return index, PointResult(
         key=key,
         workload=workload,
@@ -532,6 +541,7 @@ def _simulate_payload(payload: _Payload) -> Tuple[int, PointResult]:
         warm_insts=warm,
         metrics=metrics,
         trace_paths=trace_paths,
+        regs_digest=regs_digest,
     )
 
 

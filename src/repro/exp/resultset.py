@@ -67,6 +67,12 @@ class PointResult:
     #: Trace files written for this point (``export_traces`` output),
     #: empty when untraced.  Runtime metadata, like ``metrics``.
     trace_paths: List[str] = field(default_factory=list)
+    #: SHA-256 over the final architectural registers of every core
+    #: (None for cache hits and sampled runs, which carry no live
+    #: cores).  Runtime metadata consumed by the differential fuzz
+    #: oracles (``repro fuzz``); excluded from the canonical JSON so
+    #: the v1 result schema and cache payloads are untouched.
+    regs_digest: Optional[str] = None
 
     @property
     def ipc(self) -> float:

@@ -1,0 +1,127 @@
+"""Differential config fuzzer: seeded generative equivalence testing.
+
+The fuzzer closes the loop between the registry grammar and the
+repo's differential oracles: :mod:`repro.fuzz.grammar` draws valid
+workload/defense spec strings and config overrides from the typed
+registries, :mod:`repro.fuzz.oracles` runs each generated point down
+two independently-proven execution paths and compares the complete
+outcome, and :mod:`repro.fuzz.shrink` minimizes failures into small
+JSON reproducer files.  ``repro fuzz`` is the CLI entry point;
+``docs/fuzzing.md`` is the user guide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.fuzz.grammar import (BOUNDS, DEFAULT_BUDGET, FuzzPoint,
+                                RegistryChoice, check_bounds_table,
+                                defense_families, generate)
+from repro.fuzz.oracles import (ORACLES, Oracle, Verdict, comparable,
+                                resolve_oracle)
+from repro.fuzz.shrink import (load_reproducer, shrink,
+                               write_reproducer)
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass
+class CampaignReport:
+    """Everything one fuzz campaign learned, JSON-able."""
+
+    seed: int
+    count: int
+    oracles: List[str]
+    verdicts: List[Verdict] = field(default_factory=list)
+    reproducers: List[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[Verdict]:
+        return [v for v in self.verdicts if not v.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "count": self.count,
+            "oracles": list(self.oracles),
+            "ok": self.ok,
+            "passed": sum(1 for v in self.verdicts if v.ok),
+            "failed": len(self.failures),
+            "verdicts": [v.as_dict() for v in self.verdicts],
+            "reproducers": list(self.reproducers),
+        }
+
+
+def run_campaign(seed: int, count: int,
+                 oracle_names: Sequence[str] = ("dense-event",),
+                 budget: Optional[int] = DEFAULT_BUDGET,
+                 jobs: Optional[int] = None,
+                 corpus_dir: str = "fuzz-corpus",
+                 progress: Optional[ProgressFn] = None
+                 ) -> CampaignReport:
+    """Generate ``count`` points from ``seed`` and run every oracle.
+
+    Failures are shrunk to minimal reproducers and written to
+    ``corpus_dir``.  Deterministic end to end: the same seed, count,
+    budget and registry population produce the same points and the
+    same verdicts."""
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    points = generate(seed, count, budget=budget)
+    say("generated %d points from seed %d" % (len(points), seed))
+    report = CampaignReport(seed=seed, count=count,
+                            oracles=list(oracle_names))
+    for oracle_name in oracle_names:
+        oracle = resolve_oracle(oracle_name, jobs=jobs)
+        say("oracle %s: checking %d points"
+            % (oracle_name, len(points)))
+        verdicts = oracle.check(points)
+        report.verdicts.extend(verdicts)
+        for verdict in verdicts:
+            if verdict.ok:
+                continue
+            say("FAIL %s [%s]: %s — shrinking"
+                % (verdict.point.label, oracle_name, verdict.detail))
+            minimal = shrink(verdict.point, oracle)
+            path = write_reproducer(minimal, oracle_name, corpus_dir,
+                                    detail=verdict.detail)
+            report.reproducers.append(path)
+            say("reproducer written: %s" % path)
+    return report
+
+
+def replay_reproducer(path: str, jobs: Optional[int] = None
+                      ) -> Verdict:
+    """Re-run one reproducer file through its recorded oracle."""
+    point, oracle_name = load_reproducer(path)
+    oracle = resolve_oracle(oracle_name, jobs=jobs)
+    return oracle.check([point])[0]
+
+
+__all__ = [
+    "BOUNDS",
+    "CampaignReport",
+    "DEFAULT_BUDGET",
+    "FuzzPoint",
+    "ORACLES",
+    "Oracle",
+    "RegistryChoice",
+    "Verdict",
+    "check_bounds_table",
+    "comparable",
+    "defense_families",
+    "generate",
+    "load_reproducer",
+    "replay_reproducer",
+    "resolve_oracle",
+    "run_campaign",
+    "shrink",
+    "write_reproducer",
+]

@@ -1,0 +1,281 @@
+"""Differential oracles: pluggable equivalence checks for fuzz points.
+
+Each oracle runs the same generated points down two (or more) of the
+repo's independently-proven execution paths and compares the full
+observable outcome — cycles, committed instructions, the complete
+interned stats dict, and the architectural-register digest.  The
+oracles are registered as ``oracle`` components, so ``repro list
+oracles`` / ``repro describe dense-event`` work and plugins can add
+their own checks via ``ORACLES.register``.
+
+All legs run through :func:`repro.exp.engine.run_points` with the
+cache disabled — fuzz legs must never observe each other (or a prior
+campaign) through the result cache.  Points are rebuilt from their
+spec strings *inside* each leg, so component construction happens
+under that leg's environment (a defense whose behaviour depends on
+``REPRO_DENSE_LOOP`` diverges only if legs construct independently).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exp.engine import run_points
+from repro.exp.resultset import PointResult
+from repro.fuzz.grammar import FuzzPoint
+from repro.registry.core import Registry
+from repro.sim.simulator import ENV_DENSE_LOOP
+
+#: The ``oracle`` component registry (auto-listed in ``REGISTRIES``).
+ORACLES: Registry = Registry("oracle")
+
+#: Fields compared between legs.  ``digest`` is deliberately absent:
+#: warm-start legs carry a different cache token by design, and the
+#: oracle's claim is about *simulated outcomes*, not cache identity.
+COMPARED_FIELDS = ("cycles", "insts", "finished", "stats",
+                   "regs_digest")
+
+
+def comparable(result: PointResult) -> Dict[str, object]:
+    """The equivalence-relevant projection of one point result."""
+    return {
+        "cycles": result.cycles,
+        "insts": result.insts,
+        "finished": result.finished,
+        "stats": dict(sorted(result.stats.items())),
+        "regs_digest": result.regs_digest,
+    }
+
+
+@dataclass
+class Verdict:
+    """Outcome of one oracle on one fuzz point."""
+
+    point: FuzzPoint
+    oracle: str
+    ok: bool
+    detail: str = ""
+    #: field -> (leg A value, leg B value) for each differing field.
+    mismatch: Dict[str, Tuple[object, object]] = field(
+        default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "point": self.point.as_dict(),
+            "oracle": self.oracle,
+            "ok": self.ok,
+            "detail": self.detail,
+            "mismatch": {name: list(pair)
+                         for name, pair in self.mismatch.items()},
+        }
+
+
+def diff_comparables(a: Dict[str, object], b: Dict[str, object]
+                     ) -> Dict[str, Tuple[object, object]]:
+    return {name: (a[name], b[name])
+            for name in COMPARED_FIELDS if a[name] != b[name]}
+
+
+@contextmanager
+def scoped_env(**pairs: Optional[str]) -> Iterator[None]:
+    """Set/unset environment variables for the duration of a leg.
+
+    Values are installed in ``os.environ`` *before* the engine spawns
+    any worker pool, so they propagate to multiprocessing workers
+    under both fork and spawn start methods.  ``None`` unsets."""
+    saved = {key: os.environ.get(key) for key in pairs}
+    try:
+        for key, value in pairs.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        yield
+    finally:
+        for key, previous in saved.items():
+            if previous is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = previous
+
+
+def run_leg(points: Sequence[FuzzPoint], jobs: Optional[int] = None,
+            warmup: Optional[int] = None,
+            checkpoints: Optional[str] = None) -> List[PointResult]:
+    """One engine pass over freshly-rebuilt points, cache disabled."""
+    sweep_points = [fp.build() for fp in points]
+    if warmup is not None:
+        sweep_points = [dataclasses.replace(sp, warmup_insts=warmup)
+                        for sp in sweep_points]
+    report = run_points(sweep_points, jobs=jobs, cache=False,
+                        checkpoints=checkpoints)
+    return [report.results.get(sp.key) for sp in sweep_points]
+
+
+class Oracle:
+    """Base class: subclasses set ``name``/``summary`` and implement
+    :meth:`check`."""
+
+    name = ""
+    summary = ""
+    legs = ""
+
+    def __init__(self, jobs: Optional[int] = None):
+        self.jobs = jobs
+
+    def check(self, points: Sequence[FuzzPoint]) -> List[Verdict]:
+        raise NotImplementedError
+
+    def _verdicts(self, points: Sequence[FuzzPoint],
+                  legs: Dict[str, List[PointResult]]) -> List[Verdict]:
+        """Pairwise-compare every leg against the first one."""
+        names = list(legs)
+        base_name, base = names[0], legs[names[0]]
+        verdicts = []
+        for i, point in enumerate(points):
+            reference = comparable(base[i])
+            mismatch: Dict[str, Tuple[object, object]] = {}
+            against = ""
+            for other_name in names[1:]:
+                mismatch = diff_comparables(
+                    reference, comparable(legs[other_name][i]))
+                if mismatch:
+                    against = other_name
+                    break
+            if mismatch:
+                detail = "%s vs %s differ on %s" % (
+                    base_name, against, ", ".join(sorted(mismatch)))
+                verdicts.append(Verdict(point, self.name, False,
+                                        detail, mismatch))
+            else:
+                verdicts.append(Verdict(point, self.name, True))
+        return verdicts
+
+
+@ORACLES.register("dense-event", tags=("builtin",),
+                  summary="dense per-cycle loop vs event-driven "
+                          "scheduler")
+class DenseEventOracle(Oracle):
+    """The two pure-Python schedulers must agree byte-for-byte.
+
+    Leg A forces ``REPRO_DENSE_LOOP=1`` (the reference per-cycle
+    loop), leg B forces ``=0`` (the event-driven skip scheduler)."""
+
+    name = "dense-event"
+    summary = "dense per-cycle loop vs event-driven scheduler"
+    legs = "REPRO_DENSE_LOOP=1 vs REPRO_DENSE_LOOP=0"
+
+    def check(self, points: Sequence[FuzzPoint]) -> List[Verdict]:
+        with scoped_env(**{ENV_DENSE_LOOP: "1"}):
+            dense = run_leg(points, jobs=self.jobs)
+        with scoped_env(**{ENV_DENSE_LOOP: "0"}):
+            event = run_leg(points, jobs=self.jobs)
+        return self._verdicts(points, {"dense": dense,
+                                       "event": event})
+
+
+@ORACLES.register("checkpoint", tags=("builtin",),
+                  summary="checkpoint warm-start vs cold run")
+class CheckpointOracle(Oracle):
+    """Warm-starting from a stored prefix checkpoint must be
+    byte-identical to never having checkpointed.
+
+    Three legs against a throwaway checkpoint database: a cold run,
+    a warm run that *creates* the checkpoints, and a warm run that
+    *restores* them — all three must agree."""
+
+    name = "checkpoint"
+    summary = "checkpoint warm-start vs cold run"
+    legs = "cold vs warm(create) vs warm(restore)"
+
+    def check(self, points: Sequence[FuzzPoint]) -> List[Verdict]:
+        usable = [fp for fp in points if fp.budget]
+        skipped = [fp for fp in points if not fp.budget]
+        verdicts = []
+        if usable:
+            warmup = max(1, min(fp.budget for fp in usable) // 2)
+            cold = run_leg(usable, jobs=self.jobs)
+            with tempfile.TemporaryDirectory(
+                    prefix="repro-fuzz-ck-") as tmp:
+                db = os.path.join(tmp, "ck.sqlite")
+                create = run_leg(usable, jobs=self.jobs,
+                                 warmup=warmup, checkpoints=db)
+                restore = run_leg(usable, jobs=self.jobs,
+                                  warmup=warmup, checkpoints=db)
+            verdicts = self._verdicts(usable,
+                                      {"cold": cold,
+                                       "warm-create": create,
+                                       "warm-restore": restore})
+        for fp in skipped:
+            verdicts.append(Verdict(
+                fp, self.name, True,
+                "skipped: checkpoint oracle needs a --budget"))
+        return verdicts
+
+
+@ORACLES.register("accel", tags=("builtin",),
+                  summary="pure-Python hot core vs compiled "
+                          "(REPRO_ACCEL) hot core")
+class AccelOracle(Oracle):
+    """The mypyc-compiled hot core must match the pure interpreter.
+
+    ``REPRO_ACCEL`` is read at ``repro.sim`` import time, so the two
+    legs cannot share this process: each runs ``repro.fuzz.replay``
+    in a fresh subprocess with the flag pinned to 0 / 1.  On a
+    checkout without the compiled extension both legs run pure
+    Python and the oracle passes vacuously (still a valid
+    harness-integrity check)."""
+
+    name = "accel"
+    summary = "pure-Python hot core vs compiled (REPRO_ACCEL) hot core"
+    legs = "REPRO_ACCEL=0 vs REPRO_ACCEL=1 (subprocess pairs)"
+
+    def _replay(self, point: FuzzPoint, accel: str
+                ) -> Dict[str, object]:
+        import repro
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["REPRO_ACCEL"] = accel
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_root] + ([env["PYTHONPATH"]]
+                          if env.get("PYTHONPATH") else []))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.fuzz.replay"],
+            input=json.dumps(point.as_dict()),
+            capture_output=True, text=True, env=env, check=False)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                "replay leg (REPRO_ACCEL=%s) failed for %s:\n%s"
+                % (accel, point.label, proc.stderr.strip()))
+        return json.loads(proc.stdout)
+
+    def check(self, points: Sequence[FuzzPoint]) -> List[Verdict]:
+        verdicts = []
+        for point in points:
+            pure = self._replay(point, "0")
+            compiled = self._replay(point, "1")
+            mismatch = diff_comparables(pure, compiled)
+            if mismatch:
+                detail = "pure vs compiled differ on %s" % \
+                    ", ".join(sorted(mismatch))
+                verdicts.append(Verdict(point, self.name, False,
+                                        detail, mismatch))
+            else:
+                verdicts.append(Verdict(point, self.name, True))
+        return verdicts
+
+
+def resolve_oracle(name: str, jobs: Optional[int] = None) -> Oracle:
+    """Instantiate a registered oracle by name (raises
+    :class:`repro.registry.core.UnknownComponentError` with
+    did-you-mean suggestions on a miss)."""
+    return ORACLES.entry(name).factory(jobs=jobs)

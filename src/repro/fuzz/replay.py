@@ -1,0 +1,40 @@
+"""Single-leg replay: run one fuzz point under the ambient env.
+
+``python -m repro.fuzz.replay`` reads a :class:`FuzzPoint` payload
+(JSON) on stdin, runs it once through the experiment engine with the
+cache disabled, and prints the comparable projection (cycles, insts,
+finished, stats, regs_digest) as JSON on stdout.
+
+This is the subprocess half of the ``accel`` oracle: ``REPRO_ACCEL``
+is read at ``repro.sim`` import time, so pure and compiled legs must
+live in separate interpreters.  It is also handy for manual triage::
+
+    echo '{"seed": 42, "index": 0, ...}' | \
+        REPRO_DENSE_LOOP=1 python -m repro.fuzz.replay
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def main() -> int:
+    # Imports stay inside main(): REPRO_ACCEL must be read from the
+    # environment this process was launched with, after -m startup.
+    from repro.exp.engine import run_points
+    from repro.fuzz.grammar import FuzzPoint
+    from repro.fuzz.oracles import comparable
+
+    payload = json.load(sys.stdin)
+    point = FuzzPoint.from_dict(payload)
+    sweep_point = point.build()
+    report = run_points([sweep_point], jobs=1, cache=False)
+    result = report.results.get(sweep_point.key)
+    json.dump(comparable(result), sys.stdout, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Shrinking and reproducer files for failing fuzz points.
+
+A failing point is minimized by walking it back toward defaults: drop
+config overrides one at a time, then spec-string keyword arguments on
+the workload and defense, keeping a candidate only when the oracle
+still fails on it.  The loop repeats until a full pass removes
+nothing (a greedy fixed point), so the reproducer carries only the
+ingredients that matter.
+
+Reproducer files are small JSON documents (seed + specs + minimal
+overrides) written to the corpus directory; ``repro fuzz --repro
+<file>`` replays one through the same oracle and exits nonzero iff
+the divergence still reproduces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.fuzz.grammar import FuzzPoint
+from repro.fuzz.oracles import Oracle, Verdict
+from repro.registry import format_spec, parse_spec
+
+#: Reproducer file schema version.
+REPRODUCER_FORMAT = 1
+
+
+def _still_fails(oracle: Oracle, candidate: FuzzPoint) -> bool:
+    """True iff the oracle still rejects ``candidate``.  Candidates
+    that error (shrinking can make a point invalid) don't count."""
+    try:
+        verdicts = oracle.check([candidate])
+    except Exception:
+        return False
+    return bool(verdicts) and not verdicts[0].ok
+
+
+def _without_override(point: FuzzPoint, path: str) -> FuzzPoint:
+    kept = tuple((p, v) for p, v in point.overrides if p != path)
+    return dataclasses.replace(point, overrides=kept)
+
+
+def _without_spec_kwarg(point: FuzzPoint, which: str,
+                        key: str) -> Optional[FuzzPoint]:
+    spec = getattr(point, which)
+    name, kwargs = parse_spec(spec)
+    if key not in kwargs:
+        return None
+    kwargs.pop(key)
+    slim = format_spec(name, kwargs) if kwargs else name
+    return dataclasses.replace(point, **{which: slim})
+
+
+def shrink(point: FuzzPoint, oracle: Oracle) -> FuzzPoint:
+    """Greedy minimization of a failing point.
+
+    Precondition: ``oracle`` fails on ``point``.  Each pass tries to
+    drop every override and every workload/defense spec keyword;
+    passes repeat until nothing more can be removed.  Worst case is
+    O(ingredients^2) oracle runs, but fuzz points carry at most ~10
+    ingredients and each run is budget-capped."""
+    current = point
+    changed = True
+    while changed:
+        changed = False
+        for path, _value in list(current.overrides):
+            candidate = _without_override(current, path)
+            if _still_fails(oracle, candidate):
+                current = candidate
+                changed = True
+        for which in ("workload", "defense"):
+            _name, kwargs = parse_spec(getattr(current, which))
+            for key in sorted(kwargs):
+                candidate = _without_spec_kwarg(current, which, key)
+                if candidate is not None and \
+                        _still_fails(oracle, candidate):
+                    current = candidate
+                    changed = True
+    return current
+
+
+def reproducer_payload(point: FuzzPoint, oracle_name: str,
+                       detail: str = "") -> Dict[str, object]:
+    return {
+        "format": REPRODUCER_FORMAT,
+        "oracle": oracle_name,
+        "detail": detail,
+        "point": point.as_dict(),
+    }
+
+
+def reproducer_name(point: FuzzPoint, oracle_name: str) -> str:
+    blob = json.dumps(
+        {"oracle": oracle_name, "point": point.as_dict()},
+        sort_keys=True)
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+    return "repro-%s-%s.json" % (oracle_name, digest)
+
+
+def write_reproducer(point: FuzzPoint, oracle_name: str,
+                     corpus_dir: str, detail: str = "") -> str:
+    """Persist a minimized failure; returns the file path (stable for
+    a given point+oracle, so re-runs overwrite rather than pile up)."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir,
+                        reproducer_name(point, oracle_name))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(reproducer_payload(point, oracle_name, detail),
+                  handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_reproducer(path: str) -> Tuple[FuzzPoint, str]:
+    """Read a reproducer file back as ``(point, oracle_name)``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != REPRODUCER_FORMAT:
+        raise ValueError(
+            "unsupported reproducer format %r in %s (expected %d)"
+            % (payload.get("format"), path, REPRODUCER_FORMAT))
+    return (FuzzPoint.from_dict(payload["point"]),
+            str(payload["oracle"]))

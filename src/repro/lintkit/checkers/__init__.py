@@ -21,6 +21,7 @@ from repro.registry.core import Registry
 from repro.lintkit.checkers.determinism import DeterminismChecker
 from repro.lintkit.checkers.digest import DigestStabilityChecker
 from repro.lintkit.checkers.docs_sync import DocsSyncChecker
+from repro.lintkit.checkers.fuzz_bounds import FuzzBoundsChecker
 from repro.lintkit.checkers.obs_guards import ObsGuardsChecker
 from repro.lintkit.checkers.purity import ProofPurityChecker
 from repro.lintkit.checkers.snapshot import SnapshotChecker
@@ -31,7 +32,7 @@ LINTS: Registry = Registry("lint")
 
 for _cls in (SnapshotChecker, ProofPurityChecker, StatsSlotsChecker,
              DigestStabilityChecker, DeterminismChecker,
-             DocsSyncChecker, ObsGuardsChecker):
+             DocsSyncChecker, ObsGuardsChecker, FuzzBoundsChecker):
     LINTS.add(_cls.name, _cls, tags=("builtin",),
               summary=_cls.summary,
               metadata={"contract": _cls.contract,
@@ -41,6 +42,7 @@ __all__ = [
     "DeterminismChecker",
     "DigestStabilityChecker",
     "DocsSyncChecker",
+    "FuzzBoundsChecker",
     "LINTS",
     "ObsGuardsChecker",
     "ProofPurityChecker",

@@ -18,7 +18,7 @@ still name a real field.
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.lintkit.base import Checker, Finding, LintContext
 
@@ -80,6 +80,47 @@ def _annotation_head(annotation: ast.AST) -> Optional[str]:
     if isinstance(annotation, ast.Attribute):
         return annotation.attr
     return None
+
+
+def walk_config_leaves(tree: ast.Module
+                       ) -> Optional[Tuple[Set[str], Dict[str, int]]]:
+    """Dotted leaf paths of the ``SystemConfig`` dataclass graph.
+
+    Returns ``(leaves, path -> lineno)``, or None when the module has
+    no ``SystemConfig`` dataclass.  Shared by this checker and
+    ``fuzz-bounds`` so both agree on what a config leaf is."""
+    classes: Dict[str, ast.ClassDef] = {
+        node.name: node for node in tree.body
+        if isinstance(node, ast.ClassDef) and _is_dataclass(node)}
+    if "SystemConfig" not in classes:
+        return None
+    leaves: Set[str] = set()
+    lines: Dict[str, int] = {}
+    _walk_dataclass(classes, "SystemConfig", "", leaves, lines, set())
+    return leaves, lines
+
+
+def _walk_dataclass(classes: Dict[str, ast.ClassDef], name: str,
+                    prefix: str, leaves: Set[str],
+                    lines: Dict[str, int],
+                    visiting: Set[str]) -> None:
+    if name in visiting:  # defensive: cyclic config graph
+        return
+    visiting = visiting | {name}
+    for stmt in classes[name].body:
+        if not isinstance(stmt, ast.AnnAssign) \
+                or not isinstance(stmt.target, ast.Name):
+            continue
+        head = _annotation_head(stmt.annotation)
+        if head == "ClassVar":
+            continue
+        field_path = prefix + stmt.target.id
+        if head in classes:
+            _walk_dataclass(classes, head, field_path + ".",
+                            leaves, lines, visiting)
+        else:
+            leaves.add(field_path)
+            lines[field_path] = stmt.lineno
 
 
 class DigestStabilityChecker(Checker):
@@ -156,39 +197,14 @@ class DigestStabilityChecker(Checker):
                 CONFIG_PATH, 0, "cannot parse the config module",
                 code="unparseable"))
             return None
-        classes: Dict[str, ast.ClassDef] = {
-            node.name: node for node in tree.body
-            if isinstance(node, ast.ClassDef) and _is_dataclass(node)}
-        if "SystemConfig" not in classes:
+        walked = walk_config_leaves(tree)
+        if walked is None:
             findings.append(self.finding(
                 CONFIG_PATH, 0,
                 "no SystemConfig dataclass found", code="unparseable"))
             return None
-        self._lines: Dict[str, int] = {}
-        leaves: Set[str] = set()
-        self._walk_class(classes, "SystemConfig", "", leaves, set())
+        leaves, self._lines = walked
         return leaves
-
-    def _walk_class(self, classes: Dict[str, ast.ClassDef], name: str,
-                    prefix: str, leaves: Set[str],
-                    visiting: Set[str]) -> None:
-        if name in visiting:  # defensive: cyclic config graph
-            return
-        visiting = visiting | {name}
-        for stmt in classes[name].body:
-            if not isinstance(stmt, ast.AnnAssign) \
-                    or not isinstance(stmt.target, ast.Name):
-                continue
-            head = _annotation_head(stmt.annotation)
-            if head == "ClassVar":
-                continue
-            field_path = prefix + stmt.target.id
-            if head in classes:
-                self._walk_class(classes, head, field_path + ".",
-                                 leaves, visiting)
-            else:
-                leaves.add(field_path)
-                self._lines[field_path] = stmt.lineno
 
     def _field_line(self, ctx: LintContext, path: str) -> int:
         return getattr(self, "_lines", {}).get(path, 0)

@@ -1,0 +1,130 @@
+"""fuzz-bounds: every post-v1 config leaf must be fuzzable.
+
+The differential fuzzer (``repro fuzz``, ``docs/fuzzing.md``) draws
+config overrides from the ``BOUNDS`` table in
+``src/repro/fuzz/grammar.py``.  A config knob added without a bounds
+entry is silently invisible to the fuzzer — new machine behaviour
+ships with zero generative coverage.  The v1 leaves predate the
+fuzzer and are grandfathered (most have entries anyway); everything
+added after the digest freeze must be listed.
+
+This checker reuses the ``SystemConfig`` dataclass-graph walker from
+``digest-stability``, so the two checkers — and the runtime — agree
+on what a config leaf is.  It also rejects stale ``BOUNDS`` keys that
+no longer name a real leaf: a renamed field must not leave the fuzzer
+drawing overrides that ``apply_overrides`` will reject at run time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.lintkit.base import Checker, Finding, LintContext
+from repro.lintkit.checkers.digest import (CONFIG_PATH,
+                                           V1_CONFIG_PATHS,
+                                           walk_config_leaves)
+
+GRAMMAR_PATH = "src/repro/fuzz/grammar.py"
+BOUNDS_NAME = "BOUNDS"
+
+
+class FuzzBoundsChecker(Checker):
+    """Post-v1 config leaves need a fuzz BOUNDS entry."""
+
+    name = "fuzz-bounds"
+    summary = ("config leaves added after the v1 digest freeze must "
+               "have a BOUNDS entry in the fuzz grammar")
+    contract = (
+        "Every dotted leaf field reachable from SystemConfig in "
+        "src/repro/config.py that is not part of the frozen v1 "
+        "golden-token set must appear as a key of the BOUNDS dict "
+        "literal in src/repro/fuzz/grammar.py, so `repro fuzz` can "
+        "draw overrides for it; conversely every BOUNDS key must "
+        "still name a real config leaf.  Values may be literal menus "
+        "or RegistryChoice(kind) markers.")
+    codes = {
+        "missing-bounds": "post-v1 config leaf has no fuzz BOUNDS "
+                          "entry",
+        "stale-bounds": "BOUNDS names a nonexistent config leaf",
+        "unparseable": "config.py/grammar.py structure not "
+                       "statically resolvable",
+    }
+
+    def run(self, ctx: LintContext) -> List[Finding]:
+        findings: List[Finding] = []
+        leaves_lines = self._leaves(ctx, findings)
+        bounds = self._bounds_keys(ctx, findings)
+        if leaves_lines is None or bounds is None:
+            return findings
+        leaves, lines = leaves_lines
+        for path in sorted(leaves - V1_CONFIG_PATHS):
+            if path not in bounds:
+                findings.append(self.finding(
+                    CONFIG_PATH, lines.get(path, 0),
+                    "config leaf %r is invisible to the fuzzer — add "
+                    "a %r entry (value menu or RegistryChoice) in %s"
+                    % (path, path, GRAMMAR_PATH),
+                    symbol=path, code="missing-bounds"))
+        for path in sorted(bounds):
+            if path not in leaves:
+                findings.append(self.finding(
+                    GRAMMAR_PATH, bounds[path],
+                    "BOUNDS key %r names no field reachable from "
+                    "SystemConfig — the fuzzer would draw overrides "
+                    "the engine rejects" % path,
+                    symbol=path, code="stale-bounds"))
+        return findings
+
+    def _leaves(self, ctx: LintContext, findings: List[Finding]):
+        tree = ctx.tree(CONFIG_PATH) if ctx.exists(CONFIG_PATH) \
+            else None
+        walked = walk_config_leaves(tree) if tree is not None else None
+        if walked is None:
+            findings.append(self.finding(
+                CONFIG_PATH, 0,
+                "cannot resolve the SystemConfig dataclass graph",
+                code="unparseable"))
+            return None
+        return walked
+
+    def _bounds_keys(self, ctx: LintContext,
+                     findings: List[Finding]
+                     ) -> Optional[Dict[str, int]]:
+        tree = ctx.tree(GRAMMAR_PATH) if ctx.exists(GRAMMAR_PATH) \
+            else None
+        if tree is None:
+            findings.append(self.finding(
+                GRAMMAR_PATH, 0, "cannot parse the fuzz grammar "
+                "module", code="unparseable"))
+            return None
+        for node in tree.body:
+            target = None
+            value = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                target, value = node.targets[0].id, node.value
+            elif isinstance(node, ast.AnnAssign) \
+                    and isinstance(node.target, ast.Name):
+                target, value = node.target.id, node.value
+            if target != BOUNDS_NAME or value is None:
+                continue
+            if not isinstance(value, ast.Dict):
+                break
+            keys: Dict[str, int] = {}
+            for key in value.keys:
+                if isinstance(key, ast.Constant) \
+                        and isinstance(key.value, str):
+                    keys[key.value] = key.lineno
+                else:
+                    findings.append(self.finding(
+                        GRAMMAR_PATH, getattr(key, "lineno", 0),
+                        "%s key is not a string literal — the "
+                        "bounds table must be statically enumerable"
+                        % BOUNDS_NAME, code="unparseable"))
+            return keys
+        findings.append(self.finding(
+            GRAMMAR_PATH, 0,
+            "%s is missing or not a dict literal" % BOUNDS_NAME,
+            code="unparseable"))
+        return None

@@ -11,6 +11,7 @@ kind            components                                  defined in
 ``hierarchy``   per-core memory-hierarchy classes           ``repro.defenses``
 ``lint``        static invariant checkers (``repro lint``)  ``repro.lintkit.checkers``
 ``sink``        trace exporters (``repro trace``)           ``repro.obs.sinks``
+``oracle``      differential fuzz oracles (``repro fuzz``)  ``repro.fuzz.oracles``
 ==============  ==========================================  ==========
 
 Components are constructed from *spec strings* (``"MuonTrap(flush=True)"``,
@@ -51,6 +52,7 @@ _BUILTIN_MODULES = {
     "hierarchy": "repro.defenses",
     "lint": "repro.lintkit.checkers",
     "sink": "repro.obs.sinks",
+    "oracle": "repro.fuzz.oracles",
 }
 
 #: CLI spellings (``repro list defenses``) -> canonical kind.
@@ -61,6 +63,7 @@ KIND_ALIASES = {
     "hierarchy": "hierarchy", "hierarchies": "hierarchy",
     "lint": "lint", "lints": "lint",
     "sink": "sink", "sinks": "sink",
+    "oracle": "oracle", "oracles": "oracle",
 }
 
 

@@ -29,9 +29,11 @@ def test_run(capsys):
     assert "dminion.fills" in out
 
 
-def test_run_unknown_workload():
-    with pytest.raises(KeyError):
-        main(["run", "doom", "--scale", "0.05"])
+def test_run_unknown_workload(capsys):
+    # Unknown component names are usage errors (exit 2), not
+    # tracebacks; the message carries the unknown name.
+    assert main(["run", "doom", "--scale", "0.05"]) == 2
+    assert "doom" in capsys.readouterr().err
 
 
 def test_run_spec_strings_through_engine(capsys):
@@ -370,3 +372,102 @@ def test_attack_interference(capsys):
     assert exit_code == 0
     out = capsys.readouterr().out
     assert "secret bit 0" in out and "secret bit 1" in out
+
+
+# -- error paths: malformed specs, unknown names, bad flag combos ---------
+
+def test_run_malformed_spec_is_clean_error(capsys):
+    assert main(["run", "--workload", "pointer_chase(stride=)",
+                 "--scale", "0.05"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_run_unknown_workload_suggests(capsys):
+    assert main(["run", "mfc", "--scale", "0.05"]) == 2
+    assert "mcf" in capsys.readouterr().err
+
+
+def test_run_unknown_defense_suggests(capsys):
+    assert main(["run", "hmmer", "--defense", "GhostMinon",
+                 "--scale", "0.05"]) == 2
+    assert "GhostMinion" in capsys.readouterr().err
+
+
+def test_run_unknown_trace_sink_suggests(capsys):
+    assert main(["run", "hmmer", "--scale", "0.05", "--trace",
+                 "--trace-sink", "perfeto", "--no-cache"]) == 2
+    assert "perfetto" in capsys.readouterr().err
+
+
+def test_trace_unknown_sink_suggests(capsys):
+    assert main(["trace", "hmmer", "--scale", "0.05",
+                 "--sink", "perfeto"]) == 2
+    assert "perfetto" in capsys.readouterr().err
+
+
+def test_compare_unknown_workload_suggests(capsys):
+    assert main(["compare", "mfc", "--scale", "0.05"]) == 2
+    assert "mcf" in capsys.readouterr().err
+
+
+def test_sweep_unknown_defense_suggests(capsys):
+    assert main(["sweep", "hmmer", "--defense", "GhostMinon",
+                 "--scale", "0.05"]) == 2
+    assert "GhostMinion" in capsys.readouterr().err
+
+
+def test_compare_malformed_shard_is_clean_error(capsys):
+    assert main(["compare", "hmmer", "--shard", "2of4"]) == 2
+    assert "--shard wants I/N" in capsys.readouterr().err
+    assert main(["compare", "hmmer", "--shard", "4/4"]) == 2
+    assert "shard index" in capsys.readouterr().err
+
+
+# -- bench: sections missing from either payload must not raise -----------
+
+def _bench_payload(speedup=2.0, extra=None):
+    payload = {"bench": "perf_smoke", "speedup": speedup,
+               "scale": 0.25, "cycles": 1000}
+    payload.update(extra or {})
+    return payload
+
+
+def test_bench_missing_section_reports_new_section(
+        capsys, tmp_path):
+    """A baseline that predates a section (e.g. pre-accel) must diff
+    as 'new section', not raise (regression test)."""
+    baseline = tmp_path / "baseline.json"
+    current = tmp_path / "current.json"
+    baseline.write_text(json.dumps(_bench_payload()))
+    current.write_text(json.dumps(_bench_payload(
+        extra={"accel_smoke": {"speedup": 3.0, "scale": 0.25}})))
+    assert main(["bench", "--baseline", str(baseline),
+                 "--current", str(current)]) == 0
+    out = capsys.readouterr().out
+    assert "new section" in out
+
+
+def test_bench_null_speedup_section_reports_missing(capsys, tmp_path):
+    """Sections recording `"speedup": null` (placeholder payloads)
+    diff as absent instead of crashing the formatter."""
+    baseline = tmp_path / "baseline.json"
+    current = tmp_path / "current.json"
+    baseline.write_text(json.dumps(_bench_payload(
+        extra={"accel_smoke": {"speedup": None, "scale": 0.25}})))
+    current.write_text(json.dumps(_bench_payload(speedup=None)))
+    assert main(["bench", "--baseline", str(baseline),
+                 "--current", str(current),
+                 "--max-regress", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "new section" in out or "missing from current" in out
+
+
+def test_bench_regression_gate_still_fires(capsys, tmp_path):
+    baseline = tmp_path / "baseline.json"
+    current = tmp_path / "current.json"
+    baseline.write_text(json.dumps(_bench_payload(speedup=10.0)))
+    current.write_text(json.dumps(_bench_payload(speedup=1.0)))
+    assert main(["bench", "--baseline", str(baseline),
+                 "--current", str(current),
+                 "--max-regress", "60"]) == 1
+    assert "regressed" in capsys.readouterr().err

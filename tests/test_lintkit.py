@@ -29,7 +29,7 @@ REPO_ROOT = os.path.abspath(
 
 ALL_CHECKERS = ["snapshot-completeness", "proof-purity", "stats-slots",
                 "digest-stability", "determinism", "docs-sync",
-                "obs-guards"]
+                "obs-guards", "fuzz-bounds"]
 
 
 def make_repo(tmp_path, files):
